@@ -1,0 +1,276 @@
+package repro
+
+// One testing.B benchmark per experiment row of the DESIGN.md index
+// (regenerating each paper claim at quick workload sizes; cmd/wccbench
+// runs the full versions), plus micro-benchmarks of the substrates.
+//
+// Experiment benchmarks report the quantity the paper's theorems bound —
+// MPC rounds — via custom metrics next to wall-clock time.
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/expander"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/mst"
+	"repro/internal/randwalk"
+	"repro/internal/sketch"
+	"repro/internal/spectral"
+	"repro/internal/sublinear"
+	"repro/internal/xproduct"
+)
+
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	var runner *bench.Runner
+	for _, r := range bench.All() {
+		if r.ID == id {
+			runner = &r
+			break
+		}
+	}
+	if runner == nil {
+		b.Fatalf("unknown experiment %s", id)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := runner.Run(bench.Config{Seed: uint64(i) + 1, Quick: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE1RoundsVsN(b *testing.B)         { runExperiment(b, "E1") }
+func BenchmarkE2RoundsVsGap(b *testing.B)       { runExperiment(b, "E2") }
+func BenchmarkE3Regularize(b *testing.B)        { runExperiment(b, "E3") }
+func BenchmarkE4RandomWalk(b *testing.B)        { runExperiment(b, "E4") }
+func BenchmarkE5Randomize(b *testing.B)         { runExperiment(b, "E5") }
+func BenchmarkE6GrowComponents(b *testing.B)    { runExperiment(b, "E6") }
+func BenchmarkE7LeaderElection(b *testing.B)    { runExperiment(b, "E7") }
+func BenchmarkE8Sublinear(b *testing.B)         { runExperiment(b, "E8") }
+func BenchmarkE9LowerBound(b *testing.B)        { runExperiment(b, "E9") }
+func BenchmarkE10RandomGraph(b *testing.B)      { runExperiment(b, "E10") }
+func BenchmarkE11Products(b *testing.B)         { runExperiment(b, "E11") }
+func BenchmarkE12Oblivious(b *testing.B)        { runExperiment(b, "E12") }
+func BenchmarkE13VsExponentiation(b *testing.B) { runExperiment(b, "E13") }
+func BenchmarkE14BallsBins(b *testing.B)        { runExperiment(b, "E14") }
+
+// BenchmarkPipelineExpander measures the full Theorem 1 pipeline on a
+// single expander and reports the round count as a metric.
+func BenchmarkPipelineExpander(b *testing.B) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g, err := gen.Expander(512, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := core.FindComponents(g, core.Options{Lambda: 0.3, Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "mpc-rounds")
+}
+
+// BenchmarkBaselineHashToMin is the comparison point for the pipeline.
+func BenchmarkBaselineHashToMin(b *testing.B) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := gen.Expander(512, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.AutoConfig(2*g.M(), 0.5, 2))
+		rounds = baseline.HashToMin(sim, g).Rounds
+	}
+	b.ReportMetric(float64(rounds), "mpc-rounds")
+}
+
+// BenchmarkSublinearGrid exercises the Theorem 2 path end to end.
+func BenchmarkSublinearGrid(b *testing.B) {
+	g := gen.Grid(16, 16)
+	rounds := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := sublinear.Components(g, sublinear.Options{Seed: uint64(i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Stats.Rounds
+	}
+	b.ReportMetric(float64(rounds), "mpc-rounds")
+}
+
+// BenchmarkMSTBoruvka exercises the MSF application module.
+func BenchmarkMSTBoruvka(b *testing.B) {
+	rng := rand.New(rand.NewPCG(10, 10))
+	const n = 2000
+	edges := make([]mst.WeightedEdge, 8000)
+	for i := range edges {
+		edges[i] = mst.WeightedEdge{
+			U:      graph.Vertex(rng.IntN(n)),
+			V:      graph.Vertex(rng.IntN(n)),
+			Weight: rng.Float64(),
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 16, Machines: 16})
+		if _, err := mst.Boruvka(sim, n, edges); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- substrate micro-benchmarks ---
+
+func BenchmarkGraphBuild(b *testing.B) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	const n, m = 10000, 40000
+	us := make([]graph.Vertex, m)
+	vs := make([]graph.Vertex, m)
+	for i := range us {
+		us[i] = graph.Vertex(rng.IntN(n))
+		vs[i] = graph.Vertex(rng.IntN(n))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd := graph.NewBuilderHint(n, m)
+		for j := range us {
+			bd.AddEdge(us[j], vs[j])
+		}
+		_ = bd.Build()
+	}
+}
+
+func BenchmarkUnionFind(b *testing.B) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const n = 100000
+	pairs := make([][2]graph.Vertex, n)
+	for i := range pairs {
+		pairs[i] = [2]graph.Vertex{graph.Vertex(rng.IntN(n)), graph.Vertex(rng.IntN(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		uf := graph.NewUnionFind(n)
+		for _, p := range pairs {
+			uf.Union(p[0], p[1])
+		}
+	}
+}
+
+func BenchmarkLambda2Expander(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	g, err := gen.Expander(2000, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = spectral.Lambda2(g)
+	}
+}
+
+func BenchmarkMPCSort(b *testing.B) {
+	items := make([]uint64, 100000)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := range items {
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 1024, Machines: 128})
+		d := mpc.Distribute(sim, items)
+		_ = mpc.SortByKey(sim, d, func(v uint64) uint64 { return v })
+	}
+}
+
+func BenchmarkReplacementProduct(b *testing.B) {
+	g := gen.Star(512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cf := xproduct.NewExpanderClouds(8, 0.25, rand.New(rand.NewPCG(uint64(i), 9)))
+		if _, err := xproduct.Replacement(g, cf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkExpanderSample(b *testing.B) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := expander.SamplePermutationRegular(4096, 16, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDirectWalks(b *testing.B) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	g, err := gen.Expander(1000, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 16, Machines: 16})
+		if _, err := randwalk.DirectWalks(sim, g, 64, 8, rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLayeredWalk(b *testing.B) {
+	rng := rand.New(rand.NewPCG(9, 9))
+	g, err := gen.Expander(256, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 20, Machines: 16})
+		if _, err := randwalk.SimpleRandomWalk(sim, g, 32, randwalk.PaperParams(), rng); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkL0SamplerUpdate(b *testing.B) {
+	s, err := sketch.NewL0Sampler(1<<40, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Update(int64(i%(1<<40)), 1)
+	}
+}
+
+func BenchmarkAGMSketchComponents(b *testing.B) {
+	g := gen.Cycle(256)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cs, err := sketch.NewConnectivitySketch(g.N(), 0, 3, uint64(i)+1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := cs.AddGraph(g); err != nil {
+			b.Fatal(err)
+		}
+		_, count, _ := cs.Components()
+		if count != 1 {
+			b.Fatalf("sketch split the cycle into %d", count)
+		}
+	}
+}

@@ -1,0 +1,117 @@
+// Package cmd_test smoke-tests the three executables end to end: build
+// them once, then drive the wccgen | wccfind pipe and the wccbench table
+// output the README advertises.
+package cmd_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var binDir string
+
+func TestMain(m *testing.M) {
+	dir, err := os.MkdirTemp("", "wccbin")
+	if err != nil {
+		os.Exit(1)
+	}
+	defer os.RemoveAll(dir)
+	binDir = dir
+	for _, tool := range []string{"wccgen", "wccfind", "wccbench"} {
+		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
+		cmd.Dir = "."
+		if out, err := cmd.CombinedOutput(); err != nil {
+			os.Stderr.Write(out)
+			os.Exit(1)
+		}
+	}
+	os.Exit(m.Run())
+}
+
+func runTool(t *testing.T, stdin []byte, tool string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, tool), args...)
+	if stdin != nil {
+		cmd.Stdin = bytes.NewReader(stdin)
+	}
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", tool, args, err, out)
+	}
+	return string(out)
+}
+
+func TestGenPipeFind(t *testing.T) {
+	edges := runTool(t, nil, "wccgen", "-type", "union", "-sizes", "60,40", "-d", "8", "-seed", "3")
+	if !strings.HasPrefix(edges, "100 ") {
+		t.Fatalf("unexpected header: %q", edges[:20])
+	}
+	out := runTool(t, []byte(edges), "wccfind", "-lambda", "0.3", "-seed", "2", "-sizes")
+	for _, want := range []string{"components: 2", "verification: exact match", "rounds:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wccfind output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFindBaselinesAndSublinear(t *testing.T) {
+	edges := runTool(t, nil, "wccgen", "-type", "cycle", "-n", "120")
+	for _, algo := range []string{"hashtomin", "boruvka", "labelprop", "exponentiate", "sublinear"} {
+		out := runTool(t, []byte(edges), "wccfind", "-algo", algo)
+		if !strings.Contains(out, "components: 1") || !strings.Contains(out, "verification: exact match") {
+			t.Errorf("algo %s: unexpected output:\n%s", algo, out)
+		}
+	}
+}
+
+func TestGenAllTypes(t *testing.T) {
+	for _, typ := range []string{"expander", "gnd", "cycle", "path", "clique", "star", "ringofcliques", "bridged"} {
+		out := runTool(t, nil, "wccgen", "-type", typ, "-n", "24", "-d", "4")
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+			t.Errorf("type %s produced no edges", typ)
+		}
+	}
+	out := runTool(t, nil, "wccgen", "-type", "grid", "-n", "4", "-d", "5")
+	if !strings.HasPrefix(out, "20 ") {
+		t.Errorf("grid header: %q", out[:10])
+	}
+	out = runTool(t, nil, "wccgen", "-type", "hypercube", "-n", "4")
+	if !strings.HasPrefix(out, "16 ") {
+		t.Errorf("hypercube header: %q", out[:10])
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "wccgen"), "-type", "nosuch")
+	if err := cmd.Run(); err == nil {
+		t.Error("want failure for unknown type")
+	}
+	cmd = exec.Command(filepath.Join(binDir, "wccgen"), "-type", "union")
+	if err := cmd.Run(); err == nil {
+		t.Error("want failure for union without sizes")
+	}
+}
+
+func TestBenchTableOutput(t *testing.T) {
+	out := runTool(t, nil, "wccbench", "-quick", "-only", "E14")
+	for _, want := range []string{"E14", "paper claim", "violations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wccbench missing %q:\n%s", want, out)
+		}
+	}
+	cmd := exec.Command(filepath.Join(binDir, "wccbench"), "-only", "E99")
+	if err := cmd.Run(); err == nil {
+		t.Error("want failure for unknown experiment")
+	}
+}
+
+func TestBenchAblation(t *testing.T) {
+	out := runTool(t, nil, "wccbench", "-quick", "-only", "A2")
+	if !strings.Contains(out, "indepFrac") {
+		t.Errorf("ablation table missing:\n%s", out)
+	}
+}

@@ -1,0 +1,76 @@
+// Command wccbench regenerates the experiment tables of EXPERIMENTS.md:
+// one table per row of the DESIGN.md experiment index (E1–E14).
+//
+// Usage:
+//
+//	wccbench                 # all experiments, full workloads
+//	wccbench -quick          # reduced workloads
+//	wccbench -only E1,E9     # a subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wccbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		quick     = flag.Bool("quick", false, "reduced workload sizes")
+		only      = flag.String("only", "", "comma-separated experiment IDs (default all)")
+		ablations = flag.Bool("ablations", false, "also run the design-choice ablations A1–A4")
+		seed      = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	want := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			want[id] = true
+		}
+	}
+	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	runners := bench.All()
+	if *ablations || anyAblation(want) {
+		runners = append(runners, bench.Ablations()...)
+	}
+	ran := 0
+	for _, r := range runners {
+		if len(want) > 0 && !want[r.ID] {
+			continue
+		}
+		start := time.Now()
+		tab, err := r.Run(cfg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.ID, err)
+		}
+		tab.Fprint(os.Stdout)
+		fmt.Printf("  (%s completed in %v)\n\n", r.ID, time.Since(start).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		return fmt.Errorf("no experiments matched %q", *only)
+	}
+	return nil
+}
+
+func anyAblation(want map[string]bool) bool {
+	for id := range want {
+		if strings.HasPrefix(id, "A") {
+			return true
+		}
+	}
+	return false
+}

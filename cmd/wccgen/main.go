@@ -1,0 +1,109 @@
+// Command wccgen emits workload graphs in the edge-list format consumed by
+// wccfind: a "n m" header followed by one "u v" line per edge.
+//
+// Usage:
+//
+//	wccgen -type expander -n 1024 -d 8 -seed 1 > g.txt
+//	wccgen -type ringofcliques -n 128 -d 12        # k=n cliques of size d
+//	wccgen -type union -sizes 512,256,256 -d 8     # disjoint expanders
+//
+// Types: expander, gnd, cycle, path, grid, clique, star, hypercube,
+// ringofcliques, bridged, union.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wccgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		typ   = flag.String("type", "expander", "graph family (expander|gnd|cycle|path|grid|clique|star|hypercube|ringofcliques|bridged|union)")
+		n     = flag.Int("n", 1024, "vertex count (rows for grid, dimension for hypercube, ring length for ringofcliques)")
+		d     = flag.Int("d", 8, "degree parameter (columns for grid, clique size for ringofcliques)")
+		sizes = flag.String("sizes", "", "comma-separated component sizes for -type union")
+		seed  = flag.Uint64("seed", 1, "random seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+	rng := rand.New(rand.NewPCG(*seed, 0xfeed))
+
+	var (
+		g   *graph.Graph
+		err error
+	)
+	switch *typ {
+	case "expander":
+		g, err = gen.Expander(*n, *d, rng)
+	case "gnd":
+		g, err = gen.RandomGND(*n, *d, rng)
+	case "cycle":
+		g = gen.Cycle(*n)
+	case "path":
+		g = gen.Path(*n)
+	case "grid":
+		g = gen.Grid(*n, *d)
+	case "clique":
+		g = gen.Clique(*n)
+	case "star":
+		g = gen.Star(*n)
+	case "hypercube":
+		g = gen.Hypercube(*n)
+	case "ringofcliques":
+		g, err = gen.RingOfCliques(*n, *d)
+	case "bridged":
+		g, err = gen.TwoExpandersBridged(*n, *d, rng)
+	case "union":
+		var szs []int
+		for _, part := range strings.Split(*sizes, ",") {
+			part = strings.TrimSpace(part)
+			if part == "" {
+				continue
+			}
+			v, perr := strconv.Atoi(part)
+			if perr != nil {
+				return fmt.Errorf("bad size %q: %w", part, perr)
+			}
+			szs = append(szs, v)
+		}
+		if len(szs) == 0 {
+			return fmt.Errorf("-type union requires -sizes")
+		}
+		var l *gen.Labeled
+		l, err = gen.ExpanderUnion(szs, *d, rng)
+		if err == nil {
+			l = gen.Shuffled(l, rng)
+			g = l.G
+		}
+	default:
+		return fmt.Errorf("unknown type %q", *typ)
+	}
+	if err != nil {
+		return err
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		f, ferr := os.Create(*out)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		w = f
+	}
+	return graph.WriteEdgeList(w, g)
+}

@@ -1,0 +1,10 @@
+// Package repro is a from-scratch Go reproduction of "Massively Parallel
+// Algorithms for Finding Well-Connected Components in Sparse Graphs"
+// (Assadi, Sun, Weinstein; PODC 2019, arXiv:1805.02974).
+//
+// See README.md for the layout, DESIGN.md for the system inventory and
+// experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
+// public entry points live in internal/core (Theorem 1/4 pipeline and the
+// Corollary 7.1 oblivious variant) and internal/sublinear (Theorem 2);
+// cmd/wccfind, cmd/wccgen and cmd/wccbench are the executables.
+package repro

@@ -1,0 +1,64 @@
+// Mixed spectral gaps: Corollary 7.1 in action. The input mixes components
+// whose gaps span four orders of magnitude — an expander (λ ≈ 0.3), a
+// hypercube (λ = 2/dim), a ring of cliques (λ ≈ 1/k²), and a long cycle
+// (λ ≈ 2π²/n²). The oblivious schedule identifies each component after
+// O(log log(1/λ_i)) passes of its own, without being told any gap.
+//
+//	go run ./examples/mixedgap
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand/v2"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func main() {
+	rng := rand.New(rand.NewPCG(5, 5))
+
+	exp, err := gen.Expander(400, 8, rng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ring, err := gen.RingOfCliques(12, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	parts := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"expander(400,8)", exp},
+		{"hypercube(7)", gen.Hypercube(7)},
+		{"ringOfCliques(12x9)", ring},
+		{"cycle(200)", gen.Cycle(200)},
+	}
+	gs := make([]*graph.Graph, len(parts))
+	for i, p := range parts {
+		gs[i] = p.g
+		fmt.Printf("component %-22s n=%-5d λ2 = %.6f\n", p.name, p.g.N(), spectral.Lambda2(p.g))
+	}
+	l, err := gen.DisjointUnion(gs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := gen.Shuffled(l, rng)
+
+	res, err := core.FindComponents(w.G, core.Options{Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\noblivious run: %d components in %d rounds\n", res.Components, res.Stats.Rounds)
+	fmt.Printf("λ' schedule tried: %v\n", res.Stats.LambdaSchedule)
+	fmt.Printf("correctness-finish merges (weakly connected leftovers): %d\n", res.Stats.FinishMerges)
+
+	if !graph.SameLabeling(res.Labels, w.Labels) {
+		log.Fatal("component mismatch")
+	}
+	fmt.Println("verified: all four components exactly recovered")
+}

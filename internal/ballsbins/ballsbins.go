@@ -1,0 +1,107 @@
+// Package ballsbins implements the balls-and-bins experiment of Appendix B
+// (Proposition B.1), the concentration tool behind Claim 6.9's degree
+// analysis: throwing N ≤ ε·B balls into B bins, each bin chosen with
+// probability (1±ε)/B, the number of non-empty bins is (1±2ε)·N except
+// with probability exp(−ε²N/2).
+package ballsbins
+
+import (
+	"fmt"
+	"math/rand/v2"
+)
+
+// Throw performs one experiment: balls balls into bins bins where bin i is
+// chosen with probability proportional to weights[i] (nil = uniform).
+// Returns the number of non-empty bins.
+func Throw(balls, bins int, weights []float64, rng *rand.Rand) (int, error) {
+	if bins < 1 {
+		return 0, fmt.Errorf("ballsbins: need at least one bin")
+	}
+	if balls < 0 {
+		return 0, fmt.Errorf("ballsbins: negative ball count")
+	}
+	if weights != nil && len(weights) != bins {
+		return 0, fmt.Errorf("ballsbins: %d weights for %d bins", len(weights), bins)
+	}
+	var cum []float64
+	if weights != nil {
+		cum = make([]float64, bins)
+		total := 0.0
+		for i, w := range weights {
+			if w < 0 {
+				return 0, fmt.Errorf("ballsbins: negative weight at %d", i)
+			}
+			total += w
+			cum[i] = total
+		}
+		if total <= 0 {
+			return 0, fmt.Errorf("ballsbins: zero total weight")
+		}
+		for i := range cum {
+			cum[i] /= total
+		}
+	}
+	occupied := make(map[int]struct{}, balls)
+	for b := 0; b < balls; b++ {
+		var bin int
+		if cum == nil {
+			bin = rng.IntN(bins)
+		} else {
+			x := rng.Float64()
+			lo, hi := 0, bins-1
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if cum[mid] < x {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			bin = lo
+		}
+		occupied[bin] = struct{}{}
+	}
+	return len(occupied), nil
+}
+
+// Report summarizes repeated experiments against the Proposition B.1 band.
+type Report struct {
+	Trials     int
+	Violations int // non-empty count outside (1±2ε)·N
+	MinRatio   float64
+	MaxRatio   float64
+}
+
+// Check runs trials experiments of balls into bins with near-uniform
+// weights of discrepancy eps and reports how often the (1±2ε)N band is
+// violated (Proposition B.1 predicts exp(−ε²N/2)-rare violations).
+func Check(balls, bins, trials int, eps float64, rng *rand.Rand) (Report, error) {
+	rep := Report{MinRatio: 2}
+	weights := make([]float64, bins)
+	for i := range weights {
+		// Deterministic alternating (1±ε)/B discrepancy pattern.
+		if i%2 == 0 {
+			weights[i] = 1 + eps
+		} else {
+			weights[i] = 1 - eps
+		}
+	}
+	for tr := 0; tr < trials; tr++ {
+		nonEmpty, err := Throw(balls, bins, weights, rng)
+		if err != nil {
+			return rep, err
+		}
+		rep.Trials++
+		ratio := float64(nonEmpty) / float64(balls)
+		if ratio < rep.MinRatio {
+			rep.MinRatio = ratio
+		}
+		if ratio > rep.MaxRatio {
+			rep.MaxRatio = ratio
+		}
+		if ratio < 1-2*eps || ratio > 1+2*eps {
+			rep.Violations++
+		}
+	}
+	return rep, nil
+}

@@ -1,0 +1,84 @@
+package ballsbins
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func TestThrowBasics(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	got, err := Throw(0, 10, nil, rng)
+	if err != nil || got != 0 {
+		t.Errorf("0 balls: %d, %v", got, err)
+	}
+	got, err = Throw(100, 1, nil, rng)
+	if err != nil || got != 1 {
+		t.Errorf("1 bin: %d, %v", got, err)
+	}
+	got, err = Throw(5, 1000000, nil, rng)
+	if err != nil || got > 5 || got < 1 {
+		t.Errorf("5 balls in huge bins: %d, %v", got, err)
+	}
+}
+
+func TestThrowErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	if _, err := Throw(1, 0, nil, rng); err == nil {
+		t.Error("want error for zero bins")
+	}
+	if _, err := Throw(-1, 2, nil, rng); err == nil {
+		t.Error("want error for negative balls")
+	}
+	if _, err := Throw(1, 2, []float64{1}, rng); err == nil {
+		t.Error("want error for weight length mismatch")
+	}
+	if _, err := Throw(1, 2, []float64{-1, 2}, rng); err == nil {
+		t.Error("want error for negative weight")
+	}
+	if _, err := Throw(1, 2, []float64{0, 0}, rng); err == nil {
+		t.Error("want error for zero total weight")
+	}
+}
+
+func TestThrowWeightedBias(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	// All weight on bin 3: only bin 3 ever occupied.
+	w := []float64{0, 0, 0, 1, 0}
+	got, err := Throw(50, 5, w, rng)
+	if err != nil || got != 1 {
+		t.Errorf("point mass: %d, %v", got, err)
+	}
+}
+
+// Proposition B.1: with N = ε·B the non-empty count is (1±2ε)N except with
+// probability exp(−ε²N/2). At ε = 0.05, N = 4000 that is e^{-5} ≈ 0.7%.
+func TestPropositionB1Concentration(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	const eps = 0.05
+	balls := 4000
+	bins := int(float64(balls) / eps)
+	rep, err := Check(balls, bins, 50, eps, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations > 2 {
+		t.Errorf("%d/%d violations of the (1±2ε)N band (ratios %.4f..%.4f)",
+			rep.Violations, rep.Trials, rep.MinRatio, rep.MaxRatio)
+	}
+	if rep.MinRatio < 1-3*eps || rep.MaxRatio > 1+eps {
+		t.Errorf("ratios %.4f..%.4f implausible", rep.MinRatio, rep.MaxRatio)
+	}
+}
+
+// The band must NOT hold when N ≫ ε·B (collisions dominate): sanity check
+// that the experiment is actually sensitive.
+func TestConcentrationBreaksWhenOverloaded(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	rep, err := Check(5000, 5000, 10, 0.05, rng) // N = B, far beyond εB
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != rep.Trials {
+		t.Errorf("overloaded bins still inside band: %d/%d", rep.Violations, rep.Trials)
+	}
+}

@@ -1,0 +1,163 @@
+package baseline
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+func sim() *mpc.Sim { return mpc.New(mpc.Config{MachineMemory: 1 << 20, Machines: 8}) }
+
+func checkExact(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want, count := graph.Components(g)
+	if res.Components != count {
+		t.Fatalf("found %d components, want %d", res.Components, count)
+	}
+	if !graph.SameLabeling(want, res.Labels) {
+		t.Fatal("wrong labels")
+	}
+}
+
+func zoo(t *testing.T) []*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(1, 1))
+	exp, err := gen.Expander(80, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi, err := gen.DisjointUnion(gen.Clique(7), gen.Cycle(20), gen.Path(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []*graph.Graph{
+		gen.Path(50), gen.Cycle(64), gen.Clique(10), gen.Star(30),
+		gen.Grid(6, 7), exp, multi.G, graph.NewBuilder(4).Build(),
+	}
+}
+
+func TestAllBaselinesExact(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for i, g := range zoo(t) {
+		checkExact(t, g, LabelPropagation(sim(), g))
+		checkExact(t, g, HashToMin(sim(), g))
+		checkExact(t, g, Boruvka(sim(), g))
+		checkExact(t, g, RandomizedBoruvka(sim(), g, rng))
+		res, err := GraphExponentiation(sim(), g, 0)
+		if err != nil {
+			t.Fatalf("graph %d: %v", i, err)
+		}
+		checkExact(t, g, res)
+	}
+}
+
+// Round shapes: label propagation pays Θ(D) on a path; hash-to-min and
+// Borůvka pay Θ(log n); exponentiation pays Θ(log D).
+func TestRoundShapesOnPath(t *testing.T) {
+	n := 256
+	g := gen.Path(n)
+	lp := LabelPropagation(sim(), g)
+	if lp.Rounds < n-2 {
+		t.Errorf("label propagation on P%d used %d rounds, want ≈ %d", n, lp.Rounds, n-1)
+	}
+	htm := HashToMin(sim(), g)
+	if htm.Rounds > 4*int(math.Log2(float64(n))) {
+		t.Errorf("hash-to-min used %d rounds, want O(log n) ≈ %d", htm.Rounds, int(math.Log2(float64(n))))
+	}
+	ge, err := GraphExponentiation(sim(), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ge.Rounds > 4*int(math.Log2(float64(n))) {
+		t.Errorf("exponentiation used %d rounds, want O(log D)", ge.Rounds)
+	}
+}
+
+// Borůvka must merge at near-constant growth: round count on an expander
+// is Θ(log n), not O(log log n).
+func TestBoruvkaLogRounds(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	r := func(n int) int {
+		g, err := gen.Expander(n, 8, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := mpc.New(mpc.Config{MachineMemory: 1 << 30, Machines: 2})
+		return Boruvka(s, g).Rounds
+	}
+	small, large := r(64), r(4096)
+	if large <= small {
+		t.Errorf("Borůvka rounds did not grow with n: %d vs %d", small, large)
+	}
+}
+
+// Exponentiation's memory blow-up (footnote 3): on a long cycle the
+// squared graphs reach Θ(n·D) edges; with a budget it must fail loudly.
+func TestExponentiationMemoryBlowup(t *testing.T) {
+	g := gen.Cycle(512)
+	if _, err := GraphExponentiation(sim(), g, 4*512); err == nil {
+		t.Error("want edge-budget error on a long cycle")
+	}
+	res, err := GraphExponentiation(sim(), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PeakEdges < 10*512 {
+		t.Errorf("peak edges %d suspiciously small for C512", res.PeakEdges)
+	}
+}
+
+// On low-diameter graphs exponentiation stays cheap — the regime where [6]
+// wins (Section 1.3).
+func TestExponentiationOnBridgedExpanders(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g, err := gen.TwoExpandersBridged(100, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := GraphExponentiation(sim(), g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExact(t, g, res)
+	if res.Rounds > 12 {
+		t.Errorf("exponentiation used %d rounds on a D=O(log n) instance", res.Rounds)
+	}
+}
+
+func TestHashToMinClusterInvariant(t *testing.T) {
+	// After convergence every vertex's label is its component minimum.
+	l, err := gen.DisjointUnion(gen.Cycle(13), gen.Clique(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := HashToMin(sim(), l.G)
+	want, _ := graph.Components(l.G)
+	if !graph.SameLabeling(want, res.Labels) {
+		t.Error("hash-to-min labels wrong")
+	}
+}
+
+func TestEmptyGraphAllBaselines(t *testing.T) {
+	g := graph.NewBuilder(0).Build()
+	rng := rand.New(rand.NewPCG(5, 5))
+	if LabelPropagation(sim(), g).Components != 0 {
+		t.Error("label propagation on empty graph")
+	}
+	if HashToMin(sim(), g).Components != 0 {
+		t.Error("hash-to-min on empty graph")
+	}
+	if Boruvka(sim(), g).Components != 0 {
+		t.Error("boruvka on empty graph")
+	}
+	if RandomizedBoruvka(sim(), g, rng).Components != 0 {
+		t.Error("randomized boruvka on empty graph")
+	}
+	if res, err := GraphExponentiation(sim(), g, 0); err != nil || res.Components != 0 {
+		t.Error("exponentiation on empty graph")
+	}
+}

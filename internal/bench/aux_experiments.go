@@ -1,0 +1,194 @@
+package bench
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/ballsbins"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/lowerbound"
+	"repro/internal/rgraph"
+	"repro/internal/spectral"
+	"repro/internal/sublinear"
+	"repro/internal/xproduct"
+)
+
+// E8Sublinear: Theorem 2 — rounds versus machine memory s on arbitrary
+// (weakly connected) graphs.
+func E8Sublinear(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Title:   "mildly sublinear memory connectivity (arbitrary graphs)",
+		Claim:   "Theorem 2: O(log log n + log(n/s)) rounds at memory s",
+		Columns: []string{"graph", "s", "n/s", "d", "walkLen", "|V(H)|", "rounds", "finishMerges"},
+	}
+	n := 400
+	if !cfg.Quick {
+		n = 1600
+	}
+	workloads := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle", gen.Cycle(n)},
+		{"grid", gen.Grid(n/20, 20)},
+	}
+	for _, w := range workloads {
+		for _, div := range []int{2, 8, 32} {
+			s := w.g.N() / div
+			res, err := sublinear.Components(w.g, sublinear.Options{MachineMemory: s, Seed: cfg.Seed + uint64(div)})
+			if err != nil {
+				return nil, err
+			}
+			want, count := graph.Components(w.g)
+			if res.Components != count || !graph.SameLabeling(want, res.Labels) {
+				return nil, fmt.Errorf("E8: %s s=%d wrong components", w.name, s)
+			}
+			t.AddRow(w.name, itoa(s), itoa(div), itoa(res.Stats.TargetDegree),
+				itoa(res.Stats.WalkLength), itoa(res.Stats.ContractionVertices),
+				itoa(res.Stats.Rounds), itoa(res.Stats.FinishMerges))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: rounds grow with n/s (the log(n/s) term) and stay modest for mildly sublinear s")
+	return t, nil
+}
+
+// E9LowerBound: Theorem 5 / Lemma 9.3 — forced queries scale as Ω(n/log n).
+func E9LowerBound(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Title:   "decision-tree lower bound for ExpanderConn",
+		Claim:   "Lemma 9.3: DT(ExpanderConn) = Ω(n/log n); Theorem 5: Ω(log_s n) MPC rounds",
+		Columns: []string{"n", "k", "maxMult", "floor k/mult", "greedyQueries", "randomQueries", "n/log2(n)"},
+	}
+	ns := []int{200, 400, 800}
+	if !cfg.Quick {
+		ns = append(ns, 1600)
+	}
+	for _, n := range ns {
+		rng := rngFor(cfg, uint64(900+n))
+		p, err := lowerbound.DefaultPacking(n, rng)
+		if err != nil {
+			return nil, err
+		}
+		greedy := lowerbound.GreedyQueries(p)
+		random := lowerbound.RandomQueries(p, rng)
+		floor := len(p.Graphs) / p.MaxMultiplicity
+		t.AddRow(itoa(n), itoa(len(p.Graphs)), itoa(p.MaxMultiplicity), itoa(floor),
+			itoa(greedy), itoa(random),
+			fmt.Sprintf("%.0f", float64(n)/math.Log2(float64(n))))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: forced queries grow ≈ linearly in n (multiplicities stay O(log n))")
+	return t, nil
+}
+
+// E10RandomGraph: Propositions 2.3–2.5 on G(n,d).
+func E10RandomGraph(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Title:   "random graph distribution G(n,d) properties",
+		Claim:   "Props 2.3–2.5: almost-regularity, connectivity at d ≥ c·log n, expansion",
+		Columns: []string{"d", "d/ln(n)", "connRate", "degSpread", "expansionMinRatio", "lambda2"},
+	}
+	n := 500
+	if !cfg.Quick {
+		n = 2000
+	}
+	rng := rngFor(cfg, 10)
+	logn := math.Log(float64(n))
+	for _, mult := range []float64{0.5, 1, 2, 4, 8} {
+		d := int(mult * logn)
+		if d < 2 {
+			d = 2
+		}
+		rate, err := rgraph.ConnectivityRate(n, d, 10, rng)
+		if err != nil {
+			return nil, err
+		}
+		g, err := rgraph.Sample(n, d, rng)
+		if err != nil {
+			return nil, err
+		}
+		spread := float64(g.MaxDegree()-g.MinDegree()) / float64(d)
+		rep := rgraph.CheckExpansion(g, d, []int{1, 5, 20, n / 10}, 5, rng)
+		t.AddRow(itoa(d), fmt.Sprintf("%.1f", mult), fmt.Sprintf("%.2f", rate),
+			fmt.Sprintf("%.2f", spread), fmt.Sprintf("%.2f", rep.MinRatio),
+			fmt.Sprintf("%.3f", spectral.Lambda2(g)))
+	}
+	t.Notes = append(t.Notes,
+		"expected shape: connRate jumps to 1 around d ≈ c·ln(n); spread shrinks and λ2 grows with d")
+	return t, nil
+}
+
+// E11Products: Prop 4.2 and Prop C.1 gap bounds on non-regular bases.
+func E11Products(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E11",
+		Title:   "replacement and zig-zag product spectral gaps (non-regular bases)",
+		Claim:   "Prop 4.2: λ2(GrH) = Ω(λG·λH²/d); Prop C.1: λ2(GzH) ≥ λG·λH²",
+		Columns: []string{"base", "λG", "λH", "λ(GrH)", "λ(GzH)", "zigzagFloor λG·λH²", "zigzagOK"},
+	}
+	rng := rngFor(cfg, 11)
+	bases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star24", gen.Star(24)},
+		{"path16", gen.Path(16)},
+		{"K8", gen.Clique(8)},
+		{"Q4", gen.Hypercube(4)},
+	}
+	for _, b := range bases {
+		cf := xproduct.NewExpanderClouds(6, 0.3, rng)
+		rp, err := xproduct.Replacement(b.g, cf)
+		if err != nil {
+			return nil, err
+		}
+		cfz := xproduct.NewExpanderClouds(6, 0.3, rng)
+		zp, err := xproduct.ZigZag(b.g, cfz)
+		if err != nil {
+			return nil, err
+		}
+		lamG := spectral.Lambda2(b.g)
+		lamH := 0.3 // certified floor of the cloud family
+		lamR := spectral.Lambda2(rp.G)
+		lamZ := spectral.Lambda2(zp.G)
+		floor := lamG * lamH * lamH
+		t.AddRow(b.name, fmt.Sprintf("%.4f", lamG), fmt.Sprintf("≥%.2f", lamH),
+			fmt.Sprintf("%.4f", lamR), fmt.Sprintf("%.4f", lamZ),
+			fmt.Sprintf("%.4f", floor), fmt.Sprintf("%v", lamZ >= floor*0.45))
+	}
+	t.Notes = append(t.Notes,
+		"zigzagOK allows numerical slack; the replacement product additionally divides by d (Prop 4.2)")
+	return t, nil
+}
+
+// E14BallsBins: Proposition B.1 concentration.
+func E14BallsBins(cfg Config) (*Table, error) {
+	t := &Table{
+		ID:      "E14",
+		Title:   "balls and bins concentration",
+		Claim:   "Prop B.1: non-empty bins ∈ (1±2ε)·N whp for N ≤ ε·B",
+		Columns: []string{"eps", "balls", "bins", "trials", "violations", "minRatio", "maxRatio"},
+	}
+	rng := rngFor(cfg, 14)
+	trials := 30
+	if !cfg.Quick {
+		trials = 200
+	}
+	for _, eps := range []float64{0.02, 0.05, 0.1} {
+		balls := 3000
+		bins := int(float64(balls) / eps)
+		rep, err := ballsbins.Check(balls, bins, trials, eps, rng)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%.2f", eps), itoa(balls), itoa(bins), itoa(rep.Trials),
+			itoa(rep.Violations), fmt.Sprintf("%.4f", rep.MinRatio), fmt.Sprintf("%.4f", rep.MaxRatio))
+	}
+	t.Notes = append(t.Notes, "expected shape: violations ≈ 0; ratios inside (1−2ε, 1+2ε)")
+	return t, nil
+}

@@ -1,0 +1,77 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// Every experiment must run clean in quick mode and produce a well-formed
+// table; this is the harness's own integration test.
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(Config{Seed: 1, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tab.ID != r.ID {
+				t.Errorf("table ID %q, runner ID %q", tab.ID, r.ID)
+			}
+			if len(tab.Rows) == 0 {
+				t.Error("no rows")
+			}
+			for i, row := range tab.Rows {
+				if len(row) != len(tab.Columns) {
+					t.Errorf("row %d has %d cells, want %d", i, len(row), len(tab.Columns))
+				}
+			}
+			var sb strings.Builder
+			tab.Fprint(&sb)
+			if !strings.Contains(sb.String(), r.ID) {
+				t.Error("printed table missing ID")
+			}
+		})
+	}
+}
+
+// The ablation runners must also run clean in quick mode.
+func TestAblationsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablations are slow")
+	}
+	for _, r := range Ablations() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			tab, err := r.Run(Config{Seed: 2, Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(tab.Rows) < 2 {
+				t.Errorf("ablation %s has %d rows, want ≥ 2 variants", r.ID, len(tab.Rows))
+			}
+		})
+	}
+}
+
+func TestTablePrinting(t *testing.T) {
+	tab := &Table{
+		ID:      "T",
+		Title:   "demo",
+		Claim:   "c",
+		Columns: []string{"a", "longcolumn"},
+		Notes:   []string{"n1"},
+	}
+	tab.AddRow("1", "2")
+	var sb strings.Builder
+	tab.Fprint(&sb)
+	out := sb.String()
+	for _, want := range []string{"T — demo", "paper claim: c", "longcolumn", "note: n1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

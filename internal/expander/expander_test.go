@@ -1,0 +1,167 @@
+package expander
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/spectral"
+)
+
+func TestSamplePermutationRegularDegrees(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for _, tc := range []struct{ n, d int }{
+		{1, 4}, {2, 6}, {3, 2}, {10, 4}, {50, 10}, {200, 100},
+	} {
+		g, err := SamplePermutationRegular(tc.n, tc.d, rng)
+		if err != nil {
+			t.Fatalf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+		if !g.IsRegular(tc.d) {
+			t.Errorf("n=%d d=%d: not %d-regular", tc.n, tc.d, tc.d)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("n=%d d=%d: %v", tc.n, tc.d, err)
+		}
+	}
+}
+
+func TestSamplePermutationRegularRejectsOdd(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := SamplePermutationRegular(10, 3, rng); err == nil {
+		t.Error("want error for odd degree")
+	}
+	if _, err := SamplePermutationRegular(10, 0, rng); err == nil {
+		t.Error("want error for zero degree")
+	}
+	if _, err := SamplePermutationRegular(0, 4, rng); err == nil {
+		t.Error("want error for empty graph")
+	}
+}
+
+// Friedman / Corollary 4.4: with d = 100 the sampled graph should have
+// λ2 ≥ 4/5 with overwhelming probability.
+func TestPaperDegreeGap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := SamplePermutationRegular(300, PaperDegree, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := spectral.Lambda2(g); gap < PaperGapTarget {
+		t.Errorf("λ2 = %.4f < %.1f at d=100", gap, PaperGapTarget)
+	}
+}
+
+func TestSampleExpanderMeetsTarget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for _, n := range []int{5, 12, 64, 200} {
+		g, err := SampleExpander(n, 16, 0.3, 32, rng)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !g.IsRegular(16) {
+			t.Errorf("n=%d: not 16-regular", n)
+		}
+		if n > 17 { // gap check only applies above d+1
+			if gap := spectral.Lambda2(g); gap < 0.3 {
+				t.Errorf("n=%d: λ2 = %.4f < 0.3", n, gap)
+			}
+		}
+		if !graph.IsConnected(g) {
+			t.Errorf("n=%d: expander disconnected", n)
+		}
+	}
+}
+
+func TestSampleExpanderImpossibleTarget(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	// d=2 permutation graphs are unions of cycles; λ2 ≥ 1.9 is hopeless.
+	if _, err := SampleExpander(50, 2, 1.9, 3, rng); err == nil {
+		t.Error("want failure for unreachable gap target")
+	}
+}
+
+func TestConstructMPCSmallBlocks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	sim := mpc.New(mpc.Config{MachineMemory: 1000, Machines: 8})
+	sizes := []int{3, 7, 12, 20}
+	gs, err := ConstructMPC(sim, sizes, 8, 0.2, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		if g.N() != sizes[i] {
+			t.Errorf("block %d: n=%d want %d", i, g.N(), sizes[i])
+		}
+		if !g.IsRegular(8) {
+			t.Errorf("block %d: not 8-regular", i)
+		}
+	}
+	if sim.Rounds() != 1 {
+		t.Errorf("all-small construction: %d rounds, want 1", sim.Rounds())
+	}
+}
+
+func TestConstructMPCLargeBlocks(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	sim := mpc.New(mpc.Config{MachineMemory: 32, Machines: 64})
+	sizes := []int{100, 300, 5} // two blocks exceed machine memory
+	gs, err := ConstructMPC(sim, sizes, 6, 0.1, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, g := range gs {
+		if g.N() != sizes[i] || !g.IsRegular(6) {
+			t.Errorf("block %d: n=%d regular6=%v", i, g.N(), g.IsRegular(6))
+		}
+	}
+	// Rounds: 1 (small) + ceil(log_32 300) = 1 + 2 = 3.
+	want := 1 + mpc.LogBase(300, 32)
+	if sim.Rounds() != want {
+		t.Errorf("rounds = %d, want %d", sim.Rounds(), want)
+	}
+	if sim.Err() != nil {
+		t.Errorf("memory violation: %v", sim.Err())
+	}
+	// The sorted-permutation construction should still produce a decent
+	// expander: check connectivity and a mild gap bound.
+	if gap := spectral.Lambda2(gs[1]); gap < 0.1 {
+		t.Errorf("large-block λ2 = %.4f", gap)
+	}
+}
+
+func TestConstructMPCRejectsOddDegree(t *testing.T) {
+	sim := mpc.New(mpc.Config{MachineMemory: 10, Machines: 2})
+	if _, err := ConstructMPC(sim, []int{5}, 3, 0.1, rand.New(rand.NewPCG(7, 7))); err == nil {
+		t.Error("want error for odd degree")
+	}
+}
+
+// The derived permutation from sorting must be uniform-ish: over many
+// samples on 3 vertices, all achievable undirected layer graphs should
+// appear. The 6 permutations of S3 collapse to 5 distinct undirected graphs
+// (the two 3-cycles coincide). This guards the rank-derivation logic.
+func TestLargeBlockPermutationCoverage(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	seen := map[[3]graph.Vertex]bool{}
+	for trial := 0; trial < 300; trial++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 2, Machines: 4})
+		g, err := constructLargeBlock(sim, 3, 2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Recover π from the single permutation layer: vertex i's edge.
+		var pi [3]graph.Vertex
+		deg := [3]int{}
+		g.ForEachEdge(func(e graph.Edge) {
+			pi[e.U] = e.V
+			deg[e.U]++
+		})
+		_ = deg
+		seen[pi] = true
+	}
+	if len(seen) < 5 {
+		t.Errorf("only %d distinct layer graphs seen; derivation biased?", len(seen))
+	}
+}

@@ -1,0 +1,224 @@
+// Package gen generates the workload graphs used by the experiments: the
+// well-connected instances the paper's algorithm targets (expanders, random
+// graphs), the weakly-connected instances its guarantee degrades on
+// (cycles, paths, grids), instances with tunable spectral gap
+// (rings of cliques), the incomparability instance of Section 1.3 (two
+// expanders joined by an edge), and disjoint unions with ground-truth
+// component labels.
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/expander"
+	"repro/internal/graph"
+	"repro/internal/rgraph"
+)
+
+// Path returns the path graph P_n (λ2 ≈ π²/2n², a worst case for the
+// paper's parameterization).
+func Path(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	return b.Build()
+}
+
+// Cycle returns the cycle graph C_n (λ2 = 1 − cos(2π/n) ≈ 2π²/n²).
+func Cycle(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex((i+1)%n))
+	}
+	return b.Build()
+}
+
+// Clique returns the complete graph K_n (λ2 = n/(n−1)).
+func Clique(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+		}
+	}
+	return b.Build()
+}
+
+// Star returns the star K_{1,n−1} with center 0 (λ2 = 1, but maximally
+// irregular — the regularization step's motivating example).
+func Star(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 1; i < n; i++ {
+		b.AddEdge(0, graph.Vertex(i))
+	}
+	return b.Build()
+}
+
+// Grid returns the rows×cols grid graph (λ2 = Θ(1/(rows·cols)) for square
+// grids; moderately badly connected).
+func Grid(rows, cols int) *graph.Graph {
+	b := graph.NewBuilder(rows * cols)
+	id := func(r, c int) graph.Vertex { return graph.Vertex(r*cols + c) }
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			if c+1 < cols {
+				b.AddEdge(id(r, c), id(r, c+1))
+			}
+			if r+1 < rows {
+				b.AddEdge(id(r, c), id(r+1, c))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Hypercube returns the dim-dimensional hypercube Q_dim on 2^dim vertices
+// (λ2 = 2/dim: gap shrinking slowly with n — the λ = 1/polylog regime).
+func Hypercube(dim int) *graph.Graph {
+	n := 1 << dim
+	b := graph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for bit := 0; bit < dim; bit++ {
+			u := v ^ (1 << bit)
+			if u > v {
+				b.AddEdge(graph.Vertex(v), graph.Vertex(u))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Expander returns a random d-regular expander on n vertices via the
+// permutation construction (d even).
+func Expander(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	return expander.SamplePermutationRegular(n, d, rng)
+}
+
+// RandomGND returns a sample from the paper's distribution G(n, d).
+func RandomGND(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	return rgraph.Sample(n, d, rng)
+}
+
+// RingOfCliques returns k cliques of size cliqueSize arranged in a ring,
+// adjacent cliques joined by a single edge. Its spectral gap is
+// Θ(1/(k²·cliqueSize)): the parameter k tunes λ smoothly, which experiment
+// E2 sweeps.
+func RingOfCliques(k, cliqueSize int) (*graph.Graph, error) {
+	if k < 1 || cliqueSize < 1 {
+		return nil, fmt.Errorf("gen: ring of cliques needs k,size >= 1, got %d,%d", k, cliqueSize)
+	}
+	if k == 1 {
+		return Clique(cliqueSize), nil
+	}
+	if k == 2 && cliqueSize == 1 {
+		// Two vertices joined twice would be a multigraph; keep it simple.
+		b := graph.NewBuilder(2)
+		b.AddEdge(0, 1)
+		return b.Build(), nil
+	}
+	n := k * cliqueSize
+	b := graph.NewBuilder(n)
+	id := func(c, i int) graph.Vertex { return graph.Vertex(c*cliqueSize + i) }
+	for c := 0; c < k; c++ {
+		for i := 0; i < cliqueSize; i++ {
+			for j := i + 1; j < cliqueSize; j++ {
+				b.AddEdge(id(c, i), id(c, j))
+			}
+		}
+	}
+	for c := 0; c < k; c++ {
+		// Bridge from the "last" vertex of clique c to the "first" of c+1.
+		b.AddEdge(id(c, cliqueSize-1), id((c+1)%k, 0))
+	}
+	return b.Build(), nil
+}
+
+// TwoExpandersBridged returns two random d-regular expanders on n vertices
+// each, joined by a single edge: the Section 1.3 instance where diameter is
+// small but the spectral gap is Θ(1/n) — the regime where the
+// diameter-parametrized algorithm of Andoni et al. wins and ours loses.
+func TwoExpandersBridged(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	g1, err := expander.SamplePermutationRegular(n, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	g2, err := expander.SamplePermutationRegular(n, d, rng)
+	if err != nil {
+		return nil, err
+	}
+	b := graph.NewBuilderHint(2*n, g1.M()+g2.M()+1)
+	g1.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U, e.V) })
+	g2.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U+graph.Vertex(n), e.V+graph.Vertex(n)) })
+	b.AddEdge(0, graph.Vertex(n))
+	return b.Build(), nil
+}
+
+// Labeled couples a graph with ground-truth component labels.
+type Labeled struct {
+	G      *graph.Graph
+	Labels []graph.Vertex
+	Count  int
+}
+
+// DisjointUnion relabels the given graphs onto one vertex set and records
+// which input graph each vertex came from as the ground-truth component
+// label. Inputs must each be connected for the labels to be the true
+// component labels; this is validated.
+func DisjointUnion(gs ...*graph.Graph) (*Labeled, error) {
+	total, edges := 0, 0
+	for i, g := range gs {
+		if !graph.IsConnected(g) || g.N() == 0 {
+			return nil, fmt.Errorf("gen: input %d is empty or disconnected", i)
+		}
+		total += g.N()
+		edges += g.M()
+	}
+	b := graph.NewBuilderHint(total, edges)
+	labels := make([]graph.Vertex, total)
+	offset := 0
+	for i, g := range gs {
+		off := graph.Vertex(offset)
+		g.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U+off, e.V+off) })
+		for v := 0; v < g.N(); v++ {
+			labels[offset+v] = graph.Vertex(i)
+		}
+		offset += g.N()
+	}
+	return &Labeled{G: b.Build(), Labels: labels, Count: len(gs)}, nil
+}
+
+// ExpanderUnion returns the union of count disjoint random d-regular
+// expanders of the given sizes — the canonical well-connected multi-
+// component workload of experiment E1.
+func ExpanderUnion(sizes []int, d int, rng *rand.Rand) (*Labeled, error) {
+	gs := make([]*graph.Graph, len(sizes))
+	for i, n := range sizes {
+		g, err := expander.SamplePermutationRegular(n, d, rng)
+		if err != nil {
+			return nil, err
+		}
+		gs[i] = g
+	}
+	return DisjointUnion(gs...)
+}
+
+// Shuffled returns a copy of l with vertex ids randomly permuted, so that
+// component structure is not betrayed by vertex numbering (the model's
+// adversarial input placement).
+func Shuffled(l *Labeled, rng *rand.Rand) *Labeled {
+	n := l.G.N()
+	perm := make([]graph.Vertex, n)
+	for i := range perm {
+		perm[i] = graph.Vertex(i)
+	}
+	rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+	b := graph.NewBuilderHint(n, l.G.M())
+	l.G.ForEachEdge(func(e graph.Edge) { b.AddEdge(perm[e.U], perm[e.V]) })
+	labels := make([]graph.Vertex, n)
+	for v := 0; v < n; v++ {
+		labels[perm[v]] = l.Labels[v]
+	}
+	return &Labeled{G: b.Build(), Labels: labels, Count: l.Count}
+}

@@ -1,0 +1,188 @@
+package gen
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func TestBasicShapes(t *testing.T) {
+	tests := []struct {
+		name      string
+		g         *graph.Graph
+		n, m      int
+		connected bool
+	}{
+		{"path5", Path(5), 5, 4, true},
+		{"cycle6", Cycle(6), 6, 6, true},
+		{"K4", Clique(4), 4, 6, true},
+		{"star7", Star(7), 7, 6, true},
+		{"grid3x4", Grid(3, 4), 12, 17, true},
+		{"Q3", Hypercube(3), 8, 12, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if tt.g.N() != tt.n || tt.g.M() != tt.m {
+				t.Errorf("got (n=%d,m=%d), want (%d,%d)", tt.g.N(), tt.g.M(), tt.n, tt.m)
+			}
+			if graph.IsConnected(tt.g) != tt.connected {
+				t.Errorf("connectivity = %v", !tt.connected)
+			}
+		})
+	}
+}
+
+func TestHypercubeGap(t *testing.T) {
+	// λ2(Q_dim) = 2/dim exactly.
+	for _, dim := range []int{3, 4, 5} {
+		got := spectral.Lambda2(Hypercube(dim))
+		want := 2.0 / float64(dim)
+		if math.Abs(got-want) > 1e-5 {
+			t.Errorf("Q%d: λ2 = %.6f, want %.6f", dim, got, want)
+		}
+	}
+}
+
+func TestRingOfCliquesGapShrinks(t *testing.T) {
+	prev := math.Inf(1)
+	for _, k := range []int{2, 4, 8, 16} {
+		g, err := RingOfCliques(k, 6)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !graph.IsConnected(g) {
+			t.Fatalf("k=%d: disconnected", k)
+		}
+		gap := spectral.Lambda2(g)
+		if gap >= prev {
+			t.Errorf("k=%d: gap %.5f did not shrink from %.5f", k, gap, prev)
+		}
+		prev = gap
+	}
+}
+
+func TestRingOfCliquesEdgeCases(t *testing.T) {
+	g, err := RingOfCliques(1, 5)
+	if err != nil || g.M() != 10 {
+		t.Errorf("k=1 should be K5: m=%d err=%v", g.M(), err)
+	}
+	g, err = RingOfCliques(2, 1)
+	if err != nil || g.N() != 2 || g.M() != 1 {
+		t.Errorf("k=2,size=1: %v %v", g, err)
+	}
+	if _, err := RingOfCliques(0, 3); err == nil {
+		t.Error("want error for k=0")
+	}
+}
+
+func TestTwoExpandersBridged(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g, err := TwoExpandersBridged(60, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 120 {
+		t.Errorf("n = %d", g.N())
+	}
+	if !graph.IsConnected(g) {
+		t.Error("bridged expanders must be connected")
+	}
+	// Small diameter but tiny spectral gap: the Section 1.3 regime.
+	if d := graph.Diameter(g); d > 14 {
+		t.Errorf("diameter = %d, expected small", d)
+	}
+	gap := spectral.Lambda2(g)
+	if gap > 0.1 {
+		t.Errorf("λ2 = %.4f, expected tiny (single bridge)", gap)
+	}
+}
+
+func TestDisjointUnionLabels(t *testing.T) {
+	l, err := DisjointUnion(Clique(4), Cycle(5), Path(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.G.N() != 12 || l.Count != 3 {
+		t.Fatalf("n=%d count=%d", l.G.N(), l.Count)
+	}
+	want, count := graph.Components(l.G)
+	if count != 3 {
+		t.Fatalf("components = %d", count)
+	}
+	if !graph.SameLabeling(want, l.Labels) {
+		t.Error("ground-truth labels disagree with BFS")
+	}
+}
+
+func TestDisjointUnionRejectsDisconnected(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	if _, err := DisjointUnion(b.Build()); err == nil {
+		t.Error("want error for disconnected input")
+	}
+	if _, err := DisjointUnion(graph.NewBuilder(0).Build()); err == nil {
+		t.Error("want error for empty input")
+	}
+}
+
+func TestExpanderUnion(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	l, err := ExpanderUnion([]int{40, 60, 80}, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.G.N() != 180 {
+		t.Errorf("n = %d", l.G.N())
+	}
+	_, count := graph.Components(l.G)
+	if count != 3 {
+		t.Errorf("components = %d, want 3", count)
+	}
+}
+
+func TestShuffledPreservesStructure(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	l, err := ExpanderUnion([]int{30, 50}, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := Shuffled(l, rng)
+	if sh.G.N() != l.G.N() || sh.G.M() != l.G.M() {
+		t.Fatalf("shuffle changed size")
+	}
+	want, count := graph.Components(sh.G)
+	if count != 2 {
+		t.Fatalf("components = %d", count)
+	}
+	if !graph.SameLabeling(want, sh.Labels) {
+		t.Error("shuffled labels disagree with BFS components")
+	}
+}
+
+func TestRandomGND(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	g, err := RandomGND(200, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 200 || g.M() != 200*10 {
+		t.Errorf("n=%d m=%d", g.N(), g.M())
+	}
+}
+
+func TestExpanderGenerator(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	g, err := Expander(100, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.IsRegular(12) {
+		t.Error("not 12-regular")
+	}
+	if gap := spectral.Lambda2(g); gap < 0.2 {
+		t.Errorf("λ2 = %.4f", gap)
+	}
+}

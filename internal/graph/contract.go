@@ -1,0 +1,71 @@
+package graph
+
+import "fmt"
+
+// Contraction is the result of contracting a graph with respect to a vertex
+// partition, per Definition 2 of the paper: each part becomes one vertex of
+// the contraction graph H, and H has an edge {w,z} iff some edge of G joins
+// part w to part z. H is simple: parallel edges and self-loops are removed.
+type Contraction struct {
+	// H is the contraction graph.
+	H *Graph
+	// PartOf maps each original vertex to its part (= vertex of H).
+	PartOf []Vertex
+	// Parts lists the original vertices of each part.
+	Parts [][]Vertex
+	// Witness holds, for each edge {w,z} of H, one original edge of G that
+	// joins part w to part z. Keys are normalized H-edges. These witnesses
+	// let spanning trees of H lift to spanning trees of G (the discussion
+	// after Definition 2).
+	Witness map[Edge]Edge
+}
+
+// Contract builds the contraction graph of g with respect to the partition
+// given by partOf, whose values must be dense in [0, parts).
+func Contract(g *Graph, partOf []Vertex, parts int) (*Contraction, error) {
+	if len(partOf) != g.N() {
+		return nil, fmt.Errorf("contract: partOf has %d entries for %d vertices", len(partOf), g.N())
+	}
+	members := make([][]Vertex, parts)
+	for v, p := range partOf {
+		if p < 0 || int(p) >= parts {
+			return nil, fmt.Errorf("contract: vertex %d assigned to part %d outside [0,%d)", v, p, parts)
+		}
+		members[p] = append(members[p], Vertex(v))
+	}
+	witness := make(map[Edge]Edge)
+	b := NewBuilderHint(parts, g.M())
+	g.ForEachEdge(func(e Edge) {
+		pw, pz := partOf[e.U], partOf[e.V]
+		if pw == pz {
+			return // no self-loops in the contraction graph
+		}
+		he := Edge{U: pw, V: pz}.Normalize()
+		if _, dup := witness[he]; dup {
+			return // no parallel edges
+		}
+		witness[he] = e
+		b.AddEdge(he.U, he.V)
+	})
+	return &Contraction{
+		H:       b.Build(),
+		PartOf:  append([]Vertex(nil), partOf...),
+		Parts:   members,
+		Witness: witness,
+	}, nil
+}
+
+// LiftEdges translates a set of contraction-graph edges back to original
+// edges of g via the stored witnesses. It errors on an edge of H with no
+// witness (i.e. an edge not produced by this contraction).
+func (c *Contraction) LiftEdges(hEdges []Edge) ([]Edge, error) {
+	out := make([]Edge, 0, len(hEdges))
+	for _, he := range hEdges {
+		w, ok := c.Witness[he.Normalize()]
+		if !ok {
+			return nil, fmt.Errorf("contract: edge (%d,%d) has no witness", he.U, he.V)
+		}
+		out = append(out, w)
+	}
+	return out, nil
+}

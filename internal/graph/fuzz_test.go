@@ -1,0 +1,57 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadEdgeList: the parser must never panic and, when it accepts an
+// input, the resulting graph must be internally consistent and round-trip
+// through WriteEdgeList.
+func FuzzReadEdgeList(f *testing.F) {
+	seeds := []string{
+		"3 2\n0 1\n1 2\n",
+		"1 0\n",
+		"2 1\n0 0\n",
+		"# comment\n4 1\n\n2 3\n",
+		"0 0\n",
+		"5 3\n0 1\n0 1\n4 4\n",
+		"bad",
+		"2 1\n0 9\n",
+		"9999999 1\n0 1\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		// Guard against absurd vertex counts allocating gigabytes.
+		if first := strings.SplitN(string(data), "\n", 2)[0]; len(first) > 9 {
+			return
+		}
+		g, err := ReadEdgeList(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if g.N() > 1<<20 {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteEdgeList(&buf, g); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		g2, err := ReadEdgeList(&buf)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteEdgeList writes g in a simple text format: a header line "n m"
+// followed by one "u v" line per undirected edge. The format round-trips
+// through ReadEdgeList, including parallel edges and self-loops.
+func WriteEdgeList(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "%d %d\n", g.N(), g.M()); err != nil {
+		return err
+	}
+	var writeErr error
+	g.ForEachEdge(func(e Edge) {
+		if writeErr != nil {
+			return
+		}
+		_, writeErr = fmt.Fprintf(bw, "%d %d\n", e.U, e.V)
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// ReadEdgeList parses the format written by WriteEdgeList. Blank lines and
+// lines starting with '#' are ignored.
+func ReadEdgeList(r io.Reader) (*Graph, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var (
+		b      *Builder
+		parsed int
+		m      int
+	)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		a, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		c, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if b == nil {
+			if a < 0 || c < 0 {
+				return nil, fmt.Errorf("graph: line %d: negative header", lineNo)
+			}
+			b = NewBuilderHint(a, c)
+			m = c
+			continue
+		}
+		if a < 0 || a >= b.N() || c < 0 || c >= b.N() {
+			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range [0,%d)", lineNo, a, c, b.N())
+		}
+		b.AddEdge(Vertex(a), Vertex(c))
+		parsed++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if b == nil {
+		return nil, fmt.Errorf("graph: empty input")
+	}
+	if parsed != m {
+		return nil, fmt.Errorf("graph: header promised %d edges, got %d", m, parsed)
+	}
+	return b.Build(), nil
+}

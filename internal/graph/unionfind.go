@@ -1,0 +1,77 @@
+package graph
+
+// UnionFind is a disjoint-set forest with union by rank and path halving.
+// It is the sequential ground-truth component structure against which every
+// MPC algorithm in this repository is validated, and the bookkeeping used
+// when assembling spanning forests from per-phase leader-election stars
+// (Claim 6.12).
+type UnionFind struct {
+	parent []Vertex
+	rank   []int8
+	sets   int
+}
+
+// NewUnionFind returns a forest of n singleton sets.
+func NewUnionFind(n int) *UnionFind {
+	parent := make([]Vertex, n)
+	for i := range parent {
+		parent[i] = Vertex(i)
+	}
+	return &UnionFind{parent: parent, rank: make([]int8, n), sets: n}
+}
+
+// Find returns the representative of x's set.
+func (uf *UnionFind) Find(x Vertex) Vertex {
+	for uf.parent[x] != x {
+		uf.parent[x] = uf.parent[uf.parent[x]] // path halving
+		x = uf.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets of x and y and reports whether a merge happened
+// (false if they were already in the same set).
+func (uf *UnionFind) Union(x, y Vertex) bool {
+	rx, ry := uf.Find(x), uf.Find(y)
+	if rx == ry {
+		return false
+	}
+	if uf.rank[rx] < uf.rank[ry] {
+		rx, ry = ry, rx
+	}
+	uf.parent[ry] = rx
+	if uf.rank[rx] == uf.rank[ry] {
+		uf.rank[rx]++
+	}
+	uf.sets--
+	return true
+}
+
+// Connected reports whether x and y are in the same set.
+func (uf *UnionFind) Connected(x, y Vertex) bool { return uf.Find(x) == uf.Find(y) }
+
+// Sets returns the current number of disjoint sets.
+func (uf *UnionFind) Sets() int { return uf.sets }
+
+// N returns the number of elements.
+func (uf *UnionFind) N() int { return len(uf.parent) }
+
+// Labels returns a dense labeling: a slice l with l[v] in [0, Sets()) such
+// that l[u] == l[v] iff u and v are in the same set. Labels are assigned in
+// order of first appearance.
+func (uf *UnionFind) Labels() []Vertex {
+	labels := make([]Vertex, len(uf.parent))
+	next := Vertex(0)
+	remap := make(map[Vertex]Vertex, uf.sets)
+	for v := range uf.parent {
+		r := uf.Find(Vertex(v))
+		l, ok := remap[r]
+		if !ok {
+			l = next
+			remap[r] = l
+			next++
+		}
+		labels[v] = l
+	}
+	return labels
+}

@@ -1,0 +1,201 @@
+// Package integration cross-checks the whole system: every connectivity
+// algorithm in the repository against sequential ground truth over a
+// randomized zoo of workloads and seeds, plus end-to-end invariants that
+// no single package can test alone.
+package integration
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/sublinear"
+)
+
+// randomWorkload builds a random multi-component workload: a mix of
+// expanders, cliques, cycles, grids, stars and rings, shuffled.
+func randomWorkload(rng *rand.Rand) (*gen.Labeled, error) {
+	count := 1 + rng.IntN(4)
+	parts := make([]*graph.Graph, 0, count)
+	for i := 0; i < count; i++ {
+		switch rng.IntN(6) {
+		case 0:
+			g, err := gen.Expander(20+rng.IntN(80), 8, rng)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, g)
+		case 1:
+			parts = append(parts, gen.Clique(3+rng.IntN(15)))
+		case 2:
+			parts = append(parts, gen.Cycle(3+rng.IntN(60)))
+		case 3:
+			parts = append(parts, gen.Grid(2+rng.IntN(6), 2+rng.IntN(6)))
+		case 4:
+			parts = append(parts, gen.Star(3+rng.IntN(40)))
+		default:
+			g, err := gen.RingOfCliques(2+rng.IntN(5), 3+rng.IntN(6))
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, g)
+		}
+	}
+	l, err := gen.DisjointUnion(parts...)
+	if err != nil {
+		return nil, err
+	}
+	return gen.Shuffled(l, rng), nil
+}
+
+func verify(t *testing.T, name string, g *graph.Graph, labels []graph.Vertex, count int) {
+	t.Helper()
+	want, wantCount := graph.Components(g)
+	if count != wantCount {
+		t.Fatalf("%s: %d components, want %d", name, count, wantCount)
+	}
+	if !graph.SameLabeling(want, labels) {
+		t.Fatalf("%s: wrong labeling", name)
+	}
+}
+
+// TestAllAlgorithmsAgreeOnRandomWorkloads is the system-wide exactness
+// fuzz: five algorithm families × randomized workloads × seeds.
+func TestAllAlgorithmsAgreeOnRandomWorkloads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration fuzz is slow")
+	}
+	trials := 6
+	for trial := 0; trial < trials; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(uint64(trial), 0xfeedbeef))
+			w, err := randomWorkload(rng)
+			if err != nil {
+				t.Fatal(err)
+			}
+			g := w.G
+
+			res, err := core.FindComponents(g, core.Options{Seed: uint64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify(t, "core-oblivious", g, res.Labels, res.Components)
+
+			sres, err := sublinear.Components(g, sublinear.Options{Seed: uint64(trial)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify(t, "sublinear", g, sres.Labels, sres.Components)
+
+			sim := mpc.New(mpc.AutoConfig(2*g.M()+16, 0.5, 2))
+			b := baseline.HashToMin(sim, g)
+			verify(t, "hashtomin", g, b.Labels, b.Components)
+
+			b = baseline.Boruvka(mpc.New(mpc.AutoConfig(2*g.M()+16, 0.5, 2)), g)
+			verify(t, "boruvka", g, b.Labels, b.Components)
+
+			ge, err := baseline.GraphExponentiation(mpc.New(mpc.AutoConfig(2*g.M()+16, 0.5, 2)), g, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			verify(t, "exponentiation", g, ge.Labels, ge.Components)
+		})
+	}
+}
+
+// TestPipelineWithWrongLambdaHints: deliberately wrong λ hints (too large
+// and absurdly large) must never produce wrong components — only extra
+// finish work.
+func TestPipelineWithWrongLambdaHints(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	rng := rand.New(rand.NewPCG(42, 42))
+	w, err := randomWorkload(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{1.9, 0.5, 0.001} {
+		res, err := core.FindComponents(w.G, core.Options{Lambda: lambda, Seed: 1, MaxWalkLength: 256})
+		if err != nil {
+			t.Fatalf("λ=%g: %v", lambda, err)
+		}
+		verify(t, fmt.Sprintf("λ=%g", lambda), w.G, res.Labels, res.Components)
+	}
+}
+
+// TestRoundAccountingConsistency: the per-step round breakdown must sum to
+// the simulator total for both pipeline modes.
+func TestRoundAccountingConsistency(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 9))
+	l, err := gen.ExpanderUnion([]int{60, 90}, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, lambda := range []float64{0.3, 0} {
+		res, err := core.FindComponents(l.G, core.Options{Lambda: lambda, Seed: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stats.Steps
+		if sum := s.Regularize + s.Randomize + s.Grow + s.Finish; lambda > 0 && sum != res.Stats.Rounds {
+			t.Errorf("λ=%g: steps sum %d != total %d", lambda, sum, res.Stats.Rounds)
+		}
+		if res.Stats.Rounds <= 0 {
+			t.Errorf("λ=%g: no rounds charged", lambda)
+		}
+	}
+}
+
+// TestMemoryBoundRespected: a workload with a vertex whose degree exceeds
+// machine memory forces the expander construction's distributed sort (the
+// Lemma 4.5 large-block path); its shuffles must be recorded and must
+// respect the bound.
+func TestMemoryBoundRespected(t *testing.T) {
+	g := gen.Star(500) // hub degree 499 ≫ machine memory below
+	res, err := core.FindComponents(g, core.Options{
+		Lambda:  1,
+		Seed:    4,
+		Cluster: mpc.Config{MachineMemory: 64, Machines: 64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "star", g, res.Labels, res.Components)
+	if res.Stats.MaxMachineLoad <= 0 {
+		t.Error("no machine load recorded despite distributed sorts")
+	}
+	if res.Stats.MaxMachineLoad > 64 {
+		t.Errorf("machine load %d exceeds memory 64", res.Stats.MaxMachineLoad)
+	}
+}
+
+// TestEdgeListRoundTripThroughPipeline: the on-disk format feeds the
+// pipeline unchanged (the wccgen | wccfind path).
+func TestEdgeListRoundTripThroughPipeline(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 13))
+	w, err := randomWorkload(rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := graph.WriteEdgeList(&buf, w.G); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := graph.ReadEdgeList(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := core.FindComponents(g2, core.Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	verify(t, "roundtrip", g2, res.Labels, res.Components)
+}

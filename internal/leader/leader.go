@@ -1,0 +1,363 @@
+// Package leader implements Step 3 of the pipeline (Section 6): finding
+// connected components of a disjoint union of random graphs in
+// O(log log n) MPC rounds via a leader-election algorithm that grows
+// components *quadratically* per phase, instead of the constant growth of
+// classic leader election.
+//
+// Contents:
+//
+//   - Election — LeaderElection(H, d) (Section 6): sample leaders, attach
+//     every non-leader to a uniform leader neighbor, return the resulting
+//     component-partition (Lemma 6.4: on an almost-(d·s)-regular graph the
+//     parts have size (1±3ε)d and partition all of V, whp).
+//   - GrowComponents (Section 6): F phases, phase i contracting the fresh
+//     random batch G̃_i by the current partition and electing leaders with
+//     target growth Δ_i = Δ^{2^{i-1}} (Lemma 6.7: part sizes square every
+//     phase). Fresh batches break the dependence between the algorithm's
+//     choices and the graph's randomness.
+//   - BFS finish (Claims 6.13–6.14): after F phases the contraction of the
+//     remaining graph has O(1) diameter whp; a level-at-a-time BFS builds
+//     its spanning tree in O(D) rounds.
+//   - Spanning forest assembly (Claim 6.12, Lemma 6.2): star edges lifted
+//     through each phase's contraction, plus the BFS tree edges, form a
+//     spanning forest of the input union.
+//
+// Sampling probability. The paper states p := s/d for a (d·s)-regular
+// graph, but its own concentration bounds (Lemma 6.4's E[X] ≈ s leader
+// neighbors and E[Y] ≈ d members per leader, and the vertex-count
+// recurrence n_{i+1} ≈ n_i/Δ_i of Lemma 6.7) are satisfied exactly when
+// each vertex becomes a leader with probability 1/d — i.e. the "s" in
+// p = s/d cancels the s in the degree d·s. We implement p = 1/d.
+package leader
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// Election is the result of one LeaderElection round.
+type Election struct {
+	// PartOf assigns every vertex of H to a part in [0, Parts).
+	PartOf []graph.Vertex
+	// Parts is the number of parts (= leaders + orphans).
+	Parts int
+	// Stars holds one edge (leader, member) of H per non-leader that
+	// attached to a leader; these are the spanning-tree edges this phase
+	// contributes (Claim 6.12).
+	Stars []graph.Edge
+	// Leaders is the number of sampled leaders.
+	Leaders int
+	// Orphans counts non-leaders with no leader neighbor; each becomes a
+	// singleton part (the paper's M(v) = ⊥ case, vanishing whp at the
+	// intended parameters).
+	Orphans int
+}
+
+// Elect runs LeaderElection(H, d): every vertex joins the leader set L
+// independently with probability 1/d; every non-leader picks a uniformly
+// random leader among its neighbors and attaches to it. On an
+// almost-(d·s)-regular H this produces a component-partition into parts of
+// size (1±3ε)d whp (Lemma 6.4).
+func Elect(h *graph.Graph, d float64, rng *rand.Rand) (*Election, error) {
+	if d <= 0 {
+		return nil, fmt.Errorf("leader: growth target d = %v must be positive", d)
+	}
+	p := 1 / d
+	if p > 1 {
+		p = 1
+	}
+	n := h.N()
+	isLeader := make([]bool, n)
+	leaders := 0
+	for v := 0; v < n; v++ {
+		if rng.Float64() < p {
+			isLeader[v] = true
+			leaders++
+		}
+	}
+	partOf := make([]graph.Vertex, n)
+	for i := range partOf {
+		partOf[i] = -1
+	}
+	next := graph.Vertex(0)
+	for v := 0; v < n; v++ {
+		if isLeader[v] {
+			partOf[v] = next
+			next++
+		}
+	}
+	res := &Election{Leaders: leaders}
+	var leaderNbrs []graph.Vertex
+	for v := 0; v < n; v++ {
+		if isLeader[v] {
+			continue
+		}
+		leaderNbrs = leaderNbrs[:0]
+		for _, u := range h.Neighbors(graph.Vertex(v)) {
+			if isLeader[u] && int(u) != v {
+				leaderNbrs = append(leaderNbrs, u)
+			}
+		}
+		if len(leaderNbrs) == 0 {
+			partOf[v] = next // orphan: singleton part
+			next++
+			res.Orphans++
+			continue
+		}
+		m := leaderNbrs[rng.IntN(len(leaderNbrs))]
+		partOf[v] = partOf[m]
+		res.Stars = append(res.Stars, graph.Edge{U: m, V: graph.Vertex(v)})
+	}
+	res.PartOf = partOf
+	res.Parts = int(next)
+	return res, nil
+}
+
+// Params configures GrowComponents.
+type Params struct {
+	// Delta is Δ, the base growth factor; phase i targets growth
+	// Δ_i = Δ^{2^{i-1}}. Each batch should be ≈(Δ·s)-regular.
+	Delta int
+	// S is the concentration scale s (expected leader-neighbors per
+	// vertex); Θ(log n) in the paper.
+	S int
+}
+
+// NumPhases returns F = min{i ≥ 1 : Δ^{2^{i-1}} ≥ n^exponent}, the paper's
+// phase count (Eq. 3 uses exponent 1/100; practical runs use 1/2 so the
+// BFS finish starts once parts reach ≈√n). Capped at 1..30.
+func NumPhases(n, delta int, exponent float64) int {
+	if n < 2 || delta < 2 {
+		return 1
+	}
+	target := math.Pow(float64(n), exponent)
+	growth := float64(delta)
+	for i := 1; i <= 30; i++ {
+		if growth >= target {
+			return i
+		}
+		growth *= growth
+	}
+	return 30
+}
+
+// PhaseStat records the state of one GrowComponents phase for experiment
+// E6 (quadratic growth) and for round accounting.
+type PhaseStat struct {
+	// Phase is the 1-based phase index.
+	Phase int
+	// TargetGrowth is Δ_i.
+	TargetGrowth float64
+	// ContractionVertices is n_i = |V(H_i)|.
+	ContractionVertices int
+	// ContractionMinDeg/MaxDeg describe H_i's almost-regularity.
+	ContractionMinDeg, ContractionMaxDeg int
+	// Leaders and Orphans are the election outcome.
+	Leaders, Orphans int
+	// Parts is |C_{i+1}|.
+	Parts int
+	// MinPart/MaxPart/MeanPart are the part sizes (in input vertices).
+	MinPart, MaxPart int
+	MeanPart         float64
+}
+
+// Result is the outcome of GrowComponents plus the BFS finish: a spanning
+// forest and component labels of the union of the input batches.
+type Result struct {
+	// Labels are dense component labels of the input vertex set.
+	Labels []graph.Vertex
+	// Components is the number of components found.
+	Components int
+	// Forest is a spanning forest of the union graph (edges of the input
+	// batches), one tree per component.
+	Forest []graph.Edge
+	// PhaseStats has one entry per executed phase.
+	PhaseStats []PhaseStat
+	// FinalDiameter is the largest BFS tree depth in the finish step (the
+	// Claim 6.13 quantity; O(1) whp at the intended parameters).
+	FinalDiameter int
+}
+
+// GrowComponents runs the Section 6 algorithm on F = len(batches) fresh
+// random graphs over the same vertex set (each ≈(Δ·s)-regular, from Step
+// 2), then finishes with the O(D)-round BFS of Claim 6.14 on the
+// contraction of the union by the final partition. It returns per-phase
+// statistics, component labels, and a spanning forest of the union graph.
+//
+// Round cost per phase: one sort to build the contraction (edges keyed by
+// part), one round to elect and attach (Claim 6.5), one round to publish
+// the new partition. The BFS finish costs its tree depth in rounds.
+func GrowComponents(sim *mpc.Sim, batches []*graph.Graph, params Params, rng *rand.Rand) (*Result, error) {
+	if len(batches) == 0 {
+		return nil, fmt.Errorf("leader: no batches")
+	}
+	if params.Delta < 2 {
+		return nil, fmt.Errorf("leader: Delta = %d must be at least 2", params.Delta)
+	}
+	n := batches[0].N()
+	for i, b := range batches {
+		if b.N() != n {
+			return nil, fmt.Errorf("leader: batch %d has %d vertices, batch 0 has %d", i, b.N(), n)
+		}
+	}
+	res := &Result{}
+	if n == 0 {
+		res.Labels = []graph.Vertex{}
+		return res, nil
+	}
+
+	// C_1: singletons.
+	partOf := make([]graph.Vertex, n)
+	for v := range partOf {
+		partOf[v] = graph.Vertex(v)
+	}
+	parts := n
+	var forest []graph.Edge
+
+	deltaI := float64(params.Delta)
+	for i, batch := range batches {
+		c, err := graph.Contract(batch, partOf, parts)
+		if err != nil {
+			return nil, fmt.Errorf("leader: phase %d contraction: %w", i+1, err)
+		}
+		sim.ChargeSort(batch.M()) // key batch edges by part to build H_i
+		el, err := Elect(c.H, deltaI, rng)
+		if err != nil {
+			return nil, err
+		}
+		sim.Charge(2, "leader:elect+attach")
+		lifted, err := c.LiftEdges(el.Stars)
+		if err != nil {
+			return nil, fmt.Errorf("leader: phase %d lift: %w", i+1, err)
+		}
+		forest = append(forest, lifted...)
+
+		// Compose partitions: input vertex → part of H_i's part.
+		newPartOf := make([]graph.Vertex, n)
+		for v := 0; v < n; v++ {
+			newPartOf[v] = el.PartOf[partOf[v]]
+		}
+		partOf = newPartOf
+		merged := el.Parts < parts
+		parts = el.Parts
+		sim.Charge(1, "leader:publish-partition")
+
+		stat := PhaseStat{
+			Phase:               i + 1,
+			TargetGrowth:        deltaI,
+			ContractionVertices: c.H.N(),
+			ContractionMinDeg:   c.H.MinDegree(),
+			ContractionMaxDeg:   c.H.MaxDegree(),
+			Leaders:             el.Leaders,
+			Orphans:             el.Orphans,
+			Parts:               parts,
+		}
+		fillPartSizes(&stat, partOf, parts)
+		res.PhaseStats = append(res.PhaseStats, stat)
+
+		if !merged {
+			// Δ_i already exceeds the remaining part count: the leader
+			// probability 1/Δ_i elected (almost) nobody, and later phases
+			// with Δ_{i+1} = Δ_i² can only do less. Hand off to the BFS
+			// finish (the Claim 6.13 situation has been reached).
+			break
+		}
+		deltaI *= deltaI // Δ_{i+1} = Δ_i²
+	}
+
+	// BFS finish on the contraction of the whole union by C_F. The union
+	// contains every batch's edges, so its contraction is at least as
+	// connected as H_F and Claim 6.13's O(1) diameter applies.
+	union := graph.Union(batches...)
+	c, err := graph.Contract(union, partOf, parts)
+	if err != nil {
+		return nil, fmt.Errorf("leader: final contraction: %w", err)
+	}
+	sim.ChargeSort(union.M())
+	treeEdges, depth := bfsForest(c.H)
+	sim.Charge(maxInt(depth, 1), "leader:bfs-finish") // one round per BFS level (Claim 6.14)
+	lifted, err := c.LiftEdges(treeEdges)
+	if err != nil {
+		return nil, fmt.Errorf("leader: final lift: %w", err)
+	}
+	forest = append(forest, lifted...)
+	res.FinalDiameter = depth
+
+	// Final labels: components of the contraction pulled back through C_F.
+	hLabels, hCount := graph.Components(c.H)
+	labels := make([]graph.Vertex, n)
+	for v := 0; v < n; v++ {
+		labels[v] = hLabels[partOf[v]]
+	}
+	res.Labels = labels
+	res.Components = hCount
+	res.Forest = forest
+	return res, nil
+}
+
+// bfsForest returns BFS tree edges of every component of h plus the
+// maximum BFS depth (the round cost of the Claim 6.14 finish).
+func bfsForest(h *graph.Graph) ([]graph.Edge, int) {
+	n := h.N()
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = -1
+	}
+	var edges []graph.Edge
+	maxDepth := 0
+	queue := make([]graph.Vertex, 0, n)
+	for s := graph.Vertex(0); int(s) < n; s++ {
+		if dist[s] >= 0 {
+			continue
+		}
+		dist[s] = 0
+		queue = append(queue[:0], s)
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range h.Neighbors(u) {
+				if dist[v] < 0 {
+					dist[v] = dist[u] + 1
+					if int(dist[v]) > maxDepth {
+						maxDepth = int(dist[v])
+					}
+					edges = append(edges, graph.Edge{U: u, V: v})
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return edges, maxDepth
+}
+
+func fillPartSizes(stat *PhaseStat, partOf []graph.Vertex, parts int) {
+	if parts == 0 {
+		return
+	}
+	sizes := make([]int, parts)
+	for _, p := range partOf {
+		sizes[p]++
+	}
+	stat.MinPart, stat.MaxPart = sizes[0], sizes[0]
+	total := 0
+	for _, s := range sizes {
+		if s < stat.MinPart {
+			stat.MinPart = s
+		}
+		if s > stat.MaxPart {
+			stat.MaxPart = s
+		}
+		total += s
+	}
+	stat.MeanPart = float64(total) / float64(parts)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

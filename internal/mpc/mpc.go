@@ -1,0 +1,497 @@
+// Package mpc simulates the Massively Parallel Computation model of
+// Beame–Koutris–Suciu as used by the paper (Section 1, "Massively Parallel
+// Computation Model"): a cluster of machines, each with local memory s (in
+// records), computing in synchronous rounds. During a round each machine
+// runs arbitrary local computation; between rounds machines exchange
+// messages, but no machine may send or receive more than its memory.
+//
+// The simulator executes algorithms in-process — per the reproduction plan,
+// rounds are simulated manually rather than through a MapReduce framework —
+// while preserving exactly the quantities the paper's theorems are about:
+//
+//   - the number of rounds (every communication primitive charges its
+//     documented round cost, e.g. sort costs ceil(log_s N) rounds as in
+//     Goodrich–Sitchinava–Zhang, Section 2 of the paper);
+//   - the per-machine memory bound (a shuffle that would overload any
+//     machine records a violation, surfaced via Sim.Err);
+//   - total communication volume.
+//
+// Algorithms express data as Sharded[T] collections and move it with Map
+// (local work, zero rounds), Route/ByKey (one shuffle round), SortByKey and
+// ParallelSearch (the classic O(log_s N)-round primitives). Machine-local
+// work optionally fans out across goroutines; results are deterministic
+// either way.
+package mpc
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Config describes the simulated cluster.
+type Config struct {
+	// MachineMemory is s: the maximum number of records a machine may hold,
+	// send, or receive in a round.
+	MachineMemory int
+	// Machines is the number of machines.
+	Machines int
+	// Parallel executes machine-local functions on a bounded goroutine
+	// pool. Results are identical to the sequential executor.
+	Parallel bool
+}
+
+// AutoConfig returns a cluster sized for an input of totalRecords records
+// with per-machine memory Θ(totalRecords^delta), mirroring the paper's
+// "s = n^δ memory, O(n^{1-δ}) machines" parameterization. The slack factor
+// headroom (≥ 1) multiplies the machine count, matching the polylog(n)
+// machine slack in Theorem 1.
+func AutoConfig(totalRecords int, delta float64, headroom float64) Config {
+	if totalRecords < 1 {
+		totalRecords = 1
+	}
+	if delta <= 0 || delta > 1 {
+		delta = 0.5
+	}
+	if headroom < 1 {
+		headroom = 1
+	}
+	s := int(math.Ceil(math.Pow(float64(totalRecords), delta)))
+	if s < 4 {
+		s = 4
+	}
+	machines := int(math.Ceil(headroom * float64(totalRecords) / float64(s)))
+	if machines < 1 {
+		machines = 1
+	}
+	return Config{MachineMemory: s, Machines: machines}
+}
+
+// MemoryError reports a violation of the per-machine memory bound. It is
+// recorded sticky on the Sim; subsequent operations still execute so the
+// algorithm completes, but Err returns the first violation.
+type MemoryError struct {
+	Op      string
+	Machine int
+	Load    int
+	Limit   int
+}
+
+func (e *MemoryError) Error() string {
+	return fmt.Sprintf("mpc: %s overloads machine %d: %d records > memory %d",
+		e.Op, e.Machine, e.Load, e.Limit)
+}
+
+// Stats is a snapshot of the simulator's accounting.
+type Stats struct {
+	// Rounds is the number of MPC rounds charged so far.
+	Rounds int
+	// MaxMachineLoad is the largest number of records any machine held
+	// after any communication step.
+	MaxMachineLoad int
+	// TotalMessages is the total number of records shuffled.
+	TotalMessages int64
+}
+
+// Sim is one MPC execution: a cluster configuration plus round, load, and
+// communication accounting. Create with New; not safe for concurrent use by
+// multiple algorithm goroutines (machine-local parallelism is internal).
+type Sim struct {
+	cfg   Config
+	stats Stats
+	err   error
+}
+
+// New returns a Sim for the given cluster. Invalid fields are clamped to
+// minimal sane values.
+func New(cfg Config) *Sim {
+	if cfg.MachineMemory < 1 {
+		cfg.MachineMemory = 1
+	}
+	if cfg.Machines < 1 {
+		cfg.Machines = 1
+	}
+	return &Sim{cfg: cfg}
+}
+
+// Config returns the cluster configuration.
+func (s *Sim) Config() Config { return s.cfg }
+
+// Stats returns the current accounting snapshot.
+func (s *Sim) Stats() Stats { return s.stats }
+
+// Rounds returns the number of rounds charged so far.
+func (s *Sim) Rounds() int { return s.stats.Rounds }
+
+// Err returns the first memory violation recorded, if any.
+func (s *Sim) Err() error { return s.err }
+
+// Charge adds k rounds of cost. Primitives whose data movement is simulated
+// logically (rather than record-by-record) use Charge to keep the round
+// accounting faithful; op labels the primitive for debugging.
+func (s *Sim) Charge(k int, op string) {
+	_ = op
+	if k > 0 {
+		s.stats.Rounds += k
+	}
+	// Use the operation label in future tracing; intentionally unused now.
+}
+
+// SortRounds is the round cost of the Goodrich et al. sort/search primitive
+// on N records with memory s: ceil(log_s N), minimum 1.
+func (s *Sim) SortRounds(n int) int {
+	return LogBase(n, s.cfg.MachineMemory)
+}
+
+// ChargeSort charges the cost of sorting n records.
+func (s *Sim) ChargeSort(n int) { s.Charge(s.SortRounds(n), "sort") }
+
+// ChargeSearch charges the cost of a parallel search over n records (same
+// cost as sort in the Goodrich et al. construction).
+func (s *Sim) ChargeSearch(n int) { s.Charge(s.SortRounds(n), "search") }
+
+// ChargeBroadcast charges the cost of an aggregation/broadcast tree over
+// the machines (fan-in s), ceil(log_s machines), minimum 1.
+func (s *Sim) ChargeBroadcast() {
+	s.Charge(LogBase(s.cfg.Machines, s.cfg.MachineMemory), "broadcast")
+}
+
+func (s *Sim) recordViolation(op string, machine, load int) {
+	if s.err == nil {
+		s.err = &MemoryError{Op: op, Machine: machine, Load: load, Limit: s.cfg.MachineMemory}
+	}
+}
+
+func (s *Sim) observeLoad(op string, loads []int) {
+	for m, l := range loads {
+		if l > s.stats.MaxMachineLoad {
+			s.stats.MaxMachineLoad = l
+		}
+		if l > s.cfg.MachineMemory {
+			s.recordViolation(op, m, l)
+		}
+	}
+}
+
+// Fork returns a child Sim with the same cluster configuration and fresh
+// accounting, for work that runs concurrently with other forks on disjoint
+// machine groups. Combine the children back with MergeParallel.
+func (s *Sim) Fork() *Sim { return New(s.cfg) }
+
+// MergeParallel folds the accounting of children that executed in parallel
+// on disjoint machine groups: rounds advance by the slowest child (the
+// synchronous-round semantics of the model), loads take the max, messages
+// and errors accumulate.
+func (s *Sim) MergeParallel(children ...*Sim) {
+	maxRounds := 0
+	for _, c := range children {
+		if c.stats.Rounds > maxRounds {
+			maxRounds = c.stats.Rounds
+		}
+		if c.stats.MaxMachineLoad > s.stats.MaxMachineLoad {
+			s.stats.MaxMachineLoad = c.stats.MaxMachineLoad
+		}
+		s.stats.TotalMessages += c.stats.TotalMessages
+		if s.err == nil && c.err != nil {
+			s.err = c.err
+		}
+	}
+	s.stats.Rounds += maxRounds
+}
+
+// AbsorbLoad folds a child's machine loads, traffic, and memory violations
+// into s without advancing rounds — for children whose round cost the
+// caller charges separately in aggregate (e.g. overlapping sorts of
+// independent blocks).
+func (s *Sim) AbsorbLoad(children ...*Sim) {
+	for _, c := range children {
+		if c.stats.MaxMachineLoad > s.stats.MaxMachineLoad {
+			s.stats.MaxMachineLoad = c.stats.MaxMachineLoad
+		}
+		s.stats.TotalMessages += c.stats.TotalMessages
+		if s.err == nil && c.err != nil {
+			s.err = c.err
+		}
+	}
+}
+
+// LogBase returns ceil(log_base(n)) clamped to at least 1; base is clamped
+// to at least 2. It is the ubiquitous round cost ceil(log_s N).
+func LogBase(n, base int) int {
+	if base < 2 {
+		base = 2
+	}
+	if n <= base {
+		return 1
+	}
+	r := 0
+	v := 1
+	for v < n {
+		// Guard overflow: once v > n/base, one more multiply suffices.
+		if v > n/base {
+			return r + 1
+		}
+		v *= base
+		r++
+	}
+	return r
+}
+
+// Sharded is a collection of records distributed across the machines of a
+// Sim. shard i lives on machine i.
+type Sharded[T any] struct {
+	shards [][]T
+}
+
+// NumShards returns the number of machines the collection spans.
+func (d *Sharded[T]) NumShards() int { return len(d.shards) }
+
+// Shard returns machine m's records (shared slice; callers must not grow).
+func (d *Sharded[T]) Shard(m int) []T { return d.shards[m] }
+
+// Len returns the total number of records.
+func (d *Sharded[T]) Len() int {
+	total := 0
+	for _, sh := range d.shards {
+		total += len(sh)
+	}
+	return total
+}
+
+// loads returns per-machine record counts.
+func (d *Sharded[T]) loads() []int {
+	out := make([]int, len(d.shards))
+	for i, sh := range d.shards {
+		out[i] = len(sh)
+	}
+	return out
+}
+
+// Distribute places items on the cluster round-robin in contiguous blocks,
+// the adversarial-but-balanced initial placement of the model. It charges
+// no rounds (input placement) but does enforce that the input fits:
+// ceil(len/machines) must be at most the machine memory.
+func Distribute[T any](s *Sim, items []T) *Sharded[T] {
+	m := s.cfg.Machines
+	shards := make([][]T, m)
+	per := (len(items) + m - 1) / m
+	if per == 0 {
+		per = 1
+	}
+	for i := 0; i < m; i++ {
+		lo := i * per
+		if lo > len(items) {
+			lo = len(items)
+		}
+		hi := lo + per
+		if hi > len(items) {
+			hi = len(items)
+		}
+		shards[i] = items[lo:hi:hi]
+	}
+	d := &Sharded[T]{shards: shards}
+	s.observeLoad("distribute", d.loads())
+	return d
+}
+
+// parallelOver runs fn(machine) over all machines, possibly on a bounded
+// goroutine pool.
+func (s *Sim) parallelOver(n int, fn func(m int)) {
+	if !s.cfg.Parallel || n < 2 {
+		for m := 0; m < n; m++ {
+			fn(m)
+		}
+		return
+	}
+	workers := runtime.NumCPU()
+	if workers > n {
+		workers = n
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for m := range next {
+				fn(m)
+			}
+		}()
+	}
+	for m := 0; m < n; m++ {
+		next <- m
+	}
+	close(next)
+	wg.Wait()
+}
+
+// Map applies a machine-local function to every shard. It is free (no
+// communication round) but output shards must respect machine memory.
+func Map[T, U any](s *Sim, in *Sharded[T], f func(machine int, items []T) []U) *Sharded[U] {
+	out := &Sharded[U]{shards: make([][]U, len(in.shards))}
+	s.parallelOver(len(in.shards), func(m int) {
+		out.shards[m] = f(m, in.shards[m])
+	})
+	s.observeLoad("map", out.loads())
+	return out
+}
+
+// Route is one communication round: each machine scans its records and
+// emits messages addressed to explicit destination machines. Both the sent
+// and received volume per machine are bounded by machine memory.
+func Route[T, U any](s *Sim, in *Sharded[T], emit func(machine int, items []T, send func(dest int, msg U))) *Sharded[U] {
+	nm := len(in.shards)
+	outbox := make([][][]U, nm) // outbox[src][dest]
+	sent := make([]int, nm)
+	s.parallelOver(nm, func(m int) {
+		buckets := make([][]U, nm)
+		count := 0
+		emit(m, in.shards[m], func(dest int, msg U) {
+			if dest < 0 || dest >= nm {
+				dest = ((dest % nm) + nm) % nm
+			}
+			buckets[dest] = append(buckets[dest], msg)
+			count++
+		})
+		outbox[m] = buckets
+		sent[m] = count
+	})
+	s.observeLoad("route:send", sent)
+	out := &Sharded[U]{shards: make([][]U, nm)}
+	s.parallelOver(nm, func(dest int) {
+		total := 0
+		for src := 0; src < nm; src++ {
+			total += len(outbox[src][dest])
+		}
+		shard := make([]U, 0, total)
+		for src := 0; src < nm; src++ {
+			shard = append(shard, outbox[src][dest]...)
+		}
+		out.shards[dest] = shard
+	})
+	s.observeLoad("route:recv", out.loads())
+	for _, c := range sent {
+		s.stats.TotalMessages += int64(c)
+	}
+	s.Charge(1, "route")
+	return out
+}
+
+// ByKey shuffles records so that all records with the same key land on the
+// same machine (hash partitioning). One round.
+func ByKey[T any](s *Sim, in *Sharded[T], key func(T) uint64) *Sharded[T] {
+	nm := len(in.shards)
+	return Route(s, in, func(_ int, items []T, send func(int, T)) {
+		for _, it := range items {
+			send(int(mix(key(it))%uint64(nm)), it)
+		}
+	})
+}
+
+// SortByKey globally sorts the collection by key and returns it range-
+// partitioned across machines in key order (machine 0 holds the smallest
+// keys). It charges ceil(log_s N) rounds, the cost of the Goodrich et al.
+// MPC sort; the data movement itself is simulated on the host.
+func SortByKey[T any](s *Sim, in *Sharded[T], key func(T) uint64) *Sharded[T] {
+	n := in.Len()
+	all := make([]T, 0, n)
+	for _, sh := range in.shards {
+		all = append(all, sh...)
+	}
+	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
+	s.ChargeSort(n)
+	s.stats.TotalMessages += int64(n)
+	// Range partition: equal-size blocks in key order.
+	return Distribute(s, all)
+}
+
+// Pair carries a query joined with the matching record, the output of
+// ParallelSearch.
+type Pair[Q, A any] struct {
+	Query Q
+	Match A
+	Found bool
+}
+
+// ParallelSearch implements the search primitive of Section 2: given a set
+// of key-value records and a set of queries each holding a key, annotate
+// every query with the matching record. Cost: O(log_s N) rounds, charged as
+// one sort of the combined input. Records with duplicate keys resolve to an
+// arbitrary one of them.
+func ParallelSearch[A, Q any](s *Sim, records *Sharded[A], queries *Sharded[Q], recKey func(A) uint64, qKey func(Q) uint64) *Sharded[Pair[Q, A]] {
+	n := records.Len() + queries.Len()
+	index := make(map[uint64]A, records.Len())
+	for _, sh := range records.shards {
+		for _, r := range sh {
+			index[recKey(r)] = r
+		}
+	}
+	out := Map(s, queries, func(_ int, qs []Q) []Pair[Q, A] {
+		res := make([]Pair[Q, A], len(qs))
+		for i, q := range qs {
+			a, ok := index[qKey(q)]
+			res[i] = Pair[Q, A]{Query: q, Match: a, Found: ok}
+		}
+		return res
+	})
+	s.ChargeSearch(n)
+	s.stats.TotalMessages += int64(queries.Len())
+	return out
+}
+
+// Aggregate folds every machine's shard to a single value via a fan-in-s
+// aggregation tree and returns the global combination of all per-machine
+// results. local reduces one shard; combine must be associative and
+// commutative (tree order is unspecified). Charges ceil(log_s machines)
+// rounds, the standard converge-cast cost.
+func Aggregate[T, A any](s *Sim, in *Sharded[T], local func(items []T) A, combine func(a, b A) A) A {
+	partials := make([]A, len(in.shards))
+	s.parallelOver(len(in.shards), func(m int) {
+		partials[m] = local(in.shards[m])
+	})
+	s.ChargeBroadcast()
+	acc := partials[0]
+	for _, p := range partials[1:] {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// Broadcast delivers one value to every machine and returns the per-
+// machine copies as a Sharded collection of singletons. Charges
+// ceil(log_s machines) rounds (a broadcast tree, the reverse of
+// Aggregate).
+func Broadcast[T any](s *Sim, value T) *Sharded[T] {
+	shards := make([][]T, s.cfg.Machines)
+	for m := range shards {
+		shards[m] = []T{value}
+	}
+	s.ChargeBroadcast()
+	s.stats.TotalMessages += int64(s.cfg.Machines)
+	out := &Sharded[T]{shards: shards}
+	s.observeLoad("broadcast", out.loads())
+	return out
+}
+
+// Gather collects the whole collection to the host (the simulation
+// coordinator) in shard order. This is extraction of the final output, not
+// an MPC communication step: it charges no rounds and is exempt from the
+// memory bound, mirroring how results leave a real cluster.
+func Gather[T any](in *Sharded[T]) []T {
+	out := make([]T, 0, in.Len())
+	for _, sh := range in.shards {
+		out = append(out, sh...)
+	}
+	return out
+}
+
+// mix is a 64-bit finalizer (splitmix64) so that adversarial keys still
+// spread across machines.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,160 @@
+// Package mst implements minimum spanning forests in the MPC model — the
+// companion problem of the paper's related-work line (Karloff et al. [36]
+// and the Congested Clique MST results [27,31,33,43] in Section 1.2) and a
+// demonstration that this repository's substrates (mpc accounting, graph
+// contraction, union-find) serve downstream algorithms beyond
+// connectivity.
+//
+// Boruvka runs the classic O(log n)-round merging; SketchAssisted uses the
+// paper-adjacent trick of finishing with connectivity once the forest is
+// almost complete. Both are verified against Kruskal ground truth.
+package mst
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// WeightedEdge is an undirected edge with a weight. Ties are broken by
+// (weight, U, V) so minimum spanning forests are unique per input.
+type WeightedEdge struct {
+	U, V   graph.Vertex
+	Weight float64
+}
+
+func less(a, b WeightedEdge) bool {
+	if a.Weight != b.Weight {
+		return a.Weight < b.Weight
+	}
+	an, bn := normalize(a), normalize(b)
+	if an.U != bn.U {
+		return an.U < bn.U
+	}
+	return an.V < bn.V
+}
+
+func normalize(e WeightedEdge) WeightedEdge {
+	if e.U > e.V {
+		e.U, e.V = e.V, e.U
+	}
+	return e
+}
+
+// Result is a minimum spanning forest with cost accounting.
+type Result struct {
+	// Forest is the MSF edge set (n − #components edges).
+	Forest []WeightedEdge
+	// TotalWeight is the forest's weight.
+	TotalWeight float64
+	// Components is the number of connected components.
+	Components int
+	// Rounds is the MPC rounds charged.
+	Rounds int
+	// Phases is the number of Borůvka phases used.
+	Phases int
+}
+
+// Boruvka computes the minimum spanning forest in O(log n) Borůvka phases:
+// each phase, every current component selects its minimum outgoing edge
+// (one sort over the edges, keyed by component) and merges along it.
+func Boruvka(sim *mpc.Sim, n int, edges []WeightedEdge) (*Result, error) {
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("mst: edge (%d,%d) outside [0,%d)", e.U, e.V, n)
+		}
+	}
+	uf := graph.NewUnionFind(n)
+	res := &Result{}
+	for {
+		best := make(map[graph.Vertex]WeightedEdge)
+		for _, e := range edges {
+			ru, rv := uf.Find(e.U), uf.Find(e.V)
+			if ru == rv {
+				continue
+			}
+			for _, r := range []graph.Vertex{ru, rv} {
+				if cur, ok := best[r]; !ok || less(e, cur) {
+					best[r] = e
+				}
+			}
+		}
+		sim.ChargeSort(len(edges) + 1)
+		if len(best) == 0 {
+			break
+		}
+		res.Phases++
+		// Deterministic merge order so the forest is reproducible.
+		roots := make([]graph.Vertex, 0, len(best))
+		for r := range best {
+			roots = append(roots, r)
+		}
+		sort.Slice(roots, func(i, j int) bool { return roots[i] < roots[j] })
+		for _, r := range roots {
+			e := best[r]
+			if uf.Union(e.U, e.V) {
+				res.Forest = append(res.Forest, e)
+				res.TotalWeight += e.Weight
+			}
+		}
+		sim.Charge(1, "mst:merge")
+	}
+	res.Components = uf.Sets()
+	res.Rounds = sim.Rounds()
+	sortForest(res.Forest)
+	return res, nil
+}
+
+// Kruskal is the sequential ground truth: sort all edges, add those that
+// join distinct components.
+func Kruskal(n int, edges []WeightedEdge) (*Result, error) {
+	for _, e := range edges {
+		if e.U < 0 || int(e.U) >= n || e.V < 0 || int(e.V) >= n {
+			return nil, fmt.Errorf("mst: edge (%d,%d) outside [0,%d)", e.U, e.V, n)
+		}
+	}
+	sorted := append([]WeightedEdge(nil), edges...)
+	sort.Slice(sorted, func(i, j int) bool { return less(sorted[i], sorted[j]) })
+	uf := graph.NewUnionFind(n)
+	res := &Result{}
+	for _, e := range sorted {
+		if uf.Union(e.U, e.V) {
+			res.Forest = append(res.Forest, e)
+			res.TotalWeight += e.Weight
+		}
+	}
+	res.Components = uf.Sets()
+	sortForest(res.Forest)
+	return res, nil
+}
+
+func sortForest(f []WeightedEdge) {
+	sort.Slice(f, func(i, j int) bool { return less(f[i], f[j]) })
+}
+
+// IsSpanningForest verifies that forest is an acyclic edge subset of edges
+// connecting exactly the pairs that edges connect.
+func IsSpanningForest(n int, edges, forest []WeightedEdge) bool {
+	present := make(map[WeightedEdge]int)
+	for _, e := range edges {
+		present[normalize(e)]++
+	}
+	uf := graph.NewUnionFind(n)
+	for _, e := range forest {
+		ne := normalize(e)
+		if present[ne] == 0 {
+			return false
+		}
+		present[ne]--
+		if !uf.Union(e.U, e.V) {
+			return false
+		}
+	}
+	truth := graph.NewUnionFind(n)
+	for _, e := range edges {
+		truth.Union(e.U, e.V)
+	}
+	return truth.Sets() == uf.Sets()
+}

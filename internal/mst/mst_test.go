@@ -1,0 +1,149 @@
+package mst
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+func sim() *mpc.Sim { return mpc.New(mpc.Config{MachineMemory: 1 << 20, Machines: 8}) }
+
+func TestBoruvkaSmallKnown(t *testing.T) {
+	// Square with a diagonal: MST is the three cheapest edges.
+	edges := []WeightedEdge{
+		{U: 0, V: 1, Weight: 1},
+		{U: 1, V: 2, Weight: 2},
+		{U: 2, V: 3, Weight: 3},
+		{U: 3, V: 0, Weight: 4},
+		{U: 0, V: 2, Weight: 5},
+	}
+	res, err := Boruvka(sim(), 4, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalWeight != 6 {
+		t.Errorf("weight = %g, want 6", res.TotalWeight)
+	}
+	if len(res.Forest) != 3 || res.Components != 1 {
+		t.Errorf("forest %v, components %d", res.Forest, res.Components)
+	}
+}
+
+func TestBoruvkaMatchesKruskal(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.IntN(60)
+		m := rng.IntN(4 * n)
+		edges := make([]WeightedEdge, m)
+		for i := range edges {
+			edges[i] = WeightedEdge{
+				U:      graph.Vertex(rng.IntN(n)),
+				V:      graph.Vertex(rng.IntN(n)),
+				Weight: float64(rng.IntN(100)), // duplicate weights on purpose
+			}
+		}
+		b, err := Boruvka(sim(), n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k, err := Kruskal(n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(b.TotalWeight-k.TotalWeight) > 1e-9 {
+			t.Fatalf("trial %d: Borůvka weight %g != Kruskal %g", trial, b.TotalWeight, k.TotalWeight)
+		}
+		if b.Components != k.Components || len(b.Forest) != len(k.Forest) {
+			t.Fatalf("trial %d: structure mismatch", trial)
+		}
+		if !IsSpanningForest(n, edges, b.Forest) {
+			t.Fatalf("trial %d: invalid forest", trial)
+		}
+	}
+}
+
+func TestBoruvkaPhasesLogarithmic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	phases := func(n int) int {
+		edges := make([]WeightedEdge, 4*n)
+		for i := range edges {
+			edges[i] = WeightedEdge{
+				U:      graph.Vertex(rng.IntN(n)),
+				V:      graph.Vertex(rng.IntN(n)),
+				Weight: rng.Float64(),
+			}
+		}
+		res, err := Boruvka(sim(), n, edges)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Phases
+	}
+	p := phases(4096)
+	if p > 13 {
+		t.Errorf("Borůvka used %d phases on n=4096, want ≤ log2(n)+1", p)
+	}
+}
+
+func TestBoruvkaErrorsAndEdgeCases(t *testing.T) {
+	if _, err := Boruvka(sim(), 2, []WeightedEdge{{U: 0, V: 5, Weight: 1}}); err == nil {
+		t.Error("want error for out-of-range edge")
+	}
+	res, err := Boruvka(sim(), 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Components != 3 || len(res.Forest) != 0 {
+		t.Errorf("edgeless: %+v", res)
+	}
+	// Self-loops never enter the forest.
+	res, err = Boruvka(sim(), 2, []WeightedEdge{{U: 0, V: 0, Weight: 1}, {U: 0, V: 1, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Forest) != 1 || res.Forest[0].Weight != 2 {
+		t.Errorf("forest = %v", res.Forest)
+	}
+}
+
+func TestIsSpanningForestRejects(t *testing.T) {
+	edges := []WeightedEdge{{U: 0, V: 1, Weight: 1}, {U: 1, V: 2, Weight: 1}}
+	if IsSpanningForest(3, edges, []WeightedEdge{{U: 0, V: 2, Weight: 1}}) {
+		t.Error("accepted a non-edge")
+	}
+	if IsSpanningForest(3, edges, []WeightedEdge{{U: 0, V: 1, Weight: 1}}) {
+		t.Error("accepted a non-spanning subset")
+	}
+	cyc := append(edges, WeightedEdge{U: 0, V: 2, Weight: 1})
+	if IsSpanningForest(3, cyc, cyc) {
+		t.Error("accepted a cyclic forest")
+	}
+}
+
+func TestDeterministicForest(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 40
+	edges := make([]WeightedEdge, 120)
+	for i := range edges {
+		edges[i] = WeightedEdge{U: graph.Vertex(rng.IntN(n)), V: graph.Vertex(rng.IntN(n)), Weight: float64(rng.IntN(10))}
+	}
+	a, err := Boruvka(sim(), n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Boruvka(sim(), n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Forest) != len(b.Forest) {
+		t.Fatal("nondeterministic forest size")
+	}
+	for i := range a.Forest {
+		if a.Forest[i] != b.Forest[i] {
+			t.Fatal("nondeterministic forest")
+		}
+	}
+}

@@ -1,0 +1,80 @@
+package randwalk
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/mpc"
+)
+
+// Section 8 relies on the Barnes–Feige bound (Linial's conjecture): the
+// expected time for a random walk to visit N distinct vertices is O(N³),
+// so a walk of length O(d³·log n) visits at least d distinct vertices (or
+// its whole component) whp. On the hardest natural instance — the path,
+// where walks diffuse — a length-t walk visits ≈ √t vertices, so t = c·d²
+// should already reach d distinct; the cubic bound has a union-bound slack
+// factor. We verify the operational form used by SublinearConn: at
+// t = 8·d³ the minimum visited count across all starts reaches
+// min(d, component size).
+func TestBarnesFeigeVisitBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 99))
+	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 8})
+	for _, tc := range []struct {
+		name string
+		n    int
+		d    int
+	}{
+		{"path", 200, 5},
+		{"cycle", 200, 6},
+		{"grid", 144, 6},
+	} {
+		var g = gen.Cycle(tc.n)
+		switch tc.name {
+		case "path":
+			g = gen.Path(tc.n)
+		case "grid":
+			g = gen.Grid(12, tc.n/12)
+		}
+		walkLen := 8 * tc.d * tc.d * tc.d
+		visited, _, err := DirectVisited(sim, g, walkLen, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		minVisited := math.MaxInt
+		for _, vs := range visited {
+			if len(vs) < minVisited {
+				minVisited = len(vs)
+			}
+		}
+		if minVisited < tc.d {
+			t.Errorf("%s: t=%d walk visited only %d < d=%d distinct vertices",
+				tc.name, walkLen, minVisited, tc.d)
+		}
+	}
+}
+
+// On a clique a length-t walk visits ≈ min(t+1, n·(1−e^{−t/n})) distinct
+// vertices; the visited machinery must track the coupon-collector curve.
+func TestVisitedCountCliqueCurve(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 99))
+	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 8})
+	const n = 50
+	g := gen.Clique(n)
+	visited, _, err := DirectVisited(sim, g, n, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, vs := range visited {
+		total += len(vs)
+	}
+	mean := float64(total) / float64(n)
+	// Expected distinct after n steps of a uniform walk ≈ n(1−(1−1/n)^n)
+	// ≈ n(1−1/e) ≈ 31.6; allow a generous band.
+	want := float64(n) * (1 - math.Exp(-1))
+	if mean < 0.7*want || mean > 1.3*want {
+		t.Errorf("mean visited %.1f, want ≈ %.1f", mean, want)
+	}
+}

@@ -1,0 +1,369 @@
+// Package randwalk implements the paper's distributed random-walk data
+// structure (Section 5.1, Theorem 3): perform length-t random walks from
+// every vertex simultaneously in O(log t) MPC rounds, such that a large
+// fraction of the walks are mutually independent — the property Step 2 of
+// the pipeline needs to sample from the random-graph distribution G.
+//
+// The construction follows the paper exactly:
+//
+//   - Layered graph 𝒢(G,t) (Definition 1): vertices (v, i, j) for
+//     i ∈ [width], j ∈ [t+1]; edges from layer j to j+1 following G.
+//     (The paper fixes width = 2t; it is a parameter here, with the
+//     paper's value available via Params.PaperWidth.)
+//   - Sampled layered graph 𝒢_S: every vertex keeps exactly one outgoing
+//     edge, chosen uniformly (a neighbor of v in G and a copy index).
+//   - SimpleRandomWalk: pointer doubling over 𝒢_S computes, for every
+//     start vertex α = (v, 0, 0) ∈ 𝒱*₁, the endpoint of its unique path
+//     P_α in ⌈log₂ t⌉ phases (Claim 5.5).
+//   - DetectIndependence: a path is certified independent iff no other
+//     start's path shares a vertex with it (Observation 5.2, Lemma 5.3);
+//     computed by counting path traversals per layered vertex.
+//
+// Lemma 5.3 guarantees each walk is certified independent with probability
+// at least 1/2 when width = 2t; Theorem 3 then repeats the construction
+// O(log n) times so every vertex obtains an independent walk whp.
+package randwalk
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// Params tunes the data structure.
+type Params struct {
+	// Width is the number of copies per (vertex, layer). The paper uses
+	// 2t; smaller widths trade memory for a lower certified-independence
+	// rate (expected path collisions scale like t/width).
+	Width int
+	// PaperWidth, when true, overrides Width with the paper's 2t.
+	PaperWidth bool
+	// MaxInstances bounds the Theorem 3 repetition count (default
+	// 4·ceil(log2 n) + 8, the Θ(log n) of the paper).
+	MaxInstances int
+	// CollectPaths records every vertex visited by each walk (needed by
+	// the Theorem 2 algorithm of Section 8, which connects a vertex to all
+	// distinct vertices its walk visits).
+	CollectPaths bool
+}
+
+// PracticalParams is the scaled preset: the paper's width 2t (narrower
+// widths correlate too many walks for the downstream G(n,d) sampling to
+// hold) but a small fixed instance budget instead of Θ(log n).
+func PracticalParams() Params { return Params{PaperWidth: true, MaxInstances: 8} }
+
+// PaperParams is the faithful preset: width 2t, Θ(log n) instance cap.
+func PaperParams() Params { return Params{PaperWidth: true} }
+
+func (p Params) width(t int) int {
+	if p.PaperWidth {
+		w := 2 * t
+		if w < 1 {
+			w = 1
+		}
+		return w
+	}
+	if p.Width < 1 {
+		return 1
+	}
+	return p.Width
+}
+
+func (p Params) maxInstances(n int) int {
+	if p.MaxInstances > 0 {
+		return p.MaxInstances
+	}
+	return 4*ceilLog2(n) + 8
+}
+
+// WalkSet is the result of one SimpleRandomWalk instance.
+type WalkSet struct {
+	// Target[v] is the endpoint of the length-t walk from v, distributed
+	// exactly as D_RW(v, t).
+	Target []graph.Vertex
+	// Independent[v] reports whether v's walk was certified independent of
+	// every other walk in this instance (vertex-disjoint paths,
+	// Observation 5.2).
+	Independent []bool
+	// Visited[v] lists the distinct vertices on v's walk in first-visit
+	// order, including v itself; nil unless Params.CollectPaths.
+	Visited [][]graph.Vertex
+}
+
+// IndependentFraction returns the fraction of certified-independent walks.
+func (w *WalkSet) IndependentFraction() float64 {
+	if len(w.Independent) == 0 {
+		return 0
+	}
+	count := 0
+	for _, ind := range w.Independent {
+		if ind {
+			count++
+		}
+	}
+	return float64(count) / float64(len(w.Independent))
+}
+
+// SimpleRandomWalk runs one instance of the paper's SimpleRandomWalk(G, t):
+// sample the layered graph, pointer-double to find every start's path
+// endpoint, and certify independence. Every vertex of g must have degree
+// at least 1. Rounds charged: 1 (sampling) + ceil(log2 t) pointer-doubling
+// phases and the same again for DetectIndependence, each phase costing one
+// parallel search over the layered graph (Claim 5.7).
+func SimpleRandomWalk(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *rand.Rand) (*WalkSet, error) {
+	n := g.N()
+	if n == 0 {
+		return &WalkSet{}, nil
+	}
+	for v := 0; v < n; v++ {
+		if g.Degree(graph.Vertex(v)) == 0 {
+			return nil, fmt.Errorf("randwalk: vertex %d is isolated", v)
+		}
+	}
+	if t < 0 {
+		return nil, fmt.Errorf("randwalk: negative walk length %d", t)
+	}
+	w := params.width(t)
+	if t == 0 {
+		targets := make([]graph.Vertex, n)
+		ind := make([]bool, n)
+		var visited [][]graph.Vertex
+		if params.CollectPaths {
+			visited = make([][]graph.Vertex, n)
+		}
+		for v := range targets {
+			targets[v] = graph.Vertex(v)
+			ind[v] = true
+			if params.CollectPaths {
+				visited[v] = []graph.Vertex{graph.Vertex(v)}
+			}
+		}
+		return &WalkSet{Target: targets, Independent: ind, Visited: visited}, nil
+	}
+
+	layer := n * w // vertices per layer; node (v,i,j) ⇒ local index v*w+i
+	total := layer * (t + 1)
+	// Sampled layered graph: next[j][x] = local index in layer j+1.
+	next := make([][]int32, t)
+	for j := 0; j < t; j++ {
+		next[j] = make([]int32, layer)
+		for v := 0; v < n; v++ {
+			ns := g.Neighbors(graph.Vertex(v))
+			for i := 0; i < w; i++ {
+				u := ns[rng.IntN(len(ns))]
+				c := rng.IntN(w)
+				next[j][v*w+i] = int32(int(u)*w + c)
+			}
+		}
+	}
+	sim.Charge(1, "randwalk:sample")
+
+	// Pointer doubling with saturation at the final layer: jump[(j,x)] =
+	// (layer, local) reached by following 2^k sampled edges (or fewer if
+	// the final layer intervenes — which cannot happen for starts in layer
+	// 0 until they reach layer t).
+	jl := make([]int32, total) // jump target layer
+	jx := make([]int32, total) // jump target local index
+	at := func(j, x int) int { return j*layer + x }
+	for j := 0; j <= t; j++ {
+		for x := 0; x < layer; x++ {
+			if j < t {
+				jl[at(j, x)] = int32(j + 1)
+				jx[at(j, x)] = next[j][x]
+			} else {
+				jl[at(j, x)] = int32(j)
+				jx[at(j, x)] = int32(x)
+			}
+		}
+	}
+	phases := ceilLog2(t)
+	njl := make([]int32, total)
+	njx := make([]int32, total)
+	for p := 0; p < phases; p++ {
+		for idx := 0; idx < total; idx++ {
+			mid := at(int(jl[idx]), int(jx[idx]))
+			njl[idx] = jl[mid]
+			njx[idx] = jx[mid]
+		}
+		jl, njl = njl, jl
+		jx, njx = njx, jx
+		sim.ChargeSearch(total)
+	}
+
+	// DetectIndependence: count how many 𝒱*₁ paths traverse each layered
+	// vertex, then certify starts whose whole path has count 1. (This is
+	// the Mark/DetectIndependence computation of Section 5.1; the count
+	// formulation is equivalent and the paper's round cost — one more
+	// O(log t) doubling pass — is charged below.)
+	counts := make([]int32, total)
+	for v := 0; v < n; v++ {
+		counts[at(0, v*w)] = 1
+	}
+	for j := 0; j < t; j++ {
+		base := j * layer
+		for x := 0; x < layer; x++ {
+			c := counts[base+x]
+			if c != 0 {
+				counts[at(j+1, int(next[j][x]))] += c
+			}
+		}
+	}
+	for p := 0; p < phases; p++ {
+		sim.ChargeSearch(total)
+	}
+
+	targets := make([]graph.Vertex, n)
+	ind := make([]bool, n)
+	var visited [][]graph.Vertex
+	if params.CollectPaths {
+		visited = make([][]graph.Vertex, n)
+	}
+	seen := make(map[graph.Vertex]bool, t+1)
+	for v := 0; v < n; v++ {
+		// Endpoint from the doubled pointers (Claim 5.5).
+		idx := at(0, v*w)
+		endLocal := int(jx[idx])
+		if int(jl[idx]) != t {
+			return nil, fmt.Errorf("randwalk: pointer doubling stopped at layer %d", jl[idx])
+		}
+		targets[v] = graph.Vertex(endLocal / w)
+		// Certification and (optionally) the visited set, walking the
+		// path once.
+		independent := true
+		x := v * w
+		if params.CollectPaths {
+			clear(seen)
+			seen[graph.Vertex(v)] = true
+			visited[v] = append(visited[v][:0], graph.Vertex(v))
+		}
+		for j := 0; j <= t; j++ {
+			if counts[at(j, x)] != 1 {
+				independent = false
+				if !params.CollectPaths {
+					break
+				}
+			}
+			if params.CollectPaths && j > 0 {
+				u := graph.Vertex(x / w)
+				if !seen[u] {
+					seen[u] = true
+					visited[v] = append(visited[v], u)
+				}
+			}
+			if j < t {
+				x = int(next[j][x])
+			}
+		}
+		ind[v] = independent
+	}
+	return &WalkSet{Target: targets, Independent: ind, Visited: visited}, nil
+}
+
+// Stats summarizes a Theorem 3 execution.
+type Stats struct {
+	// Instances is how many SimpleRandomWalk repetitions ran.
+	Instances int
+	// MeanIndependentFraction averages per-instance certified fractions
+	// (Lemma 5.3 predicts ≥ 1/2 at the paper's width).
+	MeanIndependentFraction float64
+	// Uncovered is the number of vertices that never obtained a certified
+	// independent walk within the instance budget (0 whp at the paper's
+	// parameters).
+	Uncovered int
+}
+
+// IndependentWalks is Theorem 3: repeat SimpleRandomWalk until every vertex
+// has a certified-independent length-t walk (up to Params.MaxInstances
+// repetitions, default Θ(log n)). Vertices still uncovered at the budget
+// fall back to their last instance's (correctly distributed, possibly
+// correlated) target and are reported in Stats.Uncovered.
+func IndependentWalks(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *rand.Rand) (*WalkSet, Stats, error) {
+	n := g.N()
+	out := &WalkSet{Target: make([]graph.Vertex, n), Independent: make([]bool, n)}
+	stats := Stats{}
+	if n == 0 {
+		return out, stats, nil
+	}
+	covered := 0
+	fracSum := 0.0
+	maxInst := params.maxInstances(n)
+	// The Θ(log n) instances run in parallel on disjoint machine groups
+	// (the Theorem 3 proof), so the round cost is one instance's, not the
+	// sum: run each on a fork and merge.
+	children := make([]*mpc.Sim, 0, maxInst)
+	defer func() { sim.MergeParallel(children...) }()
+	for inst := 0; inst < maxInst && covered < n; inst++ {
+		child := sim.Fork()
+		children = append(children, child)
+		ws, err := SimpleRandomWalk(child, g, t, params, rng)
+		if err != nil {
+			return nil, stats, err
+		}
+		stats.Instances++
+		fracSum += ws.IndependentFraction()
+		for v := 0; v < n; v++ {
+			if out.Independent[v] {
+				continue
+			}
+			if ws.Independent[v] {
+				out.Target[v] = ws.Target[v]
+				out.Independent[v] = true
+				covered++
+			} else {
+				out.Target[v] = ws.Target[v] // fallback, correctly distributed
+			}
+		}
+	}
+	if stats.Instances > 0 {
+		stats.MeanIndependentFraction = fracSum / float64(stats.Instances)
+	}
+	stats.Uncovered = n - covered
+	return out, stats, nil
+}
+
+// CollectTargets gathers k walk targets per vertex — the "perform
+// k = Θ(log n) lazy random walks from every vertex" step of Lemma 5.1.
+// Each of the k batches is a full Theorem 3 execution (IndependentWalks),
+// so within a batch the targets of different vertices are independent
+// (vertex-disjoint sampled paths) and across batches all randomness is
+// fresh; this independence is what lets Step 2 treat each component's new
+// edges as a G(n_i, 2k) sample. The k batches run on parallel machine
+// groups: rounds advance by one batch's cost, not k of them. The returned
+// fraction is the fraction of (vertex, batch) pairs whose walk was
+// certified independent rather than filled from a fallback instance.
+func CollectTargets(sim *mpc.Sim, g *graph.Graph, t, k int, params Params, rng *rand.Rand) (targets [][]graph.Vertex, certified float64, err error) {
+	n := g.N()
+	targets = make([][]graph.Vertex, n)
+	for v := range targets {
+		targets[v] = make([]graph.Vertex, 0, k)
+	}
+	sum := 0.0
+	children := make([]*mpc.Sim, 0, k)
+	defer func() { sim.MergeParallel(children...) }()
+	for b := 0; b < k; b++ {
+		child := sim.Fork()
+		children = append(children, child)
+		ws, stats, err := IndependentWalks(child, g, t, params, rng)
+		if err != nil {
+			return nil, 0, err
+		}
+		sum += 1 - float64(stats.Uncovered)/float64(max(n, 1))
+		for v := 0; v < n; v++ {
+			targets[v] = append(targets[v], ws.Target[v])
+		}
+	}
+	if k > 0 {
+		sum /= float64(k)
+	}
+	return targets, sum, nil
+}
+
+func ceilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	return int(math.Ceil(math.Log2(float64(n))))
+}

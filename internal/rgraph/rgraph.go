@@ -1,0 +1,149 @@
+// Package rgraph implements the paper's random graph distribution G(n, d)
+// (Section 2.3): each vertex v picks ⌊d/2⌋ outgoing edges to uniformly
+// random vertices (with replacement), then directions are dropped. It also
+// provides checkers for the three properties the algorithm relies on:
+// almost-regularity (Proposition 2.3), connectivity (Proposition 2.4), and
+// vertex expansion / mixing (Proposition 2.5).
+package rgraph
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// Sample draws a graph from G(n, d): n vertices, ⌊d/2⌋ out-edges per vertex
+// to uniform targets with replacement. Self-loops are possible and kept,
+// exactly as in the paper's distribution.
+func Sample(n, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("rgraph: need n >= 1, got %d", n)
+	}
+	if d < 0 {
+		return nil, fmt.Errorf("rgraph: negative degree %d", d)
+	}
+	half := d / 2
+	b := graph.NewBuilderHint(n, n*half)
+	for v := 0; v < n; v++ {
+		for k := 0; k < half; k++ {
+			b.AddEdge(graph.Vertex(v), graph.Vertex(rng.IntN(n)))
+		}
+	}
+	return b.Build(), nil
+}
+
+// SampleOnSupport draws from G(len(support), d) but with vertices embedded
+// in a larger vertex set of size total: only the support vertices receive
+// edges. This mirrors how Step 2 of the paper replaces each connected
+// component by a random graph on that component's vertices.
+func SampleOnSupport(total int, support []graph.Vertex, d int, rng *rand.Rand) (*graph.Graph, error) {
+	if total < len(support) {
+		return nil, fmt.Errorf("rgraph: total %d < support %d", total, len(support))
+	}
+	half := d / 2
+	b := graph.NewBuilderHint(total, len(support)*half)
+	for _, v := range support {
+		for k := 0; k < half; k++ {
+			b.AddEdge(v, support[rng.IntN(len(support))])
+		}
+	}
+	return b.Build(), nil
+}
+
+// NeighborSet returns N(S): vertices adjacent to S, excluding S itself
+// (the quantity bounded by Proposition 2.5 part 1).
+func NeighborSet(g *graph.Graph, s []graph.Vertex) []graph.Vertex {
+	inS := make(map[graph.Vertex]bool, len(s))
+	for _, v := range s {
+		inS[v] = true
+	}
+	seen := make(map[graph.Vertex]bool)
+	var out []graph.Vertex
+	for _, v := range s {
+		for _, u := range g.Neighbors(v) {
+			if !inS[u] && !seen[u] {
+				seen[u] = true
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// ClosedNeighborhoodSize returns |S ∪ N(S)|, the quantity Proposition 2.5
+// part 1 effectively bounds: its proof counts distinct edge targets chosen
+// by vertices of S, which may land inside S (and for |S| > n/3 the open
+// neighborhood could never reach the 2n/3 branch of the bound).
+func ClosedNeighborhoodSize(g *graph.Graph, s []graph.Vertex) int {
+	seen := make(map[graph.Vertex]bool, 2*len(s))
+	for _, v := range s {
+		seen[v] = true
+	}
+	for _, v := range s {
+		for _, u := range g.Neighbors(v) {
+			seen[u] = true
+		}
+	}
+	return len(seen)
+}
+
+// ExpansionReport summarizes a randomized audit of Proposition 2.5 part 1:
+// |S ∪ N(S)| ≥ min(2n/3, d/12·|S|) over sampled vertex subsets.
+type ExpansionReport struct {
+	Trials     int
+	Violations int
+	// MinRatio is the smallest observed |S ∪ N(S)| / min(2n/3, d|S|/12).
+	MinRatio float64
+}
+
+// CheckExpansion samples random subsets of each size in sizes and checks
+// the Proposition 2.5 expansion bound on each.
+func CheckExpansion(g *graph.Graph, d int, sizes []int, trialsPer int, rng *rand.Rand) ExpansionReport {
+	n := g.N()
+	rep := ExpansionReport{MinRatio: -1}
+	perm := make([]graph.Vertex, n)
+	for i := range perm {
+		perm[i] = graph.Vertex(i)
+	}
+	for _, size := range sizes {
+		if size < 1 || size > n {
+			continue
+		}
+		for trial := 0; trial < trialsPer; trial++ {
+			rng.Shuffle(n, func(a, b int) { perm[a], perm[b] = perm[b], perm[a] })
+			s := perm[:size]
+			ns := ClosedNeighborhoodSize(g, s)
+			bound := float64(d) / 12 * float64(size)
+			if twoThirds := 2 * float64(n) / 3; bound > twoThirds {
+				bound = twoThirds
+			}
+			rep.Trials++
+			ratio := float64(ns) / bound
+			if rep.MinRatio < 0 || ratio < rep.MinRatio {
+				rep.MinRatio = ratio
+			}
+			if float64(ns) < bound {
+				rep.Violations++
+			}
+		}
+	}
+	return rep
+}
+
+// ConnectivityRate samples G(n,d) `trials` times and returns the fraction
+// of connected samples — the empirical check of Proposition 2.4's
+// d ≥ c·log n threshold.
+func ConnectivityRate(n, d, trials int, rng *rand.Rand) (float64, error) {
+	connected := 0
+	for i := 0; i < trials; i++ {
+		g, err := Sample(n, d, rng)
+		if err != nil {
+			return 0, err
+		}
+		if graph.IsConnected(g) {
+			connected++
+		}
+	}
+	return float64(connected) / float64(trials), nil
+}

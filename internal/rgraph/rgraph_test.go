@@ -1,0 +1,176 @@
+package rgraph
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/spectral"
+)
+
+func TestSampleBasic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	g, err := Sample(100, 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 100 {
+		t.Errorf("n = %d", g.N())
+	}
+	if g.M() != 100*5 {
+		t.Errorf("m = %d, want 500 (n·⌊d/2⌋)", g.M())
+	}
+	if err := g.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleErrors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	if _, err := Sample(0, 4, rng); err == nil {
+		t.Error("want error for n=0")
+	}
+	if _, err := Sample(5, -2, rng); err == nil {
+		t.Error("want error for negative d")
+	}
+}
+
+func TestSampleOddDegreeFloors(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	g, err := Sample(50, 7, rng) // ⌊7/2⌋ = 3 out-edges each
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.M() != 150 {
+		t.Errorf("m = %d, want 150", g.M())
+	}
+}
+
+// Proposition 2.3: with d ≥ 4·log n/ε², G(n,d) is (1±ε)d-almost-regular whp.
+func TestAlmostRegularity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	n := 2000
+	eps := 0.5
+	d := int(4 * math.Log(float64(n)) / (eps * eps)) // ≈ 121
+	if d%2 == 1 {
+		d++
+	}
+	for trial := 0; trial < 5; trial++ {
+		g, err := Sample(n, d, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Each vertex's expected degree is 2·⌊d/2⌋·(...) ≈ d.
+		if !g.AlmostRegular(float64(d), eps) {
+			t.Errorf("trial %d: not (1±%.2f)·%d-almost-regular (min=%d max=%d)",
+				trial, eps, d, g.MinDegree(), g.MaxDegree())
+		}
+	}
+}
+
+// Proposition 2.4: with d = c·log n for healthy c, G(n,d) is connected whp;
+// with d far below log n it usually is not.
+func TestConnectivityThreshold(t *testing.T) {
+	rng := rand.New(rand.NewPCG(4, 4))
+	n := 400
+	dHigh := int(4*math.Log(float64(n))) | 1 // ≈ 24
+	rateHigh, err := ConnectivityRate(n, dHigh+1, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rateHigh < 0.95 {
+		t.Errorf("d=%d: connectivity rate %.2f, want ≥ 0.95", dHigh+1, rateHigh)
+	}
+	rateLow, err := ConnectivityRate(n, 2, 20, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rateLow > 0.5 {
+		t.Errorf("d=2: connectivity rate %.2f unexpectedly high", rateLow)
+	}
+}
+
+// Proposition 2.5 part 1: vertex expansion of G(n, c·log n).
+func TestExpansionBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	n := 600
+	d := int(8 * math.Log(float64(n)))
+	g, err := Sample(n, d, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CheckExpansion(g, d, []int{1, 2, 5, 10, 30, 100, 300}, 10, rng)
+	if rep.Violations != 0 {
+		t.Errorf("%d/%d expansion violations (min ratio %.3f)", rep.Violations, rep.Trials, rep.MinRatio)
+	}
+}
+
+// Proposition 2.5 part 2 via the spectral gap: G(n, c·log n) should have
+// λ2 = Ω(1/d²) — in fact empirically Ω(1); check a healthy constant.
+func TestRandomGraphGap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(6, 6))
+	g, err := Sample(500, 24, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap := spectral.Lambda2(g); gap < 0.2 {
+		t.Errorf("λ2 = %.4f, want ≥ 0.2 for G(500,24)", gap)
+	}
+}
+
+func TestSampleOnSupport(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	support := []graph.Vertex{2, 3, 5, 7, 11, 13, 17, 19, 23, 29}
+	g, err := SampleOnSupport(30, support, 12, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 30 {
+		t.Errorf("n = %d", g.N())
+	}
+	inSupport := map[graph.Vertex]bool{}
+	for _, v := range support {
+		inSupport[v] = true
+	}
+	g.ForEachEdge(func(e graph.Edge) {
+		if !inSupport[e.U] || !inSupport[e.V] {
+			t.Errorf("edge (%d,%d) leaves the support", e.U, e.V)
+		}
+	})
+	if g.M() != len(support)*6 {
+		t.Errorf("m = %d, want %d", g.M(), len(support)*6)
+	}
+	if _, err := SampleOnSupport(5, support, 4, rng); err == nil {
+		t.Error("want error when total < support")
+	}
+}
+
+func TestNeighborSet(t *testing.T) {
+	// Path 0-1-2-3-4.
+	b := graph.NewBuilder(5)
+	for i := 0; i < 4; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	g := b.Build()
+	ns := NeighborSet(g, []graph.Vertex{1, 2})
+	if len(ns) != 2 {
+		t.Fatalf("N({1,2}) = %v, want {0,3}", ns)
+	}
+	got := map[graph.Vertex]bool{}
+	for _, v := range ns {
+		got[v] = true
+	}
+	if !got[0] || !got[3] {
+		t.Errorf("N({1,2}) = %v", ns)
+	}
+}
+
+func TestCheckExpansionSkipsBadSizes(t *testing.T) {
+	rng := rand.New(rand.NewPCG(8, 8))
+	g, _ := Sample(10, 6, rng)
+	rep := CheckExpansion(g, 6, []int{0, 100}, 5, rng)
+	if rep.Trials != 0 {
+		t.Errorf("out-of-range sizes should be skipped, got %d trials", rep.Trials)
+	}
+}

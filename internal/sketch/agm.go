@@ -1,0 +1,172 @@
+package sketch
+
+import (
+	"fmt"
+
+	"repro/internal/graph"
+)
+
+// ConnectivitySketch is the AGM connectivity structure of Proposition 8.1:
+// every vertex holds rounds×copies independent ℓ0-samplers over the edge
+// universe; a coordinator recovers the connected components by sketched
+// Borůvka, consuming one fresh sampler column per round (fresh randomness
+// keeps each round's decodes independent of the merges already made).
+type ConnectivitySketch struct {
+	n       int
+	rounds  int
+	copies  int
+	perVert [][]*L0Sampler // perVert[v][round*copies+copy]
+}
+
+// NewConnectivitySketch builds an empty sketch for an n-vertex graph.
+// rounds < 1 defaults to ⌈log₂ n⌉+1 (Borůvka's requirement); copies ≥ 3
+// makes per-round decode failure vanishingly rare (clamped to ≥ 1).
+func NewConnectivitySketch(n, rounds, copies int, seed uint64) (*ConnectivitySketch, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sketch: negative n")
+	}
+	if rounds < 1 {
+		rounds = 1
+		for v := 1; v < n; v *= 2 {
+			rounds++
+		}
+	}
+	if copies < 1 {
+		copies = 1
+	}
+	universe := int64(n)*int64(n) + 1
+	perVert := make([][]*L0Sampler, n)
+	for v := 0; v < n; v++ {
+		perVert[v] = make([]*L0Sampler, rounds*copies)
+		for i := range perVert[v] {
+			s, err := NewL0Sampler(universe, seed+uint64(i)*0x1000193+1)
+			if err != nil {
+				return nil, err
+			}
+			perVert[v][i] = s
+		}
+	}
+	return &ConnectivitySketch{n: n, rounds: rounds, copies: copies, perVert: perVert}, nil
+}
+
+// BitsPerVertex reports the sketch size per vertex in bits — the message
+// size of Proposition 8.1 (O(log³ n)).
+func (cs *ConnectivitySketch) BitsPerVertex() int {
+	if cs.n == 0 {
+		return 0
+	}
+	cells := 0
+	for _, s := range cs.perVert[0] {
+		cells += len(s.levels)
+	}
+	return cells * 24 * 8 // three 64-bit words per cell
+}
+
+// AddEdge folds the undirected edge {u,v} into both endpoints' samplers
+// with opposite signs, the AGM incidence encoding. Self-loops are ignored
+// (they never affect connectivity).
+func (cs *ConnectivitySketch) AddEdge(u, v graph.Vertex) error {
+	return cs.update(u, v, +1)
+}
+
+// DeleteEdge removes a previously added edge: the sketch is a turnstile
+// structure, so a deletion is the same linear update with opposite sign
+// and cancels the insertion exactly. Deleting an edge that was never added
+// corrupts the incidence vector (as in any turnstile stream).
+func (cs *ConnectivitySketch) DeleteEdge(u, v graph.Vertex) error {
+	return cs.update(u, v, -1)
+}
+
+func (cs *ConnectivitySketch) update(u, v graph.Vertex, sign int64) error {
+	if u == v {
+		return nil
+	}
+	if u > v {
+		u, v = v, u
+	}
+	if int(v) >= cs.n || u < 0 {
+		return fmt.Errorf("sketch: edge (%d,%d) outside [0,%d)", u, v, cs.n)
+	}
+	idx := int64(u)*int64(cs.n) + int64(v)
+	for _, s := range cs.perVert[u] {
+		if err := s.Update(idx, sign); err != nil {
+			return err
+		}
+	}
+	for _, s := range cs.perVert[v] {
+		if err := s.Update(idx, -sign); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AddGraph folds every edge of g.
+func (cs *ConnectivitySketch) AddGraph(g *graph.Graph) error {
+	var err error
+	g.ForEachEdge(func(e graph.Edge) {
+		if err == nil {
+			err = cs.AddEdge(e.U, e.V)
+		}
+	})
+	return err
+}
+
+// Components recovers the connected components from the sketches alone:
+// Borůvka with one fresh (round, copy) sampler column per phase. Returns
+// dense labels, the component count, and the index of the last Borůvka
+// round that made progress. Failure to decode a true boundary edge
+// (probability vanishing in copies) can only split components, never
+// merge wrong ones; callers needing certainty can verify against the
+// original edges.
+//
+// A merge-free round is NOT treated as convergence: decode failures on a
+// component whose two boundary-edge hash levels collide are perfectly
+// correlated across the components sharing those edges, so one barren
+// round can precede full recovery under the next round's fresh seeds. All
+// sampler columns are consumed (rounds = Θ(log n), so this is cheap).
+func (cs *ConnectivitySketch) Components() (labels []graph.Vertex, count int, roundsUsed int) {
+	uf := graph.NewUnionFind(cs.n)
+	for r := 0; r < cs.rounds; r++ {
+		if uf.Sets() == 1 {
+			break // fully merged; later rounds cannot improve
+		}
+		// Merge current components' samplers for this round's columns.
+		reps := map[graph.Vertex][]*L0Sampler{}
+		for v := 0; v < cs.n; v++ {
+			root := uf.Find(graph.Vertex(v))
+			cols := reps[root]
+			if cols == nil {
+				cols = make([]*L0Sampler, cs.copies)
+				for c := 0; c < cs.copies; c++ {
+					cols[c] = cs.perVert[v][r*cs.copies+c].Clone()
+				}
+				reps[root] = cols
+				continue
+			}
+			for c := 0; c < cs.copies; c++ {
+				// Merge errors are impossible here: same seed schedule.
+				_ = cols[c].Merge(cs.perVert[v][r*cs.copies+c])
+			}
+		}
+		merged := false
+		for _, cols := range reps {
+			for _, s := range cols {
+				idx, ok := s.Decode()
+				if !ok {
+					continue
+				}
+				u := graph.Vertex(idx / int64(cs.n))
+				w := graph.Vertex(idx % int64(cs.n))
+				if uf.Union(u, w) {
+					merged = true
+				}
+				break
+			}
+		}
+		if merged {
+			roundsUsed = r + 1
+		}
+	}
+	return uf.Labels(), uf.Sets(), roundsUsed
+}

