@@ -1,0 +1,25 @@
+# Developer entry points. CI runs `make test`; perf smoke is one command.
+
+GO ?= go
+
+.PHONY: build test race bench-smoke bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+# Race-checked run of the packages with executor-level concurrency.
+race:
+	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/
+
+# One-iteration pass over the perf-critical benchmarks: catches crashes,
+# allocation regressions (-benchmem), and gross slowdowns in seconds.
+bench-smoke:
+	$(GO) test -run=NONE -benchtime=1x -benchmem \
+		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel' .
+
+# Full benchmark sweep (slow).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .

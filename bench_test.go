@@ -60,9 +60,9 @@ func BenchmarkE12Oblivious(b *testing.B)        { runExperiment(b, "E12") }
 func BenchmarkE13VsExponentiation(b *testing.B) { runExperiment(b, "E13") }
 func BenchmarkE14BallsBins(b *testing.B)        { runExperiment(b, "E14") }
 
-// BenchmarkPipelineExpander measures the full Theorem 1 pipeline on a
-// single expander and reports the round count as a metric.
-func BenchmarkPipelineExpander(b *testing.B) {
+// benchmarkPipeline runs the full Theorem 1 pipeline on a single expander
+// with the given executor width and reports the round count as a metric.
+func benchmarkPipeline(b *testing.B, workers int) {
 	rng := rand.New(rand.NewPCG(1, 1))
 	g, err := gen.Expander(512, 8, rng)
 	if err != nil {
@@ -71,7 +71,7 @@ func BenchmarkPipelineExpander(b *testing.B) {
 	rounds := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.FindComponents(g, core.Options{Lambda: 0.3, Seed: uint64(i)})
+		res, err := core.FindComponents(g, core.Options{Lambda: 0.3, Seed: uint64(i), Workers: workers})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -79,6 +79,14 @@ func BenchmarkPipelineExpander(b *testing.B) {
 	}
 	b.ReportMetric(float64(rounds), "mpc-rounds")
 }
+
+// BenchmarkPipelineExpander measures the sequential executor.
+func BenchmarkPipelineExpander(b *testing.B) { benchmarkPipeline(b, 1) }
+
+// BenchmarkPipelineExpanderParallel measures the GOMAXPROCS-wide worker
+// pool. Output is bit-identical to the sequential run for the same seed;
+// only wall-clock differs (and only when GOMAXPROCS > 1).
+func BenchmarkPipelineExpanderParallel(b *testing.B) { benchmarkPipeline(b, -1) }
 
 // BenchmarkBaselineHashToMin is the comparison point for the pipeline.
 func BenchmarkBaselineHashToMin(b *testing.B) {
@@ -243,6 +251,71 @@ func BenchmarkLayeredWalk(b *testing.B) {
 		if _, err := randwalk.SimpleRandomWalk(sim, g, 32, randwalk.PaperParams(), rng); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkRouteAllocs is the allocation-regression guard for the shuffle
+// path: run with -benchmem. One Route round over 128 machines must stay at
+// O(machines) allocations (the old per-(src,dest) outbox matrix allocated
+// O(machines²) slices per round).
+func BenchmarkRouteAllocs(b *testing.B) {
+	const nm = 128
+	sim := mpc.New(mpc.Config{MachineMemory: 1 << 16, Machines: nm})
+	items := make([]int, 16*nm)
+	for i := range items {
+		items[i] = i * 2654435761 % (1 << 20)
+	}
+	d := mpc.Distribute(sim, items)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = mpc.Route(sim, d, func(_ int, xs []int, send func(int, int)) {
+			for _, x := range xs {
+				send(x, x)
+			}
+		})
+	}
+}
+
+// BenchmarkIndependentWalksParallel compares the Theorem 3 repetition
+// fan-out at 1 worker versus GOMAXPROCS workers (run with -benchmem; the
+// outputs are bit-identical, so any delta is pure scheduling).
+func BenchmarkIndependentWalksParallel(b *testing.B) {
+	for _, v := range []struct {
+		name    string
+		workers int
+	}{{"workers=1", 1}, {"workers=gomaxprocs", -1}} {
+		b.Run(v.name, func(b *testing.B) {
+			rng := rand.New(rand.NewPCG(9, 9))
+			g, err := gen.Expander(256, 8, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				sim := mpc.New(mpc.Config{MachineMemory: 1 << 20, Machines: 16, Workers: v.workers})
+				if _, _, err := randwalk.IndependentWalks(sim, g, 16, randwalk.PaperParams(), rng); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMPCSortParallel is BenchmarkMPCSort on the GOMAXPROCS pool
+// (per-shard sorts fan out; the merge is shared).
+func BenchmarkMPCSortParallel(b *testing.B) {
+	items := make([]uint64, 100000)
+	rng := rand.New(rand.NewPCG(6, 6))
+	for i := range items {
+		items[i] = rng.Uint64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim := mpc.New(mpc.Config{MachineMemory: 1024, Machines: 128, Workers: -1})
+		d := mpc.Distribute(sim, items)
+		_ = mpc.SortByKey(sim, d, func(v uint64) uint64 { return v })
 	}
 }
 

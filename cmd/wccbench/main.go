@@ -31,6 +31,7 @@ func run() error {
 		only      = flag.String("only", "", "comma-separated experiment IDs (default all)")
 		ablations = flag.Bool("ablations", false, "also run the design-choice ablations A1–A4")
 		seed      = flag.Uint64("seed", 1, "random seed")
+		workers   = flag.Int("workers", -1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
 	)
 	flag.Parse()
 
@@ -41,7 +42,7 @@ func run() error {
 			want[id] = true
 		}
 	}
-	cfg := bench.Config{Seed: *seed, Quick: *quick}
+	cfg := bench.Config{Seed: *seed, Quick: *quick, Workers: *workers}
 	runners := bench.All()
 	if *ablations || anyAblation(want) {
 		runners = append(runners, bench.Ablations()...)

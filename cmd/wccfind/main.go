@@ -35,12 +35,13 @@ func main() {
 
 func run() error {
 	var (
-		in     = flag.String("in", "", "edge-list file (default stdin)")
-		algo   = flag.String("algo", "wcc", "algorithm: wcc|sublinear|hashtomin|boruvka|labelprop|exponentiate")
-		lambda = flag.Float64("lambda", 0, "spectral gap lower bound (0 = unknown, oblivious mode)")
-		memory = flag.Int("memory", 0, "machine memory for -algo sublinear (0 = n/log² n)")
-		seed   = flag.Uint64("seed", 1, "random seed")
-		sizes  = flag.Bool("sizes", false, "print the component size histogram")
+		in      = flag.String("in", "", "edge-list file (default stdin)")
+		algo    = flag.String("algo", "wcc", "algorithm: wcc|sublinear|hashtomin|boruvka|labelprop|exponentiate")
+		lambda  = flag.Float64("lambda", 0, "spectral gap lower bound (0 = unknown, oblivious mode)")
+		memory  = flag.Int("memory", 0, "machine memory for -algo sublinear (0 = n/log² n)")
+		seed    = flag.Uint64("seed", 1, "random seed")
+		workers = flag.Int("workers", 1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
+		sizes   = flag.Bool("sizes", false, "print the component size histogram")
 	)
 	flag.Parse()
 
@@ -65,7 +66,7 @@ func run() error {
 	)
 	switch *algo {
 	case "wcc":
-		res, err := core.FindComponents(g, core.Options{Lambda: *lambda, Seed: *seed})
+		res, err := core.FindComponents(g, core.Options{Lambda: *lambda, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -80,7 +81,7 @@ func run() error {
 		fmt.Printf("finish merges: %d   λ schedule: %v\n", st.FinishMerges, st.LambdaSchedule)
 		fmt.Printf("max machine load: %d   messages: %d\n", st.MaxMachineLoad, st.TotalMessages)
 	case "sublinear":
-		res, err := sublinear.Components(g, sublinear.Options{MachineMemory: *memory, Seed: *seed})
+		res, err := sublinear.Components(g, sublinear.Options{MachineMemory: *memory, Seed: *seed, Workers: *workers})
 		if err != nil {
 			return err
 		}
@@ -97,7 +98,9 @@ func run() error {
 		if records < 16 {
 			records = 16
 		}
-		sim := mpc.New(mpc.AutoConfig(records, 0.5, 2))
+		cluster := mpc.AutoConfig(records, 0.5, 2)
+		cluster.Workers = *workers
+		sim := mpc.New(cluster)
 		var res *baseline.Result
 		switch *algo {
 		case "hashtomin":

@@ -7,4 +7,18 @@
 // public entry points live in internal/core (Theorem 1/4 pipeline and the
 // Corollary 7.1 oblivious variant) and internal/sublinear (Theorem 2);
 // cmd/wccfind, cmd/wccgen and cmd/wccbench are the executables.
+//
+// # Execution engine
+//
+// The simulated cluster runs on a pluggable executor (internal/mpc,
+// Config.Workers; both CLIs expose it as -workers): machine-local work in
+// the communication primitives and the independent instance fan-outs of
+// the paper — the Θ(log n) Theorem 3 walk repetitions and the F
+// randomization batches of Step 2 — execute either sequentially or on a
+// bounded worker pool that shares one global GOMAXPROCS budget across
+// nested simulations. Every repetition draws its randomness from a PCG
+// substream keyed by its index (mpc.StreamRNG), so for a fixed seed the
+// output is bit-identical regardless of worker count or schedule; see
+// internal/mpc/README.md for the executor model and the seed-derivation
+// scheme.
 package repro

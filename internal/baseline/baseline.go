@@ -22,6 +22,7 @@ package baseline
 import (
 	"fmt"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mpc"
@@ -46,8 +47,11 @@ func finish(labels []graph.Vertex, rounds, peak int) *Result {
 // LabelPropagation floods minimum labels: each round every vertex adopts
 // the minimum label in its closed neighbourhood; terminates when stable.
 // Rounds = eccentricity of the min-label vertex per component ≈ diameter.
+// Each flood step is machine-local work and fans out on the sim's
+// executor (vertex v writes only next[v], so results are deterministic).
 func LabelPropagation(sim *mpc.Sim, g *graph.Graph) *Result {
 	n := g.N()
+	ex := sim.Executor()
 	labels := make([]graph.Vertex, n)
 	for v := range labels {
 		labels[v] = graph.Vertex(v)
@@ -55,23 +59,29 @@ func LabelPropagation(sim *mpc.Sim, g *graph.Graph) *Result {
 	next := make([]graph.Vertex, n)
 	rounds := 0
 	for {
-		changed := false
-		for v := 0; v < n; v++ {
-			best := labels[v]
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
-				if labels[u] < best {
-					best = labels[u]
+		var changed atomic.Bool
+		mpc.RunChunks(ex, n, func(lo, hi int) {
+			dirty := false
+			for v := lo; v < hi; v++ {
+				best := labels[v]
+				for _, u := range g.Neighbors(graph.Vertex(v)) {
+					if labels[u] < best {
+						best = labels[u]
+					}
+				}
+				next[v] = best
+				if best != labels[v] {
+					dirty = true
 				}
 			}
-			next[v] = best
-			if best != labels[v] {
-				changed = true
+			if dirty {
+				changed.Store(true)
 			}
-		}
+		})
 		labels, next = next, labels
 		rounds++
 		sim.Charge(1, "labelprop:step")
-		if !changed {
+		if !changed.Load() {
 			break
 		}
 	}
@@ -195,44 +205,57 @@ func GraphExponentiation(sim *mpc.Sim, g *graph.Graph, maxEdges int) (*Result, e
 	}
 	nextLabels := make([]graph.Vertex, n)
 	peak := g.M()
+	ex := sim.Executor()
 	for {
 		// One synchronous min-label step over the current shortcut graph
 		// (in-place sweeping would smuggle a whole flood into one round).
-		changed := false
-		for v := 0; v < n; v++ {
-			best := labels[v]
-			for u := range adj[v] {
-				if labels[u] < best {
-					best = labels[u]
-				}
-			}
-			nextLabels[v] = best
-			if best != labels[v] {
-				changed = true
-			}
-		}
-		labels, nextLabels = nextLabels, labels
-		sim.Charge(1, "exponentiate:flood")
-		if !changed {
-			break
-		}
-		// Square: N(v) ← N(v) ∪ N(N(v)).
-		next := make([]map[graph.Vertex]bool, n)
-		edges := 0
-		for v := 0; v < n; v++ {
-			nv := make(map[graph.Vertex]bool, 2*len(adj[v]))
-			for u := range adj[v] {
-				nv[u] = true
-				for w := range adj[u] {
-					if int(w) != v {
-						nv[w] = true
+		// Vertex v writes only nextLabels[v]: chunk-parallel.
+		var stepChanged atomic.Bool
+		mpc.RunChunks(ex, n, func(lo, hi int) {
+			dirty := false
+			for v := lo; v < hi; v++ {
+				best := labels[v]
+				for u := range adj[v] {
+					if labels[u] < best {
+						best = labels[u]
 					}
 				}
+				nextLabels[v] = best
+				if best != labels[v] {
+					dirty = true
+				}
 			}
-			next[v] = nv
-			edges += len(nv)
+			if dirty {
+				stepChanged.Store(true)
+			}
+		})
+		labels, nextLabels = nextLabels, labels
+		sim.Charge(1, "exponentiate:flood")
+		if !stepChanged.Load() {
+			break
 		}
-		edges /= 2
+		// Square: N(v) ← N(v) ∪ N(N(v)). Vertex v builds only next[v] from
+		// read-only adj: chunk-parallel with per-chunk edge tallies.
+		next := make([]map[graph.Vertex]bool, n)
+		var edges64 atomic.Int64
+		mpc.RunChunks(ex, n, func(lo, hi int) {
+			local := 0
+			for v := lo; v < hi; v++ {
+				nv := make(map[graph.Vertex]bool, 2*len(adj[v]))
+				for u := range adj[v] {
+					nv[u] = true
+					for w := range adj[u] {
+						if int(w) != v {
+							nv[w] = true
+						}
+					}
+				}
+				next[v] = nv
+				local += len(nv)
+			}
+			edges64.Add(int64(local))
+		})
+		edges := int(edges64.Load()) / 2
 		if edges > peak {
 			peak = edges
 		}

@@ -68,7 +68,7 @@ func A1FreshBatches(cfg Config) (*Table, error) {
 		{"fresh (paper)", fresh},
 		{"reused (ablation)", reused},
 	} {
-		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16})
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16, Workers: cfg.Workers})
 		res, err := leader.GrowComponents(sim, variant.batches, params, rng)
 		if err != nil {
 			return nil, err
@@ -107,7 +107,7 @@ func A2WidthIndependence(cfg Config) (*Table, error) {
 	for _, w := range []int{2 * walkLen, walkLen, walkLen / 2, walkLen / 4, 2} {
 		frac, trials := 0.0, 8
 		for i := 0; i < trials; i++ {
-			sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 8})
+			sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 8, Workers: cfg.Workers})
 			ws, err := randwalk.SimpleRandomWalk(sim, g, walkLen, randwalk.Params{Width: w}, rng)
 			if err != nil {
 				return nil, err
@@ -148,7 +148,7 @@ func A3WalkEngines(cfg Config) (*Table, error) {
 		{"layered", randomize.EngineLayered},
 		{"direct", randomize.EngineDirect},
 	} {
-		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16})
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16, Workers: cfg.Workers})
 		params := randomize.PracticalParams(g.N())
 		params.Engine = engine.e
 		start := time.Now()
@@ -200,7 +200,7 @@ func A4GrowthSchedule(cfg Config) (*Table, error) {
 	if err != nil {
 		return nil, err
 	}
-	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16})
+	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16, Workers: cfg.Workers})
 	res, err := leader.GrowComponents(sim, batches, params, rng)
 	if err != nil {
 		return nil, err

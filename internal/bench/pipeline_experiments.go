@@ -38,15 +38,15 @@ func E1RoundsVsN(cfg Config) (*Table, error) {
 			return nil, err
 		}
 		w := gen.Shuffled(l, rng)
-		res, err := core.FindComponents(w.G, core.Options{Lambda: 0.3, Seed: cfg.Seed + uint64(n)})
+		res, err := core.FindComponents(w.G, core.Options{Lambda: 0.3, Seed: cfg.Seed + uint64(n), Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		if res.Components != len(sizes) {
 			return nil, fmt.Errorf("E1: n=%d found %d components, want %d", n, res.Components, len(sizes))
 		}
-		htm := baseline.HashToMin(newSim(w.G), w.G)
-		bor := baseline.Boruvka(newSim(w.G), w.G)
+		htm := baseline.HashToMin(newSim(w.G, cfg), w.G)
+		bor := baseline.Boruvka(newSim(w.G, cfg), w.G)
 		t.AddRow(
 			itoa(n), itoa(res.Components), itoa(res.Stats.Rounds),
 			itoa(htm.Rounds), itoa(bor.Rounds),
@@ -88,7 +88,7 @@ func E2RoundsVsGap(cfg Config) (*Table, error) {
 		}
 		lam := spectral.Lambda2(g)
 		res, err := core.FindComponents(g, core.Options{
-			Lambda: lam, Seed: cfg.Seed + uint64(k), Cluster: cluster,
+			Lambda: lam, Seed: cfg.Seed + uint64(k), Cluster: cluster, Workers: cfg.Workers,
 			MaxWalkLength: 16384,
 		})
 		if err != nil {
@@ -147,7 +147,7 @@ func E12Oblivious(cfg Config) (*Table, error) {
 				return nil, err
 			}
 		}
-		res, err := core.FindComponents(lab.G, core.Options{Seed: cfg.Seed + 5})
+		res, err := core.FindComponents(lab.G, core.Options{Seed: cfg.Seed + 5, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -193,14 +193,14 @@ func E13VsExponentiation(cfg Config) (*Table, error) {
 		{"expander", expander, 0.3},
 		{"two expanders bridged", bridged, 0}, // oblivious: tiny unknown gap
 	} {
-		res, err := core.FindComponents(w.g, core.Options{Lambda: w.lam, Seed: cfg.Seed + 17})
+		res, err := core.FindComponents(w.g, core.Options{Lambda: w.lam, Seed: cfg.Seed + 17, Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
 		if res.Components != 1 {
 			return nil, fmt.Errorf("E13: %s mis-split", w.name)
 		}
-		ge, err := baseline.GraphExponentiation(newSim(w.g), w.g, 0)
+		ge, err := baseline.GraphExponentiation(newSim(w.g, cfg), w.g, 0)
 		if err != nil {
 			return nil, err
 		}
@@ -215,12 +215,14 @@ func E13VsExponentiation(cfg Config) (*Table, error) {
 	return t, nil
 }
 
-func newSim(g *graph.Graph) *mpc.Sim {
+func newSim(g *graph.Graph, cfg Config) *mpc.Sim {
 	records := 2 * g.M()
 	if records < 16 {
 		records = 16
 	}
-	return mpc.New(mpc.AutoConfig(records, 0.5, 2))
+	c := mpc.AutoConfig(records, 0.5, 2)
+	c.Workers = cfg.Workers
+	return mpc.New(c)
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -43,7 +43,7 @@ func E3Regularize(cfg Config) (*Table, error) {
 		{"multi-component", multi.G},
 	}
 	for _, tc := range cases {
-		sim := newSim(tc.g)
+		sim := newSim(tc.g, cfg)
 		res, err := regularize.Regularize(sim, tc.g, regularize.PracticalParams(), rng)
 		if err != nil {
 			return nil, err
@@ -87,12 +87,12 @@ func E4RandomWalk(cfg Config) (*Table, error) {
 	}
 	ts := []int{4, 16, 64}
 	for _, walkLen := range ts {
-		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 64})
+		sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 64, Workers: cfg.Workers})
 		ws, err := randwalk.SimpleRandomWalk(sim, g, walkLen, randwalk.PaperParams(), rng)
 		if err != nil {
 			return nil, err
 		}
-		simFull := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 64})
+		simFull := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 64, Workers: cfg.Workers})
 		_, stats, err := randwalk.IndependentWalks(simFull, g, walkLen, randwalk.PaperParams(), rng)
 		if err != nil {
 			return nil, err
@@ -130,7 +130,7 @@ func E5Randomize(cfg Config) (*Table, error) {
 	gap := spectral.MinComponentGap(l.G)
 	walkLen := spectral.MixingTimeUpperBound(gap, l.G.N(), 1e-2)
 	params := randomize.PracticalParams(l.G.N())
-	sim := newSim(l.G)
+	sim := newSim(l.G, cfg)
 	h, stats, err := randomize.Randomize(sim, l.G, walkLen, params, rng)
 	if err != nil {
 		return nil, err
@@ -178,7 +178,7 @@ func E6GrowComponents(cfg Config) (*Table, error) {
 		}
 		batches[i] = b
 	}
-	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16})
+	sim := mpc.New(mpc.Config{MachineMemory: 1 << 22, Machines: 16, Workers: cfg.Workers})
 	res, err := leader.GrowComponents(sim, batches, params, rng)
 	if err != nil {
 		return nil, err

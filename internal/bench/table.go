@@ -18,6 +18,10 @@ type Config struct {
 	// Quick shrinks workloads for CI/benchmark loops; full runs are for
 	// cmd/wccbench.
 	Quick bool
+	// Workers selects the simulator execution engine (mpc.Config.Workers
+	// semantics: 1 sequential, k > 1 bounded pool, negative GOMAXPROCS).
+	// Results are identical for a fixed Seed regardless of the setting.
+	Workers int
 }
 
 // Table is a printable experiment result.

@@ -74,6 +74,11 @@ type Options struct {
 	// Cluster configures the simulated MPC cluster; zero value derives
 	// mpc.AutoConfig(2m, 0.5, 2).
 	Cluster mpc.Config
+	// Workers selects the simulator's execution engine when
+	// Cluster.Workers is unset: 1 (default) is sequential, k > 1 a bounded
+	// pool, negative a GOMAXPROCS-wide pool. Results are bit-identical for
+	// a fixed Seed regardless of the setting.
+	Workers int
 	// Seed drives all randomness; the default 0 is a valid fixed seed.
 	Seed uint64
 }
@@ -102,7 +107,13 @@ func (o Options) withDefaults(m int) Options {
 		if records < 16 {
 			records = 16
 		}
+		// Preserve the execution-engine fields across the size derivation.
+		workers, parallel, executor := o.Cluster.Workers, o.Cluster.Parallel, o.Cluster.Executor
 		o.Cluster = mpc.AutoConfig(records, 0.5, 2)
+		o.Cluster.Workers, o.Cluster.Parallel, o.Cluster.Executor = workers, parallel, executor
+	}
+	if o.Cluster.Workers == 0 {
+		o.Cluster.Workers = o.Workers
 	}
 	return o
 }

@@ -45,6 +45,10 @@ type Graph struct {
 	offsets []int64
 	adj     []Vertex
 	m       int64 // number of undirected edges (loops count once)
+	// minDeg/maxDeg are computed once at Build time: degree extremes are
+	// queried inside round loops (leader phases, regularity checks), and
+	// the CSR is immutable, so the O(n) scan would be pure waste.
+	minDeg, maxDeg int
 }
 
 // N returns the number of vertices.
@@ -71,52 +75,37 @@ func (g *Graph) Neighbor(v Vertex, i int) Vertex {
 	return g.adj[g.offsets[v]+int64(i)]
 }
 
+// CSR exposes the raw compressed-sparse-row arrays: offsets (length N+1)
+// and the half-edge adjacency Neighbors slices into. Callers must treat
+// both as read-only, exactly as with Neighbors. Hot loops use this to
+// skip the per-step offset loads — on a regular graph vertex v's
+// neighbors are adj[v*d : (v+1)*d] with no offsets access at all.
+func (g *Graph) CSR() (offsets []int64, adj []Vertex) { return g.offsets, g.adj }
+
 // MaxDegree returns the maximum vertex degree, or 0 for an empty graph.
-func (g *Graph) MaxDegree() int {
-	max := 0
-	for v := 0; v < g.N(); v++ {
-		if d := g.Degree(Vertex(v)); d > max {
-			max = d
-		}
-	}
-	return max
-}
+// O(1): cached at Build time.
+func (g *Graph) MaxDegree() int { return g.maxDeg }
 
 // MinDegree returns the minimum vertex degree, or 0 for an empty graph.
-func (g *Graph) MinDegree() int {
-	if g.N() == 0 {
-		return 0
-	}
-	min := g.Degree(0)
-	for v := 1; v < g.N(); v++ {
-		if d := g.Degree(Vertex(v)); d < min {
-			min = d
-		}
-	}
-	return min
-}
+// O(1): cached at Build time.
+func (g *Graph) MinDegree() int { return g.minDeg }
 
-// IsRegular reports whether every vertex has degree exactly d.
+// IsRegular reports whether every vertex has degree exactly d. O(1).
 func (g *Graph) IsRegular(d int) bool {
-	for v := 0; v < g.N(); v++ {
-		if g.Degree(Vertex(v)) != d {
-			return false
-		}
+	if g.N() == 0 {
+		return true
 	}
-	return true
+	return g.minDeg == d && g.maxDeg == d
 }
 
 // AlmostRegular reports whether the graph is [(1±eps)·d]-almost-regular in
-// the sense of Section 2: every degree lies in [(1-eps)d, (1+eps)d].
+// the sense of Section 2: every degree lies in [(1-eps)d, (1+eps)d]. O(1).
 func (g *Graph) AlmostRegular(d float64, eps float64) bool {
-	lo, hi := (1-eps)*d, (1+eps)*d
-	for v := 0; v < g.N(); v++ {
-		dv := float64(g.Degree(Vertex(v)))
-		if dv < lo || dv > hi {
-			return false
-		}
+	if g.N() == 0 {
+		return true
 	}
-	return true
+	lo, hi := (1-eps)*d, (1+eps)*d
+	return float64(g.minDeg) >= lo && float64(g.maxDeg) <= hi
 }
 
 // Edges returns all undirected edges. Each non-loop edge appears once with
@@ -279,6 +268,13 @@ func (b *Builder) Build() *Graph {
 	for v := 0; v < b.n; v++ {
 		ns := g.adj[offsets[v]:offsets[v+1]]
 		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+		d := len(ns)
+		if v == 0 || d < g.minDeg {
+			g.minDeg = d
+		}
+		if d > g.maxDeg {
+			g.maxDeg = d
+		}
 	}
 	b.us, b.vs = nil, nil
 	return g

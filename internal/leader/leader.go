@@ -236,11 +236,14 @@ func GrowComponents(sim *mpc.Sim, batches []*graph.Graph, params Params, rng *ra
 		}
 		forest = append(forest, lifted...)
 
-		// Compose partitions: input vertex → part of H_i's part.
+		// Compose partitions: input vertex → part of H_i's part. Pure
+		// per-vertex reads, so the chunks fan out on the sim's executor.
 		newPartOf := make([]graph.Vertex, n)
-		for v := 0; v < n; v++ {
-			newPartOf[v] = el.PartOf[partOf[v]]
-		}
+		mpc.RunChunks(sim.Executor(), n, func(lo, hi int) {
+			for v := lo; v < hi; v++ {
+				newPartOf[v] = el.PartOf[partOf[v]]
+			}
+		})
 		partOf = newPartOf
 		merged := el.Parts < parts
 		parts = el.Parts
@@ -290,9 +293,11 @@ func GrowComponents(sim *mpc.Sim, batches []*graph.Graph, params Params, rng *ra
 	// Final labels: components of the contraction pulled back through C_F.
 	hLabels, hCount := graph.Components(c.H)
 	labels := make([]graph.Vertex, n)
-	for v := 0; v < n; v++ {
-		labels[v] = hLabels[partOf[v]]
-	}
+	mpc.RunChunks(sim.Executor(), n, func(lo, hi int) {
+		for v := lo; v < hi; v++ {
+			labels[v] = hLabels[partOf[v]]
+		}
+	})
 	res.Labels = labels
 	res.Components = hCount
 	res.Forest = forest

@@ -1,0 +1,186 @@
+package mpc
+
+import (
+	"math/rand/v2"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Executor runs the simulator's data-parallel loops: machine-local work
+// inside Map/Route/SortByKey, and the instance/batch fan-outs of the
+// Theorem 3 repetitions. Implementations must invoke fn exactly once per
+// index; callers are responsible for making the per-index work write to
+// disjoint state, so results are identical under any schedule.
+type Executor interface {
+	// Workers returns the maximum number of indices that may execute
+	// concurrently (1 for the sequential executor).
+	Workers() int
+	// Run invokes fn(i) for every i in [0, n), possibly concurrently, and
+	// returns once all invocations have finished.
+	Run(n int, fn func(i int))
+}
+
+// Sequential is the zero-concurrency Executor: Run is a plain loop. It is
+// the reference implementation the worker pool must be bit-identical to.
+var Sequential Executor = sequential{}
+
+type sequential struct{}
+
+func (sequential) Workers() int { return 1 }
+
+func (sequential) Run(n int, fn func(i int)) {
+	for i := 0; i < n; i++ {
+		fn(i)
+	}
+}
+
+// The process-wide concurrency budget shared by every pool executor:
+// GOMAXPROCS-1 extra workers beyond the calling goroutine. Nested Run
+// calls (a parallel batch fan-out whose instances run parallel
+// machine-local loops) draw from the same budget, so the process never
+// oversubscribes the CPUs no matter how deeply simulations nest: an inner
+// Run that finds the budget exhausted simply executes inline on its
+// caller. The budget re-reads GOMAXPROCS on every acquire, so programs
+// (and go test -cpu sweeps) that resize the proc limit mid-process get
+// the current value, not the one cached at first use.
+var (
+	tokenMu     sync.Mutex
+	tokensInUse int
+)
+
+func tryAcquireToken() bool {
+	tokenMu.Lock()
+	defer tokenMu.Unlock()
+	if tokensInUse >= runtime.GOMAXPROCS(0)-1 {
+		return false
+	}
+	tokensInUse++
+	return true
+}
+
+func releaseToken() {
+	tokenMu.Lock()
+	tokensInUse--
+	tokenMu.Unlock()
+}
+
+// pool is a bounded work-stealing executor. It holds no goroutines while
+// idle: each Run spawns helpers only for tokens it can acquire from the
+// global budget (capped at its own worker limit), and the caller always
+// participates, so Run can never deadlock even when nested.
+type pool struct {
+	workers int
+}
+
+// NewPool returns an Executor that runs up to workers indices concurrently
+// (the calling goroutine counts as one worker). workers < 1 is clamped to
+// GOMAXPROCS. All pools share one global GOMAXPROCS-1 helper budget, so
+// nested pools cooperate instead of multiplying goroutines.
+func NewPool(workers int) Executor {
+	if workers < 1 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		return Sequential
+	}
+	return &pool{workers: workers}
+}
+
+func (p *pool) Workers() int { return p.workers }
+
+func (p *pool) Run(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	if n == 1 {
+		fn(0)
+		return
+	}
+	var next atomic.Int64
+	work := func() {
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	// Recruit helpers: at most workers-1 (the caller participates), at most
+	// n-1 (never more helpers than remaining items), and never more than
+	// the global budget allows right now.
+	helpers := p.workers - 1
+	if helpers > n-1 {
+		helpers = n - 1
+	}
+	var wg sync.WaitGroup
+	for h := 0; h < helpers; h++ {
+		if !tryAcquireToken() {
+			break // budget exhausted; caller works alone
+		}
+		wg.Add(1)
+		go func() {
+			defer func() {
+				releaseToken()
+				wg.Done()
+			}()
+			work()
+		}()
+	}
+	work()
+	wg.Wait()
+}
+
+// RunChunks divides [0, n) into contiguous chunks and executes fn(lo, hi)
+// per chunk on ex. Use it for loops whose per-index body is too cheap to
+// dispatch individually (pointer-doubling sweeps, label floods): the chunk
+// count is a small multiple of the worker count so scheduling overhead
+// stays negligible while load still balances.
+func RunChunks(ex Executor, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	w := ex.Workers()
+	if w <= 1 || n < 2*w {
+		fn(0, n)
+		return
+	}
+	chunks := 4 * w
+	if chunks > n {
+		chunks = n
+	}
+	size := (n + chunks - 1) / chunks
+	chunks = (n + size - 1) / size
+	ex.Run(chunks, func(c int) {
+		lo := c * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		fn(lo, hi)
+	})
+}
+
+// StreamRNG returns the stream-th deterministic PCG substream of the seed
+// pair (seed1, seed2). Independent walk instances, randomization batches,
+// and per-vertex direct walks each draw their randomness from their own
+// substream, keyed by their index — so the values any instance sees depend
+// only on (seed pair, index), never on which goroutine ran it or in what
+// order. This is what makes the parallel executors bit-identical to
+// Sequential. The splitmix64 finalizer decorrelates consecutive indices.
+func StreamRNG(seed1, seed2 uint64, stream uint64) *rand.Rand {
+	return rand.New(StreamPCG(seed1, seed2, stream))
+}
+
+// StreamPCG is StreamRNG without the rand.Rand wrapper: the identical
+// substream, exposed as a concrete *rand.PCG so hot loops can draw
+// Uint64s through a direct (devirtualized, inlinable) call instead of the
+// Source interface. StreamRNG(a,b,i) and StreamPCG(a,b,i) generate the
+// same underlying word sequence.
+func StreamPCG(seed1, seed2 uint64, stream uint64) *rand.PCG {
+	return rand.NewPCG(
+		mix(seed1^mix(stream*0x9e3779b97f4a7c15+0x6a09e667f3bcc909)),
+		mix(seed2+stream*0xd1342543de82ef95),
+	)
+}

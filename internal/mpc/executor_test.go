@@ -1,0 +1,249 @@
+package mpc
+
+import (
+	"flag"
+	"os"
+	"reflect"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMain raises GOMAXPROCS above the machine's CPU count so the worker
+// pool's global token budget is non-empty even on single-core CI boxes:
+// the determinism tests below then exercise real goroutine interleaving,
+// not the degenerate inline path.
+func TestMain(m *testing.M) {
+	flag.Parse()
+	if runtime.GOMAXPROCS(0) < 4 {
+		runtime.GOMAXPROCS(4)
+	}
+	os.Exit(m.Run())
+}
+
+func TestPoolRunCoversAllIndicesOnce(t *testing.T) {
+	for _, workers := range []int{2, 4, 16} {
+		ex := NewPool(workers)
+		const n = 1000
+		hits := make([]int32, n)
+		ex.Run(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestNestedPoolRunDoesNotDeadlock(t *testing.T) {
+	ex := NewPool(4)
+	var total atomic.Int64
+	ex.Run(8, func(i int) {
+		ex.Run(8, func(j int) {
+			ex.Run(4, func(k int) { total.Add(1) })
+		})
+	})
+	if got := total.Load(); got != 8*8*4 {
+		t.Fatalf("nested Run executed %d leaf calls, want %d", got, 8*8*4)
+	}
+}
+
+func TestRunChunksPartitionsExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 5, 17, 100, 1001} {
+		for _, ex := range []Executor{Sequential, NewPool(4)} {
+			hits := make([]int32, n)
+			RunChunks(ex, n, func(lo, hi int) {
+				if lo > hi || lo < 0 || hi > n {
+					t.Fatalf("bad chunk [%d,%d) for n=%d", lo, hi, n)
+				}
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("n=%d: index %d covered %d times", n, i, h)
+				}
+			}
+		}
+	}
+}
+
+func TestNewPoolClamps(t *testing.T) {
+	if ex := NewPool(1); ex != Sequential {
+		t.Error("NewPool(1) should be the sequential executor")
+	}
+	if w := NewPool(-1).Workers(); w != runtime.GOMAXPROCS(0) {
+		t.Errorf("NewPool(-1).Workers() = %d, want GOMAXPROCS", w)
+	}
+	if w := NewPool(7).Workers(); w != 7 {
+		t.Errorf("NewPool(7).Workers() = %d", w)
+	}
+}
+
+func TestConfigExecutorResolution(t *testing.T) {
+	tests := []struct {
+		cfg  Config
+		want int // expected Workers() of the resolved executor
+	}{
+		{Config{}, 1},
+		{Config{Workers: 1}, 1},
+		{Config{Workers: 6}, 6},
+		{Config{Workers: -1}, runtime.GOMAXPROCS(0)},
+		{Config{Parallel: true}, runtime.GOMAXPROCS(0)},
+		{Config{Workers: 1, Parallel: true}, 1}, // Workers wins over legacy flag
+		{Config{Executor: NewPool(3)}, 3},
+	}
+	for _, tt := range tests {
+		if got := tt.cfg.executor().Workers(); got != tt.want {
+			t.Errorf("executor(%+v).Workers() = %d, want %d", tt.cfg, got, tt.want)
+		}
+	}
+}
+
+func TestStreamRNGStreamsAreStableAndDistinct(t *testing.T) {
+	a1 := StreamRNG(1, 2, 0)
+	a2 := StreamRNG(1, 2, 0)
+	b := StreamRNG(1, 2, 1)
+	var sameAsA, sameAsB int
+	for i := 0; i < 64; i++ {
+		x := a1.Uint64()
+		if x == a2.Uint64() {
+			sameAsA++
+		}
+		if x == b.Uint64() {
+			sameAsB++
+		}
+	}
+	if sameAsA != 64 {
+		t.Error("StreamRNG is not deterministic for a fixed (seed, stream)")
+	}
+	if sameAsB > 1 {
+		t.Errorf("streams 0 and 1 agree on %d/64 draws; want decorrelated", sameAsB)
+	}
+}
+
+// The satellite determinism requirement: every primitive must produce
+// byte-identical output and accounting under the sequential executor and
+// any worker pool.
+func TestPrimitivesDeterministicAcrossExecutors(t *testing.T) {
+	type result struct {
+		mapped  []int
+		routed  []int
+		byKey   []int
+		sorted  []uint64
+		searche []Pair[uint64, uint64]
+		sum     int
+		stats   Stats
+		rounds  int
+	}
+	run := func(workers int) result {
+		s := New(Config{MachineMemory: 1 << 10, Machines: 13, Workers: workers})
+		items := make([]int, 700)
+		for i := range items {
+			items[i] = (i * 131) % 977
+		}
+		d := Distribute(s, items)
+		mapped := Map(s, d, func(m int, xs []int) []int {
+			out := make([]int, len(xs))
+			for i, x := range xs {
+				out[i] = x*3 + m
+			}
+			return out
+		})
+		routed := Route(s, mapped, func(_ int, xs []int, send func(int, int)) {
+			for _, x := range xs {
+				send(x%17-3, x) // includes out-of-range dests (wrap path)
+			}
+		})
+		grouped := ByKey(s, routed, func(v int) uint64 { return uint64(v % 37) })
+		keys := make([]uint64, 0, 700)
+		for m := 0; m < grouped.NumShards(); m++ {
+			for _, v := range grouped.Shard(m) {
+				keys = append(keys, uint64(v))
+			}
+		}
+		dk := Distribute(s, keys)
+		sorted := SortByKey(s, dk, func(v uint64) uint64 { return v % 97 }) // heavy ties
+		recs := Distribute(s, []uint64{5, 10, 20})
+		found := ParallelSearch(s, sorted, recs,
+			func(v uint64) uint64 { return v },
+			func(q uint64) uint64 { return q })
+		sum := Aggregate(s, sorted,
+			func(xs []uint64) int {
+				t := 0
+				for _, x := range xs {
+					t += int(x)
+				}
+				return t
+			},
+			func(a, b int) int { return a + b })
+		return result{
+			mapped:  Gather(mapped),
+			routed:  Gather(routed),
+			byKey:   Gather(grouped),
+			sorted:  Gather(sorted),
+			searche: Gather(found),
+			sum:     sum,
+			stats:   s.Stats(),
+			rounds:  s.Rounds(),
+		}
+	}
+	want := run(1)
+	for _, workers := range []int{2, 4, 16, -1} {
+		got := run(workers)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d diverged from sequential execution", workers)
+		}
+	}
+}
+
+// Route must allocate O(machines) per round, not O(machines²): the pooled
+// scratch absorbs the per-(src,dest) bucket matrix of the old shuffle.
+func TestRouteAllocationsScaleWithMachines(t *testing.T) {
+	const nm = 64
+	s := New(Config{MachineMemory: 1 << 10, Machines: nm})
+	items := make([]int, 4*nm)
+	for i := range items {
+		items[i] = i
+	}
+	d := Distribute(s, items)
+	// Warm the pools so steady-state behaviour is measured.
+	route := func() {
+		Route(s, d, func(_ int, xs []int, send func(int, int)) {
+			for _, x := range xs {
+				send(x, x)
+			}
+		})
+	}
+	route()
+	allocs := testing.AllocsPerRun(10, route)
+	// Old implementation: ≥ nm² bucket slices ⇒ > 4096. New: shards +
+	// flat buffers + bookkeeping ⇒ a small multiple of nm.
+	if allocs > 8*nm {
+		t.Errorf("Route allocates %.0f objects per round for %d machines; want O(machines)", allocs, nm)
+	}
+}
+
+func TestSortByKeyStableTies(t *testing.T) {
+	type rec struct {
+		key uint64
+		tag int
+	}
+	s := New(Config{MachineMemory: 1 << 10, Machines: 9, Workers: 4})
+	items := make([]rec, 300)
+	for i := range items {
+		items[i] = rec{key: uint64(i % 5), tag: i}
+	}
+	d := Distribute(s, items)
+	sorted := Gather(SortByKey(s, d, func(r rec) uint64 { return r.key }))
+	for i := 1; i < len(sorted); i++ {
+		a, b := sorted[i-1], sorted[i]
+		if a.key > b.key {
+			t.Fatalf("not sorted at %d", i)
+		}
+		if a.key == b.key && a.tag > b.tag {
+			t.Fatalf("unstable tie at %d: tags %d then %d", i, a.tag, b.tag)
+		}
+	}
+}

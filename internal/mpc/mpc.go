@@ -18,15 +18,20 @@
 //
 // Algorithms express data as Sharded[T] collections and move it with Map
 // (local work, zero rounds), Route/ByKey (one shuffle round), SortByKey and
-// ParallelSearch (the classic O(log_s N)-round primitives). Machine-local
-// work optionally fans out across goroutines; results are deterministic
-// either way.
+// ParallelSearch (the classic O(log_s N)-round primitives).
+//
+// Machine-local work runs on a pluggable Executor (Config.Workers): the
+// sequential executor or a bounded worker pool that shares one global
+// GOMAXPROCS budget across nested simulations. Every parallel loop writes
+// disjoint state and merges in index order, and all per-instance randomness
+// comes from StreamRNG substreams keyed by instance index, so results are
+// bit-identical across executors and schedules. See README.md in this
+// directory for the executor model and the seed-derivation scheme.
 package mpc
 
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 )
@@ -38,9 +43,38 @@ type Config struct {
 	MachineMemory int
 	// Machines is the number of machines.
 	Machines int
-	// Parallel executes machine-local functions on a bounded goroutine
-	// pool. Results are identical to the sequential executor.
+	// Workers selects the execution engine for machine-local work and
+	// instance fan-outs: 1 (or 0 with Parallel unset) is the sequential
+	// executor, k > 1 a bounded pool of k workers, and any negative value a
+	// GOMAXPROCS-wide pool. All pools share one global GOMAXPROCS-1 helper
+	// budget, so nested simulations never oversubscribe the CPUs. Results
+	// are bit-identical across executors.
+	Workers int
+	// Parallel is the legacy toggle predating Workers; when Workers == 0 it
+	// selects a GOMAXPROCS-wide pool.
 	Parallel bool
+	// Executor, when non-nil, overrides Workers/Parallel with a custom
+	// executor. Fork children inherit it.
+	Executor Executor
+}
+
+// executor resolves the Config knobs to a concrete Executor.
+func (cfg Config) executor() Executor {
+	if cfg.Executor != nil {
+		return cfg.Executor
+	}
+	w := cfg.Workers
+	if w == 0 {
+		if cfg.Parallel {
+			w = -1
+		} else {
+			w = 1
+		}
+	}
+	if w == 1 {
+		return Sequential
+	}
+	return NewPool(w)
 }
 
 // AutoConfig returns a cluster sized for an input of totalRecords records
@@ -100,6 +134,7 @@ type Stats struct {
 // multiple algorithm goroutines (machine-local parallelism is internal).
 type Sim struct {
 	cfg   Config
+	exec  Executor
 	stats Stats
 	err   error
 }
@@ -113,11 +148,16 @@ func New(cfg Config) *Sim {
 	if cfg.Machines < 1 {
 		cfg.Machines = 1
 	}
-	return &Sim{cfg: cfg}
+	return &Sim{cfg: cfg, exec: cfg.executor()}
 }
 
 // Config returns the cluster configuration.
 func (s *Sim) Config() Config { return s.cfg }
+
+// Executor returns the execution engine the Sim's primitives run on.
+// Algorithm code uses it to parallelize its own independent fan-outs
+// (Theorem 3 instances, randomization batches) on the same shared budget.
+func (s *Sim) Executor() Executor { return s.exec }
 
 // Stats returns the current accounting snapshot.
 func (s *Sim) Stats() Stats { return s.stats }
@@ -177,8 +217,13 @@ func (s *Sim) observeLoad(op string, loads []int) {
 
 // Fork returns a child Sim with the same cluster configuration and fresh
 // accounting, for work that runs concurrently with other forks on disjoint
-// machine groups. Combine the children back with MergeParallel.
-func (s *Sim) Fork() *Sim { return New(s.cfg) }
+// machine groups. The child shares the parent's executor (and thus the
+// global worker budget). Combine the children back with MergeParallel.
+func (s *Sim) Fork() *Sim {
+	child := New(s.cfg)
+	child.exec = s.exec
+	return child
+}
 
 // MergeParallel folds the accounting of children that executed in parallel
 // on disjoint machine groups: rounds advance by the slowest child (the
@@ -296,35 +341,9 @@ func Distribute[T any](s *Sim, items []T) *Sharded[T] {
 	return d
 }
 
-// parallelOver runs fn(machine) over all machines, possibly on a bounded
-// goroutine pool.
+// parallelOver runs fn(machine) over all machines on the Sim's executor.
 func (s *Sim) parallelOver(n int, fn func(m int)) {
-	if !s.cfg.Parallel || n < 2 {
-		for m := 0; m < n; m++ {
-			fn(m)
-		}
-		return
-	}
-	workers := runtime.NumCPU()
-	if workers > n {
-		workers = n
-	}
-	var wg sync.WaitGroup
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for m := range next {
-				fn(m)
-			}
-		}()
-	}
-	for m := 0; m < n; m++ {
-		next <- m
-	}
-	close(next)
-	wg.Wait()
+	s.exec.Run(n, fn)
 }
 
 // Map applies a machine-local function to every shard. It is free (no
@@ -338,42 +357,117 @@ func Map[T, U any](s *Sim, in *Sharded[T], f func(machine int, items []T) []U) *
 	return out
 }
 
+// routeScratch is the pooled per-source shuffle state: a flat list of
+// destinations in emission order plus per-destination counts. Message
+// payloads are generic and therefore kept in a separate per-call buffer;
+// everything type-independent is recycled through routePool, so a Route
+// round costs O(machines) allocations instead of the O(machines²) of a
+// per-(src,dest) outbox matrix.
+type routeScratch struct {
+	dests  []int32
+	counts []int32
+}
+
+var routePool = sync.Pool{New: func() any { return new(routeScratch) }}
+
+func getRouteScratch(nm int) *routeScratch {
+	rs := routePool.Get().(*routeScratch)
+	if cap(rs.counts) < nm {
+		rs.counts = make([]int32, nm)
+	} else {
+		rs.counts = rs.counts[:nm]
+		clear(rs.counts)
+	}
+	rs.dests = rs.dests[:0]
+	return rs
+}
+
+// offsetsPool recycles the O(machines²) int32 offset table (one allocation
+// per round, reused across rounds and sims).
+var offsetsPool = sync.Pool{New: func() any { return new([]int32) }}
+
+func getI32(n int) *[]int32 {
+	p := offsetsPool.Get().(*[]int32)
+	if cap(*p) < n {
+		*p = make([]int32, n)
+	} else {
+		*p = (*p)[:n]
+	}
+	return p
+}
+
 // Route is one communication round: each machine scans its records and
 // emits messages addressed to explicit destination machines. Both the sent
 // and received volume per machine are bounded by machine memory.
+//
+// The shuffle is allocation-lean: each source machine appends to one flat
+// message buffer while counting per-destination volume in pooled scratch;
+// receiver shards are then allocated at exact size and filled by a
+// parallel scatter through a pooled offset table. Messages arrive ordered
+// by (source machine, emission order) — the same order as a per-pair
+// outbox — so results are independent of the executor.
 func Route[T, U any](s *Sim, in *Sharded[T], emit func(machine int, items []T, send func(dest int, msg U))) *Sharded[U] {
 	nm := len(in.shards)
-	outbox := make([][][]U, nm) // outbox[src][dest]
+	scratch := make([]*routeScratch, nm)
+	msgs := make([][]U, nm)
 	sent := make([]int, nm)
 	s.parallelOver(nm, func(m int) {
-		buckets := make([][]U, nm)
-		count := 0
+		rs := getRouteScratch(nm)
+		// Most emitters send O(1) messages per input record; seeding the
+		// flat buffer at the shard size makes the append loop one
+		// allocation in the common case.
+		buf := make([]U, 0, len(in.shards[m]))
 		emit(m, in.shards[m], func(dest int, msg U) {
 			if dest < 0 || dest >= nm {
 				dest = ((dest % nm) + nm) % nm
 			}
-			buckets[dest] = append(buckets[dest], msg)
-			count++
+			rs.dests = append(rs.dests, int32(dest))
+			rs.counts[dest]++
+			buf = append(buf, msg)
 		})
-		outbox[m] = buckets
-		sent[m] = count
+		scratch[m] = rs
+		msgs[m] = buf
+		sent[m] = len(buf)
 	})
 	s.observeLoad("route:send", sent)
+	// off[src*nm+dest] = where src's first message to dest lands within
+	// dest's shard: a column-wise exclusive prefix sum of the counts.
+	offP, totalsP := getI32(nm*nm), getI32(nm)
+	off, totals := *offP, *totalsP
+	clear(totals)
+	for src := 0; src < nm; src++ {
+		row := scratch[src].counts
+		base := src * nm
+		for dest := 0; dest < nm; dest++ {
+			off[base+dest] = totals[dest]
+			totals[dest] += row[dest]
+		}
+	}
 	out := &Sharded[U]{shards: make([][]U, nm)}
-	s.parallelOver(nm, func(dest int) {
-		total := 0
-		for src := 0; src < nm; src++ {
-			total += len(outbox[src][dest])
+	recv := make([]int, nm)
+	for dest := 0; dest < nm; dest++ {
+		out.shards[dest] = make([]U, totals[dest])
+		recv[dest] = int(totals[dest])
+	}
+	// Scatter: sources write disjoint index ranges of each receiver shard,
+	// so they can run concurrently; the offset row doubles as the cursor.
+	s.parallelOver(nm, func(src int) {
+		rs := scratch[src]
+		base := src * nm
+		buf := msgs[src]
+		for i, d := range rs.dests {
+			out.shards[d][off[base+int(d)]] = buf[i]
+			off[base+int(d)]++
 		}
-		shard := make([]U, 0, total)
-		for src := 0; src < nm; src++ {
-			shard = append(shard, outbox[src][dest]...)
-		}
-		out.shards[dest] = shard
 	})
-	s.observeLoad("route:recv", out.loads())
+	s.observeLoad("route:recv", recv)
 	for _, c := range sent {
 		s.stats.TotalMessages += int64(c)
+	}
+	offsetsPool.Put(offP)
+	offsetsPool.Put(totalsP)
+	for _, rs := range scratch {
+		routePool.Put(rs)
 	}
 	s.Charge(1, "route")
 	return out
@@ -394,17 +488,100 @@ func ByKey[T any](s *Sim, in *Sharded[T], key func(T) uint64) *Sharded[T] {
 // partitioned across machines in key order (machine 0 holds the smallest
 // keys). It charges ceil(log_s N) rounds, the cost of the Goodrich et al.
 // MPC sort; the data movement itself is simulated on the host.
+//
+// The host simulation mirrors the model's structure: every machine sorts
+// its shard locally (in parallel on the executor), then the sorted runs
+// are merged by a binary min-heap over run heads that breaks key ties by
+// shard index. That tie-break makes the merge equivalent to a stable sort
+// of the shard concatenation, so output is bit-identical to the
+// sequential path regardless of executor.
 func SortByKey[T any](s *Sim, in *Sharded[T], key func(T) uint64) *Sharded[T] {
 	n := in.Len()
-	all := make([]T, 0, n)
-	for _, sh := range in.shards {
-		all = append(all, sh...)
+	nm := len(in.shards)
+	all := make([]T, n)
+	bounds := make([]int, nm+1)
+	for m, sh := range in.shards {
+		bounds[m+1] = bounds[m] + len(sh)
 	}
-	sort.SliceStable(all, func(i, j int) bool { return key(all[i]) < key(all[j]) })
+	s.parallelOver(nm, func(m int) {
+		seg := all[bounds[m]:bounds[m+1]]
+		copy(seg, in.shards[m])
+		sort.SliceStable(seg, func(i, j int) bool { return key(seg[i]) < key(seg[j]) })
+	})
+	merged := mergeRuns(all, bounds, key)
 	s.ChargeSort(n)
 	s.stats.TotalMessages += int64(n)
 	// Range partition: equal-size blocks in key order.
-	return Distribute(s, all)
+	return Distribute(s, merged)
+}
+
+// mergeRuns merges the sorted segments all[bounds[m]:bounds[m+1]] into a
+// fresh slice using a binary min-heap over segment heads; equal keys pop
+// from the lowest segment first (stability across segments).
+func mergeRuns[T any](all []T, bounds []int, key func(T) uint64) []T {
+	nm := len(bounds) - 1
+	if nm == 1 {
+		return all
+	}
+	type head struct {
+		key uint64
+		seg int32
+	}
+	heap := make([]head, 0, nm)
+	pos := make([]int, nm)
+	less := func(a, b head) bool {
+		return a.key < b.key || (a.key == b.key && a.seg < b.seg)
+	}
+	push := func(h head) {
+		heap = append(heap, h)
+		for i := len(heap) - 1; i > 0; {
+			p := (i - 1) / 2
+			if !less(heap[i], heap[p]) {
+				break
+			}
+			heap[i], heap[p] = heap[p], heap[i]
+			i = p
+		}
+	}
+	siftDown := func() {
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			sm := i
+			if l < len(heap) && less(heap[l], heap[sm]) {
+				sm = l
+			}
+			if r < len(heap) && less(heap[r], heap[sm]) {
+				sm = r
+			}
+			if sm == i {
+				return
+			}
+			heap[i], heap[sm] = heap[sm], heap[i]
+			i = sm
+		}
+	}
+	for m := 0; m < nm; m++ {
+		pos[m] = bounds[m]
+		if pos[m] < bounds[m+1] {
+			push(head{key: key(all[pos[m]]), seg: int32(m)})
+		}
+	}
+	out := make([]T, 0, len(all))
+	for len(heap) > 0 {
+		h := heap[0]
+		m := int(h.seg)
+		out = append(out, all[pos[m]])
+		pos[m]++
+		if pos[m] < bounds[m+1] {
+			heap[0] = head{key: key(all[pos[m]]), seg: h.seg}
+		} else {
+			heap[0] = heap[len(heap)-1]
+			heap = heap[:len(heap)-1]
+		}
+		siftDown()
+	}
+	return out
 }
 
 // Pair carries a query joined with the matching record, the output of

@@ -145,26 +145,33 @@ func Randomize(sim *mpc.Sim, g *graph.Graph, walkLength int, params Params, rng 
 // Batches runs Randomize count times with fresh randomness, producing the
 // F independent "fresh seed" graphs G̃_1..G̃_F that GrowComponents consumes
 // one per phase (Section 6, preprocessing step). The batches run in
-// parallel machine groups, so rounds advance by the slowest batch only.
+// parallel machine groups, so rounds advance by the slowest batch only —
+// and on the host they fan out across the simulator's executor, each batch
+// on its own Sim fork with its own StreamRNG substream keyed by batch
+// index, merged in batch order so the output is schedule-independent.
 func Batches(sim *mpc.Sim, g *graph.Graph, walkLength, count int, params Params, rng *rand.Rand) ([]*graph.Graph, Stats, error) {
 	out := make([]*graph.Graph, count)
 	agg := Stats{WalkLength: walkLength, WalksPerVertex: params.WalksPerVertex}
-	children := make([]*mpc.Sim, 0, count)
-	defer func() { sim.MergeParallel(children...) }()
+	if count == 0 {
+		return out, agg, nil
+	}
+	s1, s2 := rng.Uint64(), rng.Uint64()
+	children := make([]*mpc.Sim, count)
+	sts := make([]Stats, count)
+	errs := make([]error, count)
+	sim.Executor().Run(count, func(i int) {
+		children[i] = sim.Fork()
+		out[i], sts[i], errs[i] = Randomize(children[i], g, walkLength, params, mpc.StreamRNG(s1, s2, uint64(i)))
+	})
+	sim.MergeParallel(children...)
 	fracSum := 0.0
 	for i := 0; i < count; i++ {
-		child := sim.Fork()
-		children = append(children, child)
-		h, st, err := Randomize(child, g, walkLength, params, rng)
-		if err != nil {
-			return nil, agg, fmt.Errorf("randomize: batch %d: %w", i, err)
+		if errs[i] != nil {
+			return nil, agg, fmt.Errorf("randomize: batch %d: %w", i, errs[i])
 		}
-		out[i] = h
-		fracSum += st.CertifiedFraction
+		fracSum += sts[i].CertifiedFraction
 	}
-	if count > 0 {
-		agg.CertifiedFraction = fracSum / float64(count)
-	}
+	agg.CertifiedFraction = fracSum / float64(count)
 	return out, agg, nil
 }
 

@@ -22,12 +22,22 @@
 // Lemma 5.3 guarantees each walk is certified independent with probability
 // at least 1/2 when width = 2t; Theorem 3 then repeats the construction
 // O(log n) times so every vertex obtains an independent walk whp.
+//
+// Parallelism. The Θ(log n) Theorem 3 repetitions and the k Lemma 5.1
+// batches are mutually independent, so they fan out across the simulator's
+// executor (mpc.Executor); inside one instance the sampling layers, the
+// pointer-doubling sweeps, and the certification scan are data-parallel
+// and run chunked on the same executor. Every instance, batch, and vertex
+// draws its randomness from an mpc.StreamRNG substream keyed by its index,
+// so outputs are bit-identical whether the schedule is sequential or
+// parallel.
 package randwalk
 
 import (
 	"fmt"
 	"math"
 	"math/rand/v2"
+	"sync/atomic"
 
 	"repro/internal/graph"
 	"repro/internal/mpc"
@@ -146,48 +156,70 @@ func SimpleRandomWalk(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *r
 
 	layer := n * w // vertices per layer; node (v,i,j) ⇒ local index v*w+i
 	total := layer * (t + 1)
-	// Sampled layered graph: next[j][x] = local index in layer j+1.
+	ex := sim.Executor()
+	// Sampled layered graph: next[j][x] = local index in layer j+1. Each
+	// layer samples from its own StreamRNG substream, so layers fill in
+	// parallel and the graph does not depend on the schedule.
+	s1, s2 := rng.Uint64(), rng.Uint64()
 	next := make([][]int32, t)
-	for j := 0; j < t; j++ {
-		next[j] = make([]int32, layer)
+	ex.Run(t, func(j int) {
+		r := mpc.StreamPCG(s1, s2, uint64(j))
+		row := make([]int32, layer)
 		for v := 0; v < n; v++ {
 			ns := g.Neighbors(graph.Vertex(v))
 			for i := 0; i < w; i++ {
-				u := ns[rng.IntN(len(ns))]
-				c := rng.IntN(w)
-				next[j][v*w+i] = int32(int(u)*w + c)
+				u := ns[pcgIndex(r, len(ns))]
+				c := pcgIndex(r, w)
+				row[v*w+i] = int32(int(u)*w + c)
 			}
 		}
-	}
+		next[j] = row
+	})
 	sim.Charge(1, "randwalk:sample")
 
 	// Pointer doubling with saturation at the final layer: jump[(j,x)] =
 	// (layer, local) reached by following 2^k sampled edges (or fewer if
 	// the final layer intervenes — which cannot happen for starts in layer
 	// 0 until they reach layer t).
+	// jl/jx are reassigned by the generation swap below, so hot loops bind
+	// them to per-closure locals: a captured-and-reassigned slice lives in
+	// a heap cell, and the extra indirection costs ~50% on these sweeps.
 	jl := make([]int32, total) // jump target layer
 	jx := make([]int32, total) // jump target local index
 	at := func(j, x int) int { return j*layer + x }
-	for j := 0; j <= t; j++ {
-		for x := 0; x < layer; x++ {
-			if j < t {
-				jl[at(j, x)] = int32(j + 1)
-				jx[at(j, x)] = next[j][x]
-			} else {
-				jl[at(j, x)] = int32(j)
-				jx[at(j, x)] = int32(x)
+	{
+		il, ix := jl, jx
+		mpc.RunChunks(ex, total, func(lo, hi int) {
+			j, x := lo/layer, lo%layer
+			for idx := lo; idx < hi; idx++ {
+				if j < t {
+					il[idx] = int32(j + 1)
+					ix[idx] = next[j][x]
+				} else {
+					il[idx] = int32(j)
+					ix[idx] = int32(x)
+				}
+				if x++; x == layer {
+					x = 0
+					j++
+				}
 			}
-		}
+		})
 	}
 	phases := ceilLog2(t)
 	njl := make([]int32, total)
 	njx := make([]int32, total)
 	for p := 0; p < phases; p++ {
-		for idx := 0; idx < total; idx++ {
-			mid := at(int(jl[idx]), int(jx[idx]))
-			njl[idx] = jl[mid]
-			njx[idx] = jx[mid]
-		}
+		// Each index reads the previous generation and writes only its own
+		// slot: a pure data-parallel sweep.
+		sl, sx, dl, dx := jl, jx, njl, njx
+		mpc.RunChunks(ex, total, func(lo, hi int) {
+			for idx := lo; idx < hi; idx++ {
+				mid := int(sl[idx])*layer + int(sx[idx])
+				dl[idx] = sl[mid]
+				dx[idx] = sx[mid]
+			}
+		})
 		jl, njl = njl, jl
 		jx, njx = njx, jx
 		sim.ChargeSearch(total)
@@ -221,43 +253,53 @@ func SimpleRandomWalk(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *r
 	if params.CollectPaths {
 		visited = make([][]graph.Vertex, n)
 	}
-	seen := make(map[graph.Vertex]bool, t+1)
-	for v := 0; v < n; v++ {
-		// Endpoint from the doubled pointers (Claim 5.5).
-		idx := at(0, v*w)
-		endLocal := int(jx[idx])
-		if int(jl[idx]) != t {
-			return nil, fmt.Errorf("randwalk: pointer doubling stopped at layer %d", jl[idx])
-		}
-		targets[v] = graph.Vertex(endLocal / w)
-		// Certification and (optionally) the visited set, walking the
-		// path once.
-		independent := true
-		x := v * w
-		if params.CollectPaths {
-			clear(seen)
-			seen[graph.Vertex(v)] = true
-			visited[v] = append(visited[v][:0], graph.Vertex(v))
-		}
-		for j := 0; j <= t; j++ {
-			if counts[at(j, x)] != 1 {
-				independent = false
-				if !params.CollectPaths {
-					break
+	// Per-start work writes only slot v; chunks keep their own visit set.
+	var badLayer atomic.Int64
+	badLayer.Store(-1)
+	fl, fx := jl, jx // final generation, bound before the closure
+	mpc.RunChunks(ex, n, func(lo, hi int) {
+		seen := make(map[graph.Vertex]bool, t+1)
+		for v := lo; v < hi; v++ {
+			// Endpoint from the doubled pointers (Claim 5.5).
+			idx := at(0, v*w)
+			endLocal := int(fx[idx])
+			if int(fl[idx]) != t {
+				badLayer.Store(int64(fl[idx]))
+				return
+			}
+			targets[v] = graph.Vertex(endLocal / w)
+			// Certification and (optionally) the visited set, walking the
+			// path once.
+			independent := true
+			x := v * w
+			if params.CollectPaths {
+				clear(seen)
+				seen[graph.Vertex(v)] = true
+				visited[v] = append(visited[v][:0], graph.Vertex(v))
+			}
+			for j := 0; j <= t; j++ {
+				if counts[at(j, x)] != 1 {
+					independent = false
+					if !params.CollectPaths {
+						break
+					}
+				}
+				if params.CollectPaths && j > 0 {
+					u := graph.Vertex(x / w)
+					if !seen[u] {
+						seen[u] = true
+						visited[v] = append(visited[v], u)
+					}
+				}
+				if j < t {
+					x = int(next[j][x])
 				}
 			}
-			if params.CollectPaths && j > 0 {
-				u := graph.Vertex(x / w)
-				if !seen[u] {
-					seen[u] = true
-					visited[v] = append(visited[v], u)
-				}
-			}
-			if j < t {
-				x = int(next[j][x])
-			}
+			ind[v] = independent
 		}
-		ind[v] = independent
+	})
+	if l := badLayer.Load(); l >= 0 {
+		return nil, fmt.Errorf("randwalk: pointer doubling stopped at layer %d", l)
 	}
 	return &WalkSet{Target: targets, Independent: ind, Visited: visited}, nil
 }
@@ -280,6 +322,14 @@ type Stats struct {
 // repetitions, default Θ(log n)). Vertices still uncovered at the budget
 // fall back to their last instance's (correctly distributed, possibly
 // correlated) target and are reported in Stats.Uncovered.
+//
+// The repetitions are mutually independent, so they execute in waves of
+// executor-width many instances at a time, each on its own Sim fork with
+// its own StreamRNG substream keyed by instance index. Waves merge in
+// instance order and stop at the first instance that completes coverage —
+// exactly the sequential schedule — so the result (and Stats) is
+// bit-identical to a one-worker run; instances a wave computed beyond the
+// stopping point are speculative work and are discarded.
 func IndependentWalks(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *rand.Rand) (*WalkSet, Stats, error) {
 	n := g.N()
 	out := &WalkSet{Target: make([]graph.Vertex, n), Independent: make([]bool, n)}
@@ -290,30 +340,49 @@ func IndependentWalks(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *r
 	covered := 0
 	fracSum := 0.0
 	maxInst := params.maxInstances(n)
+	s1, s2 := rng.Uint64(), rng.Uint64()
+	ex := sim.Executor()
+	wave := ex.Workers()
+	if wave < 1 {
+		wave = 1
+	}
 	// The Θ(log n) instances run in parallel on disjoint machine groups
 	// (the Theorem 3 proof), so the round cost is one instance's, not the
 	// sum: run each on a fork and merge.
 	children := make([]*mpc.Sim, 0, maxInst)
 	defer func() { sim.MergeParallel(children...) }()
-	for inst := 0; inst < maxInst && covered < n; inst++ {
-		child := sim.Fork()
-		children = append(children, child)
-		ws, err := SimpleRandomWalk(child, g, t, params, rng)
-		if err != nil {
-			return nil, stats, err
+	for base := 0; base < maxInst && covered < n; base += wave {
+		hi := base + wave
+		if hi > maxInst {
+			hi = maxInst
 		}
-		stats.Instances++
-		fracSum += ws.IndependentFraction()
-		for v := 0; v < n; v++ {
-			if out.Independent[v] {
-				continue
+		kids := make([]*mpc.Sim, hi-base)
+		wss := make([]*WalkSet, hi-base)
+		errs := make([]error, hi-base)
+		ex.Run(hi-base, func(i int) {
+			kids[i] = sim.Fork()
+			r := mpc.StreamRNG(s1, s2, uint64(base+i))
+			wss[i], errs[i] = SimpleRandomWalk(kids[i], g, t, params, r)
+		})
+		for i := 0; i < hi-base && covered < n; i++ {
+			if errs[i] != nil {
+				return nil, stats, errs[i]
 			}
-			if ws.Independent[v] {
-				out.Target[v] = ws.Target[v]
-				out.Independent[v] = true
-				covered++
-			} else {
-				out.Target[v] = ws.Target[v] // fallback, correctly distributed
+			children = append(children, kids[i])
+			ws := wss[i]
+			stats.Instances++
+			fracSum += ws.IndependentFraction()
+			for v := 0; v < n; v++ {
+				if out.Independent[v] {
+					continue
+				}
+				if ws.Independent[v] {
+					out.Target[v] = ws.Target[v]
+					out.Independent[v] = true
+					covered++
+				} else {
+					out.Target[v] = ws.Target[v] // fallback, correctly distributed
+				}
 			}
 		}
 	}
@@ -331,28 +400,37 @@ func IndependentWalks(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *r
 // (vertex-disjoint sampled paths) and across batches all randomness is
 // fresh; this independence is what lets Step 2 treat each component's new
 // edges as a G(n_i, 2k) sample. The k batches run on parallel machine
-// groups: rounds advance by one batch's cost, not k of them. The returned
-// fraction is the fraction of (vertex, batch) pairs whose walk was
-// certified independent rather than filled from a fallback instance.
+// groups: rounds advance by one batch's cost, not k of them — and on the
+// host they fan out across the executor, each batch on its own Sim fork
+// with its own StreamRNG substream (merged in batch order, so the result
+// is schedule-independent). The returned fraction is the fraction of
+// (vertex, batch) pairs whose walk was certified independent rather than
+// filled from a fallback instance.
 func CollectTargets(sim *mpc.Sim, g *graph.Graph, t, k int, params Params, rng *rand.Rand) (targets [][]graph.Vertex, certified float64, err error) {
 	n := g.N()
 	targets = make([][]graph.Vertex, n)
 	for v := range targets {
 		targets[v] = make([]graph.Vertex, 0, k)
 	}
+	s1, s2 := rng.Uint64(), rng.Uint64()
+	children := make([]*mpc.Sim, k)
+	wss := make([]*WalkSet, k)
+	statsArr := make([]Stats, k)
+	errs := make([]error, k)
+	sim.Executor().Run(k, func(b int) {
+		children[b] = sim.Fork()
+		r := mpc.StreamRNG(s1, s2, uint64(b))
+		wss[b], statsArr[b], errs[b] = IndependentWalks(children[b], g, t, params, r)
+	})
+	sim.MergeParallel(children...)
 	sum := 0.0
-	children := make([]*mpc.Sim, 0, k)
-	defer func() { sim.MergeParallel(children...) }()
 	for b := 0; b < k; b++ {
-		child := sim.Fork()
-		children = append(children, child)
-		ws, stats, err := IndependentWalks(child, g, t, params, rng)
-		if err != nil {
-			return nil, 0, err
+		if errs[b] != nil {
+			return nil, 0, errs[b]
 		}
-		sum += 1 - float64(stats.Uncovered)/float64(max(n, 1))
+		sum += 1 - float64(statsArr[b].Uncovered)/float64(max(n, 1))
 		for v := 0; v < n; v++ {
-			targets[v] = append(targets[v], ws.Target[v])
+			targets[v] = append(targets[v], wss[b].Target[v])
 		}
 	}
 	if k > 0 {

@@ -49,6 +49,10 @@ type Options struct {
 	MaxWalkLength int
 	// SketchCopies is the per-round sampler redundancy (default 3).
 	SketchCopies int
+	// Workers selects the simulator's execution engine (mpc.Config.Workers
+	// semantics): 1 sequential, k > 1 a bounded pool, negative GOMAXPROCS.
+	// Results are bit-identical for a fixed Seed regardless of the setting.
+	Workers int
 	// Seed drives all randomness.
 	Seed uint64
 }
@@ -105,7 +109,7 @@ type Result struct {
 func Components(g *graph.Graph, opts Options) (*Result, error) {
 	n := g.N()
 	opts = opts.withDefaults(n)
-	sim := mpc.New(mpc.Config{MachineMemory: opts.MachineMemory, Machines: 2*n/opts.MachineMemory + 2})
+	sim := mpc.New(mpc.Config{MachineMemory: opts.MachineMemory, Machines: 2*n/opts.MachineMemory + 2, Workers: opts.Workers})
 	rng := rand.New(rand.NewPCG(opts.Seed, 0x5b7e151628aed2a6))
 	var stats Stats
 	if n == 0 {
