@@ -2,17 +2,20 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench
+.PHONY: build test vet race bench-smoke bench
 
 build:
 	$(GO) build ./...
 
+vet:
+	$(GO) vet ./...
+
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 # Race-checked run of the packages with executor-level concurrency.
 race:
-	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/
+	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/ ./internal/service/
 
 # One-iteration pass over the perf-critical benchmarks: catches crashes,
 # allocation regressions (-benchmem), and gross slowdowns in seconds.

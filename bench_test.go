@@ -11,7 +11,7 @@ import (
 	"math/rand/v2"
 	"testing"
 
-	"repro/internal/baseline"
+	"repro/internal/algo"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/expander"
@@ -98,8 +98,11 @@ func BenchmarkBaselineHashToMin(b *testing.B) {
 	rounds := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		sim := mpc.New(mpc.AutoConfig(2*g.M(), 0.5, 2))
-		rounds = baseline.HashToMin(sim, g).Rounds
+		res, err := algo.Find("hashtomin", g, algo.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
 	}
 	b.ReportMetric(float64(rounds), "mpc-rounds")
 }

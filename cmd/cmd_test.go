@@ -1,15 +1,20 @@
-// Package cmd_test smoke-tests the three executables end to end: build
-// them once, then drive the wccgen | wccfind pipe and the wccbench table
-// output the README advertises.
+// Package cmd_test smoke-tests the executables end to end: build them
+// once, then drive the wccgen | wccfind pipe, the wccbench table output
+// the README advertises, and the wccserve HTTP lifecycle.
 package cmd_test
 
 import (
+	"bufio"
 	"bytes"
+	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 var binDir string
@@ -21,7 +26,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"wccgen", "wccfind", "wccbench"} {
+	for _, tool := range []string{"wccgen", "wccfind", "wccbench", "wccserve"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -55,6 +60,11 @@ func TestGenPipeFind(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("wccfind output missing %q:\n%s", want, out)
 		}
+	}
+	// The -sizes histogram must come out in ascending size order.
+	i, j := strings.Index(out, "40 × 1"), strings.Index(out, "60 × 1")
+	if i < 0 || j < 0 || i > j {
+		t.Errorf("histogram not sorted by size:\n%s", out)
 	}
 }
 
@@ -103,9 +113,18 @@ func TestBenchTableOutput(t *testing.T) {
 			t.Errorf("wccbench missing %q:\n%s", want, out)
 		}
 	}
-	cmd := exec.Command(filepath.Join(binDir, "wccbench"), "-only", "E99")
-	if err := cmd.Run(); err == nil {
-		t.Error("want failure for unknown experiment")
+	// Unknown IDs must fail loudly, listing the valid ones — even when
+	// mixed with valid IDs (the old code silently ran the subset).
+	for _, only := range []string{"E99", "E14,E99"} {
+		cmd := exec.Command(filepath.Join(binDir, "wccbench"), "-only", only)
+		var stderr bytes.Buffer
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err == nil {
+			t.Errorf("-only %s: want failure for unknown experiment", only)
+		}
+		if msg := stderr.String(); !strings.Contains(msg, "E99") || !strings.Contains(msg, "valid") {
+			t.Errorf("-only %s: error should name the bad ID and list valid ones, got %q", only, msg)
+		}
 	}
 }
 
@@ -113,5 +132,82 @@ func TestBenchAblation(t *testing.T) {
 	out := runTool(t, nil, "wccbench", "-quick", "-only", "A2")
 	if !strings.Contains(out, "indepFrac") {
 		t.Errorf("ablation table missing:\n%s", out)
+	}
+}
+
+// TestServeLifecycle boots the wccserve binary on an ephemeral port,
+// drives one load→solve→query round trip over real HTTP, then checks the
+// SIGTERM path exits cleanly (graceful shutdown).
+func TestServeLifecycle(t *testing.T) {
+	cmd := exec.Command(filepath.Join(binDir, "wccserve"), "-addr", "127.0.0.1:0")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The startup log line carries the resolved address.
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(after)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("wccserve never logged its listen address")
+	}
+	go io.Copy(io.Discard, stderr) // keep the pipe drained
+
+	post := func(path, body string) string {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: %d %s", path, resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	loaded := post("/v1/graphs?name=pipe", "6 5\n0 1\n1 2\n2 0\n3 4\n4 5\n")
+	_, after, ok := strings.Cut(loaded, `"id":"`)
+	end := strings.Index(after, `"`)
+	if !ok || end < 0 {
+		t.Fatalf("load response without id: %s", loaded)
+	}
+	id := after[:end]
+	solved := post("/v1/solve", fmt.Sprintf(`{"graph":%q,"algo":"hashtomin","wait":true}`, id))
+	if !strings.Contains(solved, `"components":2`) {
+		t.Fatalf("solve response: %s", solved)
+	}
+	resp, err := http.Get(fmt.Sprintf("%s/v1/query/same-component?graph=%s&algo=hashtomin&u=0&v=2", base, id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(raw), `"same":true`) {
+		t.Fatalf("query: %d %s", resp.StatusCode, raw)
+	}
+
+	// Graceful shutdown: SIGTERM → clean exit 0.
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("wccserve exited non-zero after SIGINT: %v", err)
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatal("wccserve did not shut down within 15s of SIGINT")
 	}
 }

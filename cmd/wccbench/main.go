@@ -12,6 +12,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strings"
 	"time"
 
@@ -47,6 +48,11 @@ func run() error {
 	if *ablations || anyAblation(want) {
 		runners = append(runners, bench.Ablations()...)
 	}
+	// Reject unknown IDs up front: silently skipping them would run a
+	// subset (or nothing) while still exiting 0.
+	if err := checkIDs(want); err != nil {
+		return err
+	}
 	ran := 0
 	for _, r := range runners {
 		if len(want) > 0 && !want[r.ID] {
@@ -74,4 +80,27 @@ func anyAblation(want map[string]bool) bool {
 		}
 	}
 	return false
+}
+
+// checkIDs rejects -only entries that name no experiment, listing the
+// valid IDs so typos surface instead of silently shrinking the run.
+func checkIDs(want map[string]bool) error {
+	valid := map[string]bool{}
+	var ids []string
+	for _, r := range append(bench.All(), bench.Ablations()...) {
+		valid[r.ID] = true
+		ids = append(ids, r.ID)
+	}
+	var unknown []string
+	for id := range want {
+		if !valid[id] {
+			unknown = append(unknown, id)
+		}
+	}
+	if len(unknown) == 0 {
+		return nil
+	}
+	sort.Strings(unknown)
+	return fmt.Errorf("unknown experiment IDs %s (valid: %s)",
+		strings.Join(unknown, ","), strings.Join(ids, ","))
 }

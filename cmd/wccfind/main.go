@@ -9,21 +9,19 @@
 //	wccfind -in graph.txt -algo sublinear -memory 128
 //	wccfind -in graph.txt -algo hashtomin
 //
-// Algorithms: wcc (the paper, default), sublinear (Theorem 2), hashtomin,
-// boruvka, labelprop, exponentiate (baselines).
+// Algorithms come from the internal/algo registry: wcc (the paper,
+// default), sublinear (Theorem 2), hashtomin, boruvka, labelprop,
+// exponentiate (baselines).
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
+	"strings"
 
-	"repro/internal/baseline"
-	"repro/internal/core"
+	"repro/internal/algo"
 	"repro/internal/graph"
-	"repro/internal/mpc"
-	"repro/internal/sublinear"
 )
 
 func main() {
@@ -35,15 +33,20 @@ func main() {
 
 func run() error {
 	var (
-		in      = flag.String("in", "", "edge-list file (default stdin)")
-		algo    = flag.String("algo", "wcc", "algorithm: wcc|sublinear|hashtomin|boruvka|labelprop|exponentiate")
-		lambda  = flag.Float64("lambda", 0, "spectral gap lower bound (0 = unknown, oblivious mode)")
-		memory  = flag.Int("memory", 0, "machine memory for -algo sublinear (0 = n/log² n)")
-		seed    = flag.Uint64("seed", 1, "random seed")
-		workers = flag.Int("workers", 1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
-		sizes   = flag.Bool("sizes", false, "print the component size histogram")
+		in       = flag.String("in", "", "edge-list file (default stdin)")
+		algoName = flag.String("algo", "wcc", "algorithm: "+strings.Join(algo.Names(), "|"))
+		lambda   = flag.Float64("lambda", 0, "spectral gap lower bound (0 = unknown, oblivious mode)")
+		memory   = flag.Int("memory", 0, "machine memory for -algo sublinear (0 = n/log² n)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		workers  = flag.Int("workers", 1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
+		sizes    = flag.Bool("sizes", false, "print the component size histogram")
 	)
 	flag.Parse()
+
+	a, err := algo.Get(*algoName)
+	if err != nil {
+		return err
+	}
 
 	r := os.Stdin
 	if *in != "" {
@@ -60,88 +63,58 @@ func run() error {
 	}
 	fmt.Printf("input: n=%d m=%d\n", g.N(), g.M())
 
-	var (
-		labels []graph.Vertex
-		count  int
-	)
-	switch *algo {
-	case "wcc":
-		res, err := core.FindComponents(g, core.Options{Lambda: *lambda, Seed: *seed, Workers: *workers})
-		if err != nil {
-			return err
-		}
-		labels, count = res.Labels, res.Components
-		st := res.Stats
-		fmt.Printf("algorithm: well-connected components (Theorem 1%s)\n", mode(*lambda))
-		fmt.Printf("components: %d\n", count)
+	res, err := a.Find(g, algo.Options{Lambda: *lambda, Seed: *seed, Workers: *workers, Memory: *memory})
+	if err != nil {
+		return err
+	}
+	printResult(a.Name(), *lambda, res)
+
+	// Always verify against the sequential ground truth.
+	want, wantCount := graph.Components(g)
+	if res.Components != wantCount || !graph.SameLabeling(want, res.Labels) {
+		return fmt.Errorf("VERIFICATION FAILED: got %d components, ground truth %d", res.Components, wantCount)
+	}
+	fmt.Println("verification: exact match with sequential BFS")
+
+	if *sizes {
+		printSizes(res.Labels, res.Components)
+	}
+	return nil
+}
+
+func printResult(name string, lambda float64, res *algo.Result) {
+	switch {
+	case res.Core != nil:
+		st := res.Core
+		fmt.Printf("algorithm: well-connected components (Theorem 1%s)\n", mode(lambda))
+		fmt.Printf("components: %d\n", res.Components)
 		fmt.Printf("rounds: %d (regularize %d, randomize %d, grow %d, finish %d)\n",
 			st.Rounds, st.Steps.Regularize, st.Steps.Randomize, st.Steps.Grow, st.Steps.Finish)
 		fmt.Printf("walk length T: %d (capped: %v)   batches F: %d   grow phases: %d\n",
 			st.WalkLength, st.WalkCapped, st.Batches, len(st.GrowPhases))
 		fmt.Printf("finish merges: %d   λ schedule: %v\n", st.FinishMerges, st.LambdaSchedule)
 		fmt.Printf("max machine load: %d   messages: %d\n", st.MaxMachineLoad, st.TotalMessages)
-	case "sublinear":
-		res, err := sublinear.Components(g, sublinear.Options{MachineMemory: *memory, Seed: *seed, Workers: *workers})
-		if err != nil {
-			return err
-		}
-		labels, count = res.Labels, res.Components
-		st := res.Stats
+	case res.Sublinear != nil:
+		st := res.Sublinear
 		fmt.Println("algorithm: SublinearConn (Theorem 2)")
-		fmt.Printf("components: %d\n", count)
+		fmt.Printf("components: %d\n", res.Components)
 		fmt.Printf("rounds: %d   target degree d: %d   walk length: %d\n", st.Rounds, st.TargetDegree, st.WalkLength)
 		fmt.Printf("contraction |V(H)|: %d   sketch bits/vertex: %d   Borůvka rounds: %d\n",
 			st.ContractionVertices, st.SketchBitsPerVertex, st.BoruvkaRounds)
 		fmt.Printf("finish merges: %d\n", st.FinishMerges)
-	case "hashtomin", "boruvka", "labelprop", "exponentiate":
-		records := 2 * g.M()
-		if records < 16 {
-			records = 16
-		}
-		cluster := mpc.AutoConfig(records, 0.5, 2)
-		cluster.Workers = *workers
-		sim := mpc.New(cluster)
-		var res *baseline.Result
-		switch *algo {
-		case "hashtomin":
-			res = baseline.HashToMin(sim, g)
-		case "boruvka":
-			res = baseline.Boruvka(sim, g)
-		case "labelprop":
-			res = baseline.LabelPropagation(sim, g)
-		case "exponentiate":
-			res, err = baseline.GraphExponentiation(sim, g, 0)
-			if err != nil {
-				return err
-			}
-		}
-		labels, count = res.Labels, res.Components
-		fmt.Printf("algorithm: %s (baseline)\n", *algo)
-		fmt.Printf("components: %d\nrounds: %d\npeak edges: %d\n", count, res.Rounds, res.PeakEdges)
-		_ = rand.Rand{}
 	default:
-		return fmt.Errorf("unknown algorithm %q", *algo)
+		fmt.Printf("algorithm: %s (baseline)\n", name)
+		fmt.Printf("components: %d\nrounds: %d\npeak edges: %d\n", res.Components, res.Rounds, res.PeakEdges)
 	}
+}
 
-	// Always verify against the sequential ground truth.
-	want, wantCount := graph.Components(g)
-	if count != wantCount || !graph.SameLabeling(want, labels) {
-		return fmt.Errorf("VERIFICATION FAILED: got %d components, ground truth %d", count, wantCount)
+// printSizes renders the histogram in ascending size order (the shared
+// deterministic presentation of graph.SizeHistogram).
+func printSizes(labels []graph.Vertex, count int) {
+	fmt.Println("component sizes (size × count):")
+	for _, sc := range graph.SizeHistogram(labels, count) {
+		fmt.Printf("  %d × %d\n", sc[0], sc[1])
 	}
-	fmt.Println("verification: exact match with sequential BFS")
-
-	if *sizes {
-		hist := map[int]int{}
-		szs := graph.ComponentSizes(labels, count)
-		for _, s := range szs {
-			hist[s]++
-		}
-		fmt.Println("component sizes (size × count):")
-		for s, c := range hist {
-			fmt.Printf("  %d × %d\n", s, c)
-		}
-	}
-	return nil
 }
 
 func mode(lambda float64) string {

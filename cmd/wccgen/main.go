@@ -14,7 +14,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand/v2"
 	"os"
 	"strconv"
 	"strings"
@@ -40,35 +39,11 @@ func run() error {
 		out   = flag.String("out", "", "output file (default stdout)")
 	)
 	flag.Parse()
-	rng := rand.New(rand.NewPCG(*seed, 0xfeed))
 
-	var (
-		g   *graph.Graph
-		err error
-	)
-	switch *typ {
-	case "expander":
-		g, err = gen.Expander(*n, *d, rng)
-	case "gnd":
-		g, err = gen.RandomGND(*n, *d, rng)
-	case "cycle":
-		g = gen.Cycle(*n)
-	case "path":
-		g = gen.Path(*n)
-	case "grid":
-		g = gen.Grid(*n, *d)
-	case "clique":
-		g = gen.Clique(*n)
-	case "star":
-		g = gen.Star(*n)
-	case "hypercube":
-		g = gen.Hypercube(*n)
-	case "ringofcliques":
-		g, err = gen.RingOfCliques(*n, *d)
-	case "bridged":
-		g, err = gen.TwoExpandersBridged(*n, *d, rng)
-	case "union":
-		var szs []int
+	// Only union reads -sizes; parsing it for other types would turn a
+	// stale flag value into a spurious failure.
+	var szs []int
+	if *typ == "union" {
 		for _, part := range strings.Split(*sizes, ",") {
 			part = strings.TrimSpace(part)
 			if part == "" {
@@ -83,27 +58,24 @@ func run() error {
 		if len(szs) == 0 {
 			return fmt.Errorf("-type union requires -sizes")
 		}
-		var l *gen.Labeled
-		l, err = gen.ExpanderUnion(szs, *d, rng)
-		if err == nil {
-			l = gen.Shuffled(l, rng)
-			g = l.G
-		}
-	default:
-		return fmt.Errorf("unknown type %q", *typ)
 	}
+	g, err := gen.Spec{Family: *typ, N: *n, D: *d, Sizes: szs, Seed: *seed}.Build()
 	if err != nil {
 		return err
 	}
 
-	w := os.Stdout
-	if *out != "" {
-		f, ferr := os.Create(*out)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		w = f
+	if *out == "" {
+		return graph.WriteEdgeList(os.Stdout, g)
 	}
-	return graph.WriteEdgeList(w, g)
+	// Close errors matter here: a bare deferred Close would report success
+	// on ENOSPC while leaving a truncated graph behind.
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteEdgeList(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }

@@ -1,0 +1,103 @@
+// Command wccserve runs the connectivity query service: an HTTP+JSON
+// front-end over the internal/service layer — load or generate graphs,
+// solve them asynchronously with any registered algorithm, and answer
+// same-component / component-size / component-count queries in O(1) from
+// the labeling cache.
+//
+// Usage:
+//
+//	wccserve -addr :8080 -job-workers 2 -cache 64
+//
+//	curl -X POST --data-binary @g.txt 'localhost:8080/v1/graphs?name=g'
+//	curl -X POST -d '{"family":"union","n":0,"d":8,"sizes":[60,40],"seed":3}' \
+//	     localhost:8080/v1/graphs/generate
+//	curl -X POST -d '{"graph":"g-...","algo":"wcc","lambda":0.3,"wait":true}' \
+//	     localhost:8080/v1/solve
+//	curl 'localhost:8080/v1/query/same-component?graph=g-...&lambda=0.3&u=0&v=9'
+//	curl 'localhost:8080/v1/stats'
+//
+// The process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
+// in-flight requests get a drain window, and the solve workers finish
+// their current jobs before exit.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wccserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		jobWorkers = flag.Int("job-workers", 2, "concurrent solve jobs")
+		cacheSize  = flag.Int("cache", 64, "labeling cache capacity (entries)")
+		simWorkers = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS (never affects results)")
+		maxVerts   = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
+		maxEdges   = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
+		maxGraphs  = flag.Int("max-graphs", 0, "graph-store capacity, oldest evicted first (0 = default 64, negative = unlimited)")
+		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+	)
+	flag.Parse()
+
+	svc := service.New(service.Config{
+		JobWorkers:   *jobWorkers,
+		CacheEntries: *cacheSize,
+		SimWorkers:   *simWorkers,
+		MaxVertices:  *maxVerts,
+		MaxEdges:     *maxEdges,
+		MaxGraphs:    *maxGraphs,
+	})
+	defer svc.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           service.NewHandler(svc),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("wccserve: listening on http://%s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("wccserve: shutting down (drain %v)", *drain)
+	// Release handlers blocked in wait=true solves before Shutdown's
+	// deadline starts counting — Shutdown does not cancel their contexts.
+	svc.StartDrain()
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -6,7 +6,30 @@
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
 // public entry points live in internal/core (Theorem 1/4 pipeline and the
 // Corollary 7.1 oblivious variant) and internal/sublinear (Theorem 2);
-// cmd/wccfind, cmd/wccgen and cmd/wccbench are the executables.
+// cmd/wccfind, cmd/wccgen, cmd/wccbench and cmd/wccserve are the
+// executables.
+//
+// # Algorithm registry
+//
+// internal/algo unifies every connectivity algorithm in the repository
+// behind one interface: Algorithm{Name, Find(g, Options)} with a named
+// registry over "wcc" (Theorem 1), "sublinear" (Theorem 2), and the four
+// baselines ("hashtomin", "boruvka", "labelprop", "exponentiate"). All
+// implementations return exact labelings and are deterministic for a
+// fixed Options.Seed regardless of Options.Workers, so a labeling is
+// addressable by (graph digest, name, seed, λ, memory). cmd/wccfind and
+// the experiment harness select algorithms through the registry instead
+// of per-binary switches.
+//
+// # Connectivity service
+//
+// internal/service turns one-shot runs into a long-lived query system:
+// a content-addressed graph store (load edge lists or generate gen.Spec
+// families), an async job runner over a bounded worker pool, and an LRU
+// labeling cache so same-component / component-size / component-count
+// queries answer in O(1) after a single solve. cmd/wccserve exposes it
+// over HTTP+JSON with graceful shutdown; see internal/service/README.md
+// for the API.
 //
 // # Execution engine
 //

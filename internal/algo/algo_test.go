@@ -1,0 +1,145 @@
+package algo
+
+import (
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+func TestRegistryNames(t *testing.T) {
+	want := []string{"boruvka", "exponentiate", "hashtomin", "labelprop", "sublinear", "wcc"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v (sorted)", got, want)
+		}
+	}
+}
+
+func TestGetUnknown(t *testing.T) {
+	if _, err := Get("nosuch"); err == nil {
+		t.Fatal("want error for unknown algorithm")
+	} else if got := err.Error(); !strings.Contains(got, "wcc") || !strings.Contains(got, "sublinear") {
+		t.Errorf("error should list registered names, got %q", got)
+	}
+	if _, err := Find("nosuch", gen.Cycle(4), Options{}); err == nil {
+		t.Fatal("Find should propagate the lookup error")
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate Register should panic")
+		}
+	}()
+	Register(wccAlgo{})
+}
+
+// conformanceWorkloads builds the gen-family instances every registered
+// algorithm must label exactly like sequential BFS.
+func conformanceWorkloads(t *testing.T) map[string]*graph.Graph {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(7, 7))
+	expander, err := gen.Expander(96, 8, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring, err := gen.RingOfCliques(6, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	union, err := gen.Spec{Family: "union", Sizes: []int{40, 24, 16}, D: 8, Seed: 11}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]*graph.Graph{
+		"cycle":         gen.Cycle(60),
+		"grid":          gen.Grid(6, 9),
+		"star":          gen.Star(40),
+		"expander":      expander,
+		"ringofcliques": ring,
+		"union3":        union,
+	}
+}
+
+// TestConformance runs every registered algorithm over the gen families
+// and checks the labeling against BFS ground truth for a fixed seed.
+func TestConformance(t *testing.T) {
+	workloads := conformanceWorkloads(t)
+	for _, name := range Names() {
+		for wname, g := range workloads {
+			t.Run(name+"/"+wname, func(t *testing.T) {
+				res, err := Find(name, g, Options{Seed: 42, Lambda: lambdaFor(name, wname)})
+				if err != nil {
+					t.Fatal(err)
+				}
+				want, count := graph.Components(g)
+				if res.Components != count {
+					t.Fatalf("%d components, ground truth %d", res.Components, count)
+				}
+				if !graph.SameLabeling(want, res.Labels) {
+					t.Fatal("labeling disagrees with sequential BFS")
+				}
+				if res.Rounds <= 0 {
+					t.Errorf("rounds = %d, want > 0", res.Rounds)
+				}
+				if res.PeakEdges < g.M() {
+					t.Errorf("peak edges %d below m=%d", res.PeakEdges, g.M())
+				}
+			})
+		}
+	}
+}
+
+// lambdaFor gives wcc a valid spectral-gap bound on the workloads where
+// one is known; everything else runs oblivious (and the other algorithms
+// ignore λ entirely).
+func lambdaFor(name, workload string) float64 {
+	if name != "wcc" {
+		return 0
+	}
+	switch workload {
+	case "expander", "union3":
+		return 0.3
+	}
+	return 0
+}
+
+// TestDeterministicForSeed: the cache-key contract of internal/service —
+// the same (algorithm, seed) on the same graph yields the identical
+// labeling, regardless of the Workers setting.
+func TestDeterministicForSeed(t *testing.T) {
+	g, err := gen.Spec{Family: "union", Sizes: []int{30, 20}, D: 6, Seed: 5}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range Names() {
+		a, err := Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r1, err := a.Find(g, Options{Seed: 9, Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := a.Find(g, Options{Seed: 9, Workers: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Labels) != len(r2.Labels) {
+			t.Fatalf("%s: label lengths differ", name)
+		}
+		for v := range r1.Labels {
+			if r1.Labels[v] != r2.Labels[v] {
+				t.Fatalf("%s: labels diverge at vertex %d for the same seed", name, v)
+			}
+		}
+	}
+}

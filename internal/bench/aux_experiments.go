@@ -4,13 +4,13 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/algo"
 	"repro/internal/ballsbins"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/lowerbound"
 	"repro/internal/rgraph"
 	"repro/internal/spectral"
-	"repro/internal/sublinear"
 	"repro/internal/xproduct"
 )
 
@@ -37,7 +37,7 @@ func E8Sublinear(cfg Config) (*Table, error) {
 	for _, w := range workloads {
 		for _, div := range []int{2, 8, 32} {
 			s := w.g.N() / div
-			res, err := sublinear.Components(w.g, sublinear.Options{MachineMemory: s, Seed: cfg.Seed + uint64(div)})
+			res, err := algo.Find("sublinear", w.g, algo.Options{Memory: s, Seed: cfg.Seed + uint64(div), Workers: cfg.Workers})
 			if err != nil {
 				return nil, err
 			}
@@ -45,9 +45,9 @@ func E8Sublinear(cfg Config) (*Table, error) {
 			if res.Components != count || !graph.SameLabeling(want, res.Labels) {
 				return nil, fmt.Errorf("E8: %s s=%d wrong components", w.name, s)
 			}
-			t.AddRow(w.name, itoa(s), itoa(div), itoa(res.Stats.TargetDegree),
-				itoa(res.Stats.WalkLength), itoa(res.Stats.ContractionVertices),
-				itoa(res.Stats.Rounds), itoa(res.Stats.FinishMerges))
+			t.AddRow(w.name, itoa(s), itoa(div), itoa(res.Sublinear.TargetDegree),
+				itoa(res.Sublinear.WalkLength), itoa(res.Sublinear.ContractionVertices),
+				itoa(res.Rounds), itoa(res.Sublinear.FinishMerges))
 		}
 	}
 	t.Notes = append(t.Notes,

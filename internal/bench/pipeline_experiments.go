@@ -5,7 +5,7 @@ import (
 	"math"
 	"math/rand/v2"
 
-	"repro/internal/baseline"
+	"repro/internal/algo"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/graph"
@@ -45,8 +45,14 @@ func E1RoundsVsN(cfg Config) (*Table, error) {
 		if res.Components != len(sizes) {
 			return nil, fmt.Errorf("E1: n=%d found %d components, want %d", n, res.Components, len(sizes))
 		}
-		htm := baseline.HashToMin(newSim(w.G, cfg), w.G)
-		bor := baseline.Boruvka(newSim(w.G, cfg), w.G)
+		htm, err := algo.Find("hashtomin", w.G, algo.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		bor, err := algo.Find("boruvka", w.G, algo.Options{Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
 		t.AddRow(
 			itoa(n), itoa(res.Components), itoa(res.Stats.Rounds),
 			itoa(htm.Rounds), itoa(bor.Rounds),
@@ -200,7 +206,7 @@ func E13VsExponentiation(cfg Config) (*Table, error) {
 		if res.Components != 1 {
 			return nil, fmt.Errorf("E13: %s mis-split", w.name)
 		}
-		ge, err := baseline.GraphExponentiation(newSim(w.g, cfg), w.g, 0)
+		ge, err := algo.Find("exponentiate", w.g, algo.Options{Workers: cfg.Workers})
 		if err != nil {
 			return nil, err
 		}
@@ -213,16 +219,6 @@ func E13VsExponentiation(cfg Config) (*Table, error) {
 		"expected shape: on the bridged instance exponentiation needs few rounds (D small) while ours pays log(1/λ); on expanders ours is flat",
 		"expPeakEdges exhibits footnote 3's total-memory cost of exponentiation")
 	return t, nil
-}
-
-func newSim(g *graph.Graph, cfg Config) *mpc.Sim {
-	records := 2 * g.M()
-	if records < 16 {
-		records = 16
-	}
-	c := mpc.AutoConfig(records, 0.5, 2)
-	c.Workers = cfg.Workers
-	return mpc.New(c)
 }
 
 func itoa(v int) string { return fmt.Sprintf("%d", v) }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/algo"
 	"repro/internal/gen"
 	"repro/internal/graph"
 	"repro/internal/leader"
@@ -43,7 +44,7 @@ func E3Regularize(cfg Config) (*Table, error) {
 		{"multi-component", multi.G},
 	}
 	for _, tc := range cases {
-		sim := newSim(tc.g, cfg)
+		sim := algo.AutoSim(tc.g, cfg.Workers)
 		res, err := regularize.Regularize(sim, tc.g, regularize.PracticalParams(), rng)
 		if err != nil {
 			return nil, err
@@ -130,7 +131,7 @@ func E5Randomize(cfg Config) (*Table, error) {
 	gap := spectral.MinComponentGap(l.G)
 	walkLen := spectral.MixingTimeUpperBound(gap, l.G.N(), 1e-2)
 	params := randomize.PracticalParams(l.G.N())
-	sim := newSim(l.G, cfg)
+	sim := algo.AutoSim(l.G, cfg.Workers)
 	h, stats, err := randomize.Randomize(sim, l.G, walkLen, params, rng)
 	if err != nil {
 		return nil, err

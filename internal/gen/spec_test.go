@@ -1,0 +1,86 @@
+package gen
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSpecBuildFamilies(t *testing.T) {
+	for _, tc := range []struct {
+		spec  Spec
+		wantN int
+	}{
+		{Spec{Family: "cycle", N: 12}, 12},
+		{Spec{Family: "path", N: 9}, 9},
+		{Spec{Family: "grid", N: 3, D: 4}, 12},
+		{Spec{Family: "clique", N: 6}, 6},
+		{Spec{Family: "star", N: 7}, 7},
+		{Spec{Family: "hypercube", N: 3}, 8},
+		{Spec{Family: "expander", N: 16, D: 4, Seed: 1}, 16},
+		{Spec{Family: "gnd", N: 16, D: 4, Seed: 1}, 16},
+		{Spec{Family: "ringofcliques", N: 4, D: 5}, 20},
+		{Spec{Family: "bridged", N: 10, D: 4, Seed: 1}, 20},
+		{Spec{Family: "union", Sizes: []int{10, 6}, D: 4, Seed: 1}, 16},
+	} {
+		g, err := tc.spec.Build()
+		if err != nil {
+			t.Errorf("%+v: %v", tc.spec, err)
+			continue
+		}
+		if g.N() != tc.wantN {
+			t.Errorf("%+v: n = %d, want %d", tc.spec, g.N(), tc.wantN)
+		}
+		if err := g.Validate(); err != nil {
+			t.Errorf("%+v: %v", tc.spec, err)
+		}
+	}
+}
+
+func TestSpecBuildDeterministic(t *testing.T) {
+	spec := Spec{Family: "union", Sizes: []int{12, 8}, D: 4, Seed: 9}
+	g1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.N() != g2.N() || g1.M() != g2.M() {
+		t.Fatalf("same spec diverged: (%d,%d) vs (%d,%d)", g1.N(), g1.M(), g2.N(), g2.M())
+	}
+	e1, e2 := g1.Edges(), g2.Edges()
+	for i := range e1 {
+		if e1[i] != e2[i] {
+			t.Fatalf("edge %d differs: %v vs %v", i, e1[i], e2[i])
+		}
+	}
+}
+
+func TestSpecBuildErrors(t *testing.T) {
+	if _, err := (Spec{Family: "nosuch"}).Build(); err == nil {
+		t.Error("want error for unknown family")
+	} else if !strings.Contains(err.Error(), "union") {
+		t.Errorf("error should list families, got %v", err)
+	}
+	if _, err := (Spec{Family: "union", D: 4}).Build(); err == nil {
+		t.Error("want error for union without sizes")
+	}
+}
+
+func TestFamiliesSortedAndComplete(t *testing.T) {
+	fams := Families()
+	if len(fams) != 11 {
+		t.Fatalf("Families() = %v", fams)
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i-1] >= fams[i] {
+			t.Fatalf("Families() not sorted: %v", fams)
+		}
+	}
+	for _, f := range fams {
+		if _, ok := specBuilders[f]; !ok {
+			t.Errorf("family %q missing builder", f)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package graph
 
 import (
 	"bytes"
+	"math"
+	"strconv"
 	"strings"
 	"testing"
 )
@@ -20,6 +22,13 @@ func FuzzReadEdgeList(f *testing.F) {
 		"bad",
 		"2 1\n0 9\n",
 		"9999999 1\n0 1\n",
+		// Header-hardening cases: n past the Vertex range must be
+		// rejected, and a huge claimed m must not pre-allocate (the edge
+		// count still has to be backed by actual edge lines).
+		"4294967296 0\n",
+		"2147483648 1\n0 1\n",
+		"3 2000000000\n0 1\n1 2\n",
+		"2 1000000000\n0 1\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
@@ -28,15 +37,15 @@ func FuzzReadEdgeList(f *testing.F) {
 		if len(data) > 1<<16 {
 			return
 		}
-		// Guard against absurd vertex counts allocating gigabytes.
-		if first := strings.SplitN(string(data), "\n", 2)[0]; len(first) > 9 {
+		// Guard against plausible headers allocating gigabytes at Build:
+		// vertex counts above 2^20 that the parser would accept are
+		// skipped. Counts beyond the Vertex range stay in play — those
+		// must be rejected cheaply by the header validation.
+		if n, ok := headerVertexCount(data); ok && n > 1<<20 && n <= math.MaxInt32 {
 			return
 		}
 		g, err := ReadEdgeList(bytes.NewReader(data))
 		if err != nil {
-			return
-		}
-		if g.N() > 1<<20 {
 			return
 		}
 		if err := g.Validate(); err != nil {
@@ -54,4 +63,25 @@ func FuzzReadEdgeList(f *testing.F) {
 			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
 		}
 	})
+}
+
+// headerVertexCount extracts the n a well-formed header would declare,
+// mirroring ReadEdgeList's comment/blank-line skipping.
+func headerVertexCount(data []byte) (int64, bool) {
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return 0, false
+		}
+		n, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return 0, false
+		}
+		return n, true
+	}
+	return 0, false
 }

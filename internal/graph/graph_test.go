@@ -3,6 +3,7 @@ package graph
 import (
 	"bytes"
 	"math/rand/v2"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -461,7 +462,36 @@ func TestReadEdgeListErrors(t *testing.T) {
 		"wrongCount":   "3 2\n0 1\n",
 		"nonNumeric":   "2 1\nzero one\n",
 		"negativeHead": "-1 0\n",
+		// Vertex is 32-bit: header vertex counts past its range must be
+		// rejected before any allocation is sized from them.
+		"vertexOverflow": "4294967296 0\n",
+		"vertexMax+1":    "2147483648 1\n0 1\n",
+		// A huge claimed edge count is only a clamped hint; the read still
+		// fails (cheaply, without the 16 GB allocation the header asks
+		// for) because the edges are not actually present.
+		"edgeCountUnbacked": "2 1000000000\n0 1\n",
 	}
+	t.Run("callerVertexLimit", func(t *testing.T) {
+		// Servers cap the header's n below the Vertex range: an accepted
+		// count costs O(n) at Build even with zero edges.
+		if _, err := ReadEdgeListLimit(bytes.NewBufferString("2000 0\n"), 1000, 0); err == nil {
+			t.Error("want error past the caller's vertex limit")
+		}
+		if g, err := ReadEdgeListLimit(bytes.NewBufferString("5 1\n0 1\n"), 1000, 1000); err != nil || g.N() != 5 {
+			t.Errorf("within limit: g=%v err=%v", g, err)
+		}
+	})
+	t.Run("callerEdgeLimit", func(t *testing.T) {
+		// The edge cap aborts during parsing — both a header claiming too
+		// many edges and extra unclaimed edge lines trip it.
+		if _, err := ReadEdgeListLimit(bytes.NewBufferString("4 3\n0 1\n1 2\n2 3\n"), 0, 2); err == nil {
+			t.Error("want error for header past the edge limit")
+		}
+		in := "2 1\n" + strings.Repeat("0 1\n", 10)
+		if _, err := ReadEdgeListLimit(bytes.NewBufferString(in), 0, 4); err == nil {
+			t.Error("want error once parsed edges exceed the limit")
+		}
+	})
 	for name, in := range cases {
 		t.Run(name, func(t *testing.T) {
 			if _, err := ReadEdgeList(bytes.NewBufferString(in)); err == nil {

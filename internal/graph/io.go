@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 )
@@ -29,9 +30,29 @@ func WriteEdgeList(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
+// maxEdgeHint caps the pre-allocation a header's edge count can request
+// (~8 MiB of edge endpoints). Larger graphs still load — the Builder
+// grows past the hint — but only by actually supplying the edges.
+const maxEdgeHint = 1 << 20
+
 // ReadEdgeList parses the format written by WriteEdgeList. Blank lines and
-// lines starting with '#' are ignored.
+// lines starting with '#' are ignored. The header's edge count is only a
+// capacity hint (clamped before allocating); the vertex count is bounded
+// by the 32-bit Vertex range. Note that an accepted vertex count still
+// costs O(n) at Build even with zero edges — callers parsing untrusted
+// input (servers) should use ReadEdgeListLimit with an explicit cap.
 func ReadEdgeList(r io.Reader) (*Graph, error) {
+	return ReadEdgeListLimit(r, 0, 0)
+}
+
+// ReadEdgeListLimit is ReadEdgeList with caps enforced while parsing:
+// headers declaring more than maxVertices are rejected before any
+// allocation is sized from them, and the read aborts as soon as more
+// than maxEdges edge lines appear (the header's claim and the actual
+// lines both count, so the limit bounds per-request memory, not just the
+// final graph). Zero or negative means unlimited: the full Vertex range
+// for maxVertices, no cap for maxEdges.
+func ReadEdgeListLimit(r io.Reader, maxVertices, maxEdges int) (*Graph, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	var (
@@ -62,12 +83,35 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 			if a < 0 || c < 0 {
 				return nil, fmt.Errorf("graph: line %d: negative header", lineNo)
 			}
-			b = NewBuilderHint(a, c)
+			// The header is untrusted until the edge count has been
+			// verified: reject vertex counts past the caller's limit (or
+			// past what any Vertex can index), and treat the edge count
+			// only as a capacity hint, clamped so a typo'd or hostile
+			// header cannot force a huge allocation before the first
+			// edge line is even read.
+			limit := maxVertices
+			if limit <= 0 || limit > math.MaxInt32 {
+				limit = math.MaxInt32
+			}
+			if a > limit {
+				return nil, fmt.Errorf("graph: line %d: vertex count %d exceeds limit %d", lineNo, a, limit)
+			}
+			if maxEdges > 0 && c > maxEdges {
+				return nil, fmt.Errorf("graph: line %d: edge count %d exceeds limit %d", lineNo, c, maxEdges)
+			}
+			hint := c
+			if hint > maxEdgeHint {
+				hint = maxEdgeHint
+			}
+			b = NewBuilderHint(a, hint)
 			m = c
 			continue
 		}
 		if a < 0 || a >= b.N() || c < 0 || c >= b.N() {
 			return nil, fmt.Errorf("graph: line %d: edge (%d,%d) out of range [0,%d)", lineNo, a, c, b.N())
+		}
+		if maxEdges > 0 && parsed >= maxEdges {
+			return nil, fmt.Errorf("graph: line %d: more than %d edges", lineNo, maxEdges)
 		}
 		b.AddEdge(Vertex(a), Vertex(c))
 		parsed++

@@ -1,5 +1,7 @@
 package graph
 
+import "sort"
+
 // Components labels the connected components of g. It returns a dense label
 // per vertex (labels in [0, count) assigned in order of discovery from
 // vertex 0 upward) and the number of components. This sequential BFS is the
@@ -39,6 +41,33 @@ func ComponentSizes(labels []Vertex, count int) []int {
 		sizes[l]++
 	}
 	return sizes
+}
+
+// SizeHistogram aggregates ComponentSizes into (size, count-of-components)
+// pairs in ascending size order — the deterministic presentation both the
+// wccfind -sizes flag and the service's sizes query render.
+func SizeHistogram(labels []Vertex, count int) [][2]int {
+	return SizeHistogramOf(ComponentSizes(labels, count))
+}
+
+// SizeHistogramOf is SizeHistogram over an already-computed per-component
+// size table, for callers that hold one (the service computes sizes once
+// per solve and derives both query tables from it).
+func SizeHistogramOf(componentSizes []int) [][2]int {
+	hist := map[int]int{}
+	for _, s := range componentSizes {
+		hist[s]++
+	}
+	sizes := make([]int, 0, len(hist))
+	for s := range hist {
+		sizes = append(sizes, s)
+	}
+	sort.Ints(sizes)
+	out := make([][2]int, len(sizes))
+	for i, s := range sizes {
+		out[i] = [2]int{s, hist[s]}
+	}
+	return out
 }
 
 // ComponentMembers groups vertices by dense component label.

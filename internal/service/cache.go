@@ -1,0 +1,119 @@
+package service
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// Labeling is one cached solve: the exact component labeling of a stored
+// graph under a (algo, seed, λ, memory) configuration, with component
+// sizes precomputed so every query answers in O(1).
+type Labeling struct {
+	// Key is the cache key the labeling is stored under.
+	Key string
+	// GraphID identifies the stored graph that was solved.
+	GraphID string
+	// Algo, Seed, Lambda, Memory echo the solve configuration.
+	Algo   string
+	Seed   uint64
+	Lambda float64
+	Memory int
+	// Components is the number of connected components.
+	Components int
+	// Rounds is the MPC rounds the solve charged.
+	Rounds int
+	// PeakEdges is the solve's peak materialized edge set.
+	PeakEdges int
+
+	labels []graph.Vertex
+	sizes  []int    // sizes[c] = vertices labeled c
+	hist   [][2]int // (size, count) pairs ascending, precomputed for O(1) queries
+}
+
+// SameComponent reports whether u and v share a component.
+func (l *Labeling) SameComponent(u, v graph.Vertex) (bool, error) {
+	if err := l.checkVertex(u); err != nil {
+		return false, err
+	}
+	if err := l.checkVertex(v); err != nil {
+		return false, err
+	}
+	return l.labels[u] == l.labels[v], nil
+}
+
+// ComponentSize returns the size of u's component.
+func (l *Labeling) ComponentSize(u graph.Vertex) (int, error) {
+	if err := l.checkVertex(u); err != nil {
+		return 0, err
+	}
+	return l.sizes[l.labels[u]], nil
+}
+
+// ComponentOf returns u's dense component label.
+func (l *Labeling) ComponentOf(u graph.Vertex) (graph.Vertex, error) {
+	if err := l.checkVertex(u); err != nil {
+		return 0, err
+	}
+	return l.labels[u], nil
+}
+
+func (l *Labeling) checkVertex(u graph.Vertex) error {
+	if u < 0 || int(u) >= len(l.labels) {
+		return fmt.Errorf("service: vertex %d out of range [0,%d)", u, len(l.labels))
+	}
+	return nil
+}
+
+// lru is a fixed-capacity least-recently-used cache of labelings with its
+// own mutex, so the O(1) query path never serializes behind the service's
+// graph-store lock (or behind a solve holding it).
+type lru struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recently used; values are *Labeling
+	entries map[string]*list.Element
+}
+
+func newLRU(capacity int) *lru {
+	return &lru{
+		cap:     capacity,
+		order:   list.New(),
+		entries: make(map[string]*list.Element, capacity),
+	}
+}
+
+func (c *lru) get(key string) (*Labeling, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*Labeling), true
+}
+
+func (c *lru) put(l *Labeling) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[l.Key]; ok {
+		el.Value = l
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[l.Key] = c.order.PushFront(l)
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*Labeling).Key)
+	}
+}
+
+func (c *lru) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -1,0 +1,349 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// NewHandler exposes a Service over HTTP+JSON. Routes (all responses are
+// JSON objects; errors are {"error": "..."} with a 4xx/5xx status):
+//
+//	GET  /healthz                     liveness probe
+//	POST /v1/graphs?name=N            body = edge-list text; stores the graph
+//	POST /v1/graphs/generate          {"family","n","d","sizes","seed","name"}
+//	GET  /v1/graphs                   list stored graphs
+//	GET  /v1/graphs/{id}              one stored graph
+//	POST /v1/solve                    {"graph","algo","lambda","seed","memory",
+//	                                   "workers","wait"} → job (or labeling
+//	                                   summary when wait=true)
+//	GET  /v1/jobs/{id}                job status/result
+//	GET  /v1/query/same-component     ?graph=&algo=&seed=&lambda=&memory=&u=&v=
+//	GET  /v1/query/component-size     ?...&u=
+//	GET  /v1/query/component-count    ?...
+//	GET  /v1/query/sizes              ?... size histogram
+//	GET  /v1/algorithms               registered algorithm names
+//	GET  /v1/stats                    service counters + cache occupancy
+func NewHandler(s *Service) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+	})
+	mux.HandleFunc("POST /v1/graphs", s.handleLoad)
+	mux.HandleFunc("POST /v1/graphs/generate", s.handleGenerate)
+	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
+	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/query/same-component", s.handleSameComponent)
+	mux.HandleFunc("GET /v1/query/component-size", s.handleComponentSize)
+	mux.HandleFunc("GET /v1/query/component-count", s.handleComponentCount)
+	mux.HandleFunc("GET /v1/query/sizes", s.handleSizes)
+	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"algorithms": algo.Names()})
+	})
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, map[string]any{"error": err.Error()})
+}
+
+// statusFor maps service errors to HTTP statuses: not-solved is a 409
+// (solve first), a missing graph/job is a 404 on every endpoint,
+// transient overload/shutdown is a 503 (retry), and everything else is
+// client-side, a 400.
+func statusFor(err error) int {
+	if IsNotSolved(err) {
+		return http.StatusConflict
+	}
+	if errors.Is(err, ErrNotFound) {
+		return http.StatusNotFound
+	}
+	if errors.Is(err, ErrUnavailable) {
+		return http.StatusServiceUnavailable
+	}
+	return http.StatusBadRequest
+}
+
+func graphJSON(sg *StoredGraph) map[string]any {
+	return map[string]any{
+		"id": sg.ID, "name": sg.Name, "digest": sg.Digest, "n": sg.N, "m": sg.M,
+	}
+}
+
+func labelingJSON(l *Labeling, cached bool) map[string]any {
+	return map[string]any{
+		"graph": l.GraphID, "algo": l.Algo, "seed": l.Seed, "lambda": l.Lambda,
+		"memory": l.Memory, "components": l.Components, "rounds": l.Rounds,
+		"peakEdges": l.PeakEdges, "cached": cached,
+	}
+}
+
+func (s *Service) handleLoad(w http.ResponseWriter, r *http.Request) {
+	// Cap request bodies: a 256 MiB edge list is ~10M edges, far beyond
+	// anything the simulator serves interactively. MaxBytesReader (vs a
+	// silent LimitReader truncation) makes an oversized upload fail as
+	// "request body too large" instead of a misleading parse error.
+	sg, err := s.Load(r.URL.Query().Get("name"), http.MaxBytesReader(w, r.Body, 256<<20))
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphJSON(sg))
+}
+
+func (s *Service) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Name   string `json:"name"`
+		Family string `json:"family"`
+		N      int    `json:"n"`
+		D      int    `json:"d"`
+		Sizes  []int  `json:"sizes"`
+		Seed   uint64 `json:"seed"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	sg, err := s.Generate(req.Name, gen.Spec{
+		Family: req.Family, N: req.N, D: req.D, Sizes: req.Sizes, Seed: req.Seed,
+	})
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphJSON(sg))
+}
+
+func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {
+	list := s.Graphs()
+	out := make([]map[string]any, len(list))
+	for i, sg := range list {
+		out[i] = graphJSON(sg)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
+}
+
+func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
+	sg, err := s.Graph(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, graphJSON(sg))
+}
+
+func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
+	var req struct {
+		Graph   string  `json:"graph"`
+		Algo    string  `json:"algo"`
+		Lambda  float64 `json:"lambda"`
+		Seed    uint64  `json:"seed"`
+		Memory  int     `json:"memory"`
+		Workers int     `json:"workers"`
+		Wait    bool    `json:"wait"`
+	}
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	spec := SolveSpec{
+		GraphID: req.Graph, Algo: req.Algo, Lambda: req.Lambda,
+		Seed: req.Seed, Memory: req.Memory, Workers: req.Workers,
+	}
+	job, err := s.Submit(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	if !req.Wait {
+		writeJSON(w, http.StatusAccepted, jobJSON(job.Snapshot()))
+		return
+	}
+	snap, err := s.WaitJob(r.Context(), job)
+	if err != nil {
+		// Client gone or server draining: stop holding the handler; the
+		// job itself continues and stays pollable via /v1/jobs/{id}.
+		writeError(w, http.StatusServiceUnavailable, fmt.Errorf("wait aborted (%w); poll /v1/jobs/%s", err, job.ID))
+		return
+	}
+	if snap.Status == JobFailed {
+		writeError(w, http.StatusInternalServerError, fmt.Errorf("solve failed: %s", snap.Err))
+		return
+	}
+	writeJSON(w, http.StatusOK, labelingJSON(snap.Result, snap.Cached))
+}
+
+func jobJSON(snap JobSnapshot) map[string]any {
+	out := map[string]any{"id": snap.ID, "status": string(snap.Status)}
+	if snap.Err != "" {
+		out["error"] = snap.Err
+	}
+	if snap.Result != nil {
+		out["result"] = labelingJSON(snap.Result, snap.Cached)
+	}
+	return out
+}
+
+func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
+	job, err := s.Job(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, jobJSON(job.Snapshot()))
+}
+
+// querySpec decodes the common query parameters shared by the /v1/query
+// endpoints.
+func querySpec(r *http.Request) (SolveSpec, error) {
+	q := r.URL.Query()
+	spec := SolveSpec{GraphID: q.Get("graph"), Algo: q.Get("algo")}
+	if spec.GraphID == "" {
+		return spec, fmt.Errorf("missing ?graph=")
+	}
+	if spec.Algo == "" {
+		spec.Algo = "wcc"
+	}
+	var err error
+	if v := q.Get("seed"); v != "" {
+		if spec.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
+			return spec, fmt.Errorf("bad seed: %w", err)
+		}
+	}
+	if v := q.Get("lambda"); v != "" {
+		if spec.Lambda, err = strconv.ParseFloat(v, 64); err != nil {
+			return spec, fmt.Errorf("bad lambda: %w", err)
+		}
+	}
+	if v := q.Get("memory"); v != "" {
+		if spec.Memory, err = strconv.Atoi(v); err != nil {
+			return spec, fmt.Errorf("bad memory: %w", err)
+		}
+	}
+	return spec, nil
+}
+
+func queryVertex(r *http.Request, key string) (graph.Vertex, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return 0, fmt.Errorf("missing ?%s=", key)
+	}
+	id, err := strconv.ParseInt(v, 10, 32)
+	if err != nil {
+		return 0, fmt.Errorf("bad %s: %w", key, err)
+	}
+	return graph.Vertex(id), nil
+}
+
+func (s *Service) handleSameComponent(w http.ResponseWriter, r *http.Request) {
+	spec, err := querySpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := queryVertex(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	v, err := queryVertex(r, "v")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	same, err := s.SameComponent(spec, u, v)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "same": same})
+}
+
+func (s *Service) handleComponentSize(w http.ResponseWriter, r *http.Request) {
+	spec, err := querySpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	u, err := queryVertex(r, "u")
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	size, err := s.ComponentSize(spec, u)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"u": u, "size": size})
+}
+
+func (s *Service) handleComponentCount(w http.ResponseWriter, r *http.Request) {
+	spec, err := querySpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	count, err := s.ComponentCount(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"components": count})
+}
+
+func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
+	spec, err := querySpec(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	hist, err := s.ComponentSizes(spec)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	out := make([]map[string]int, len(hist))
+	for i, sc := range hist {
+		out[i] = map[string]int{"size": sc[0], "count": sc[1]}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sizes": out})
+}
+
+func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
+	c := s.Counters()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graphsLoaded":    c.GraphsLoaded,
+		"graphsGenerated": c.GraphsGenerated,
+		"solves":          c.Solves,
+		"cacheHits":       c.CacheHits,
+		"cacheMisses":     c.CacheMisses,
+		"queries":         c.Queries,
+		"jobsSubmitted":   c.JobsSubmitted,
+		"jobsDone":        c.JobsDone,
+		"jobsFailed":      c.JobsFailed,
+		"cachedLabelings": s.CachedLabelings(),
+		"graphs":          s.GraphCount(),
+	})
+}

@@ -1,0 +1,211 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// httpJSON drives one request against the test server and decodes the
+// JSON response into out.
+func httpJSON(t *testing.T, client *http.Client, method, url, body string, wantStatus int, out any) {
+	t.Helper()
+	var rdr io.Reader
+	if body != "" {
+		rdr = strings.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("%s %s: status %d, want %d\nbody: %s", method, url, resp.StatusCode, wantStatus, raw)
+	}
+	if out != nil {
+		if err := json.Unmarshal(raw, out); err != nil {
+			t.Fatalf("%s %s: bad JSON %q: %v", method, url, raw, err)
+		}
+	}
+}
+
+// TestHTTPEndToEnd is the acceptance scenario: load a graph once, solve it
+// once, and answer same-component / component-size / component-count
+// queries from the labeling cache without re-running the algorithm.
+func TestHTTPEndToEnd(t *testing.T) {
+	svc := New(Config{JobWorkers: 2, CacheEntries: 16})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	var health struct {
+		OK bool `json:"ok"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/healthz", "", http.StatusOK, &health)
+	if !health.OK {
+		t.Fatal("healthz not ok")
+	}
+
+	// Load: the two-component edge list, once.
+	var g struct {
+		ID     string `json:"id"`
+		Digest string `json:"digest"`
+		N, M   int
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs?name=two", twoComponents, http.StatusOK, &g)
+	if g.N != 10 || g.M != 9 || !strings.HasPrefix(g.ID, "g-") {
+		t.Fatalf("load response: %+v", g)
+	}
+
+	// Query before solving: 409, the labeling is not cached yet.
+	qbase := fmt.Sprintf("%s/v1/query/same-component?graph=%s&algo=wcc&seed=1&lambda=0.3&u=0&v=5", srv.URL, g.ID)
+	httpJSON(t, client, "GET", qbase, "", http.StatusConflict, nil)
+
+	// Solve synchronously (wait=true), once.
+	var solved struct {
+		Components int  `json:"components"`
+		Rounds     int  `json:"rounds"`
+		Cached     bool `json:"cached"`
+	}
+	solveBody := fmt.Sprintf(`{"graph":%q,"algo":"wcc","seed":1,"lambda":0.3,"wait":true}`, g.ID)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", solveBody, http.StatusOK, &solved)
+	if solved.Components != 2 || solved.Cached {
+		t.Fatalf("solve response: %+v", solved)
+	}
+
+	// Queries now answer from the cache.
+	var same struct {
+		Same bool `json:"same"`
+	}
+	httpJSON(t, client, "GET", qbase, "", http.StatusOK, &same)
+	if !same.Same {
+		t.Error("0 and 5 share the cycle component")
+	}
+	httpJSON(t, client, "GET",
+		fmt.Sprintf("%s/v1/query/same-component?graph=%s&algo=wcc&seed=1&lambda=0.3&u=0&v=9", srv.URL, g.ID),
+		"", http.StatusOK, &same)
+	if same.Same {
+		t.Error("0 and 9 are in different components")
+	}
+	var size struct {
+		Size int `json:"size"`
+	}
+	httpJSON(t, client, "GET",
+		fmt.Sprintf("%s/v1/query/component-size?graph=%s&algo=wcc&seed=1&lambda=0.3&u=7", srv.URL, g.ID),
+		"", http.StatusOK, &size)
+	if size.Size != 4 {
+		t.Errorf("component-size(7) = %d, want 4", size.Size)
+	}
+	var count struct {
+		Components int `json:"components"`
+	}
+	httpJSON(t, client, "GET",
+		fmt.Sprintf("%s/v1/query/component-count?graph=%s&algo=wcc&seed=1&lambda=0.3", srv.URL, g.ID),
+		"", http.StatusOK, &count)
+	if count.Components != 2 {
+		t.Errorf("component-count = %d, want 2", count.Components)
+	}
+
+	// Re-solving the same configuration hits the cache: still one
+	// algorithm execution in the stats.
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", solveBody, http.StatusOK, &solved)
+	if !solved.Cached {
+		t.Fatal("repeat solve should report cached=true")
+	}
+	var stats struct {
+		Solves    int64 `json:"solves"`
+		CacheHits int64 `json:"cacheHits"`
+		Graphs    int   `json:"graphs"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/v1/stats", "", http.StatusOK, &stats)
+	if stats.Solves != 1 {
+		t.Fatalf("stats.solves = %d after one load + one solve + queries, want 1", stats.Solves)
+	}
+	if stats.CacheHits == 0 || stats.Graphs != 1 {
+		t.Fatalf("stats: %+v", stats)
+	}
+}
+
+func TestHTTPGenerateAsyncJobAndErrors(t *testing.T) {
+	svc := New(Config{JobWorkers: 1, CacheEntries: 16})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	// Generate a 2-expander union via the gen.Spec bridge.
+	var g struct {
+		ID string `json:"id"`
+		N  int
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs/generate",
+		`{"family":"union","sizes":[24,16],"d":6,"seed":7}`, http.StatusOK, &g)
+	if g.N != 40 {
+		t.Fatalf("generated n = %d, want 40", g.N)
+	}
+
+	// Async solve: 202 with a job ID, then poll until done.
+	var job struct {
+		ID     string `json:"id"`
+		Status string `json:"status"`
+		Result *struct {
+			Components int `json:"components"`
+		} `json:"result"`
+	}
+	body := fmt.Sprintf(`{"graph":%q,"algo":"boruvka"}`, g.ID)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", body, http.StatusAccepted, &job)
+	if job.ID == "" {
+		t.Fatal("no job id")
+	}
+	deadline := 200
+	for job.Status != "done" && job.Status != "failed" && deadline > 0 {
+		httpJSON(t, client, "GET", srv.URL+"/v1/jobs/"+job.ID, "", http.StatusOK, &job)
+		deadline--
+	}
+	if job.Status != "done" || job.Result == nil || job.Result.Components != 2 {
+		t.Fatalf("job: %+v", job)
+	}
+
+	// Size histogram of the cached labeling.
+	var sizes struct {
+		Sizes []struct{ Size, Count int } `json:"sizes"`
+	}
+	httpJSON(t, client, "GET",
+		fmt.Sprintf("%s/v1/query/sizes?graph=%s&algo=boruvka", srv.URL, g.ID),
+		"", http.StatusOK, &sizes)
+	if len(sizes.Sizes) != 2 || sizes.Sizes[0].Size != 16 || sizes.Sizes[1].Size != 24 {
+		t.Fatalf("sizes: %+v", sizes)
+	}
+
+	// Error surfaces.
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs", "not a graph", http.StatusBadRequest, nil)
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs/generate", `{"family":"nosuch"}`, http.StatusBadRequest, nil)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", `{"graph":"g-nope","algo":"wcc"}`, http.StatusNotFound, nil)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve",
+		fmt.Sprintf(`{"graph":%q,"algo":"nosuch"}`, g.ID), http.StatusBadRequest, nil)
+	httpJSON(t, client, "GET", srv.URL+"/v1/jobs/job-999", "", http.StatusNotFound, nil)
+	httpJSON(t, client, "GET", srv.URL+"/v1/graphs/g-nope", "", http.StatusNotFound, nil)
+	httpJSON(t, client, "GET",
+		fmt.Sprintf("%s/v1/query/component-size?graph=%s&algo=boruvka&u=99", srv.URL, g.ID),
+		"", http.StatusBadRequest, nil)
+	var algos struct {
+		Algorithms []string `json:"algorithms"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/v1/algorithms", "", http.StatusOK, &algos)
+	if len(algos.Algorithms) != 6 {
+		t.Fatalf("algorithms: %v", algos.Algorithms)
+	}
+}

@@ -1,0 +1,514 @@
+// Package service is the long-lived connectivity query layer on top of the
+// internal/algo registry: a graph store (load edge lists or generate gen
+// families on demand), an async job runner executing Find jobs on a
+// bounded worker pool, and an LRU labeling cache keyed by (graph digest,
+// algorithm, seed, λ, memory) so repeated queries — same-component,
+// component-size, component-count, solve statistics — answer in O(1)
+// without re-running any algorithm.
+//
+// Algorithms are deterministic for a fixed seed regardless of the worker
+// setting (see internal/algo), which is what makes the cache key sound:
+// two solves of the same graph digest under the same configuration always
+// produce the same labeling. Concurrent jobs each run a full simulated MPC
+// pipeline; machine-local parallelism inside those pipelines draws from
+// the one global GOMAXPROCS−1 token budget of internal/mpc, so a busy
+// service degrades to sequential sims instead of oversubscribing the host.
+//
+// cmd/wccserve exposes the service over HTTP+JSON; see NewHandler.
+package service
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/algo"
+	"repro/internal/gen"
+	"repro/internal/graph"
+)
+
+// ErrNotFound marks lookups of graphs or jobs that do not exist (never
+// stored, or evicted by the bounded store/history). The HTTP layer maps
+// it to 404 on every endpoint, so clients can distinguish "re-load the
+// graph" from a malformed request.
+var ErrNotFound = errors.New("not found")
+
+// ErrUnavailable marks transient server-side conditions — a saturated job
+// queue or a shutdown in progress. The HTTP layer maps it to 503 so
+// clients retry instead of treating overload as a permanent 4xx.
+var ErrUnavailable = errors.New("service unavailable")
+
+// Config sizes a Service. The zero value selects the defaults.
+type Config struct {
+	// JobWorkers is the number of concurrent solve jobs (default 2).
+	JobWorkers int
+	// CacheEntries is the labeling-cache capacity (default 64).
+	CacheEntries int
+	// SimWorkers is the simulator worker setting applied to solves that do
+	// not specify one (mpc.Config.Workers semantics; default 0 =
+	// sequential). It never affects results, only wall-clock.
+	SimWorkers int
+	// QueueDepth bounds the async job queue (default 128).
+	QueueDepth int
+	// MaxVertices and MaxEdges bound the graphs the service will accept
+	// or generate — tiny requests can otherwise demand huge allocations
+	// (a 14-byte edge-list header can declare 2^31 vertices; a 30-byte
+	// clique spec is O(n²) edges). Defaults: 1<<22 vertices, 1<<24 edges.
+	// Negative means unlimited (trusted callers only).
+	MaxVertices int
+	MaxEdges    int
+	// JobHistory bounds how many completed jobs stay queryable via
+	// /v1/jobs/{id}; older ones (and the labelings they pin) are dropped
+	// so a long-lived service does not grow without bound (default 256).
+	JobHistory int
+	// MaxGraphs bounds the graph store itself, first-loaded first
+	// evicted, for the same reason: each distinct edge list pins up to
+	// MaxVertices/MaxEdges of memory forever otherwise (default 64;
+	// negative = unlimited). Queries against an evicted graph return
+	// unknown-graph errors until it is loaded again.
+	MaxGraphs int
+}
+
+func (c Config) withDefaults() Config {
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.CacheEntries <= 0 {
+		c.CacheEntries = 64
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 128
+	}
+	if c.MaxVertices == 0 {
+		c.MaxVertices = 1 << 22
+	}
+	if c.MaxEdges == 0 {
+		c.MaxEdges = 1 << 24
+	}
+	if c.JobHistory <= 0 {
+		c.JobHistory = 256
+	}
+	if c.MaxGraphs == 0 {
+		c.MaxGraphs = 64
+	}
+	return c
+}
+
+// StoredGraph is one graph in the store. The ID is derived from the
+// content digest, so loading the same edge list twice (or generating the
+// same spec twice) dedupes onto one entry and one cache lineage.
+type StoredGraph struct {
+	// ID is "g-" plus a digest prefix; stable across restarts for the same
+	// edge multiset.
+	ID string
+	// Name is the caller-supplied display name (may be empty).
+	Name string
+	// Digest is the full SHA-256 of the canonical edge list.
+	Digest string
+	// N and M are the vertex and edge counts.
+	N, M int
+
+	g *graph.Graph
+}
+
+// Graph returns the underlying immutable graph.
+func (sg *StoredGraph) Graph() *graph.Graph { return sg.g }
+
+// Counters are the service-level statistics exposed by /v1/stats. All
+// fields are cumulative since startup.
+type Counters struct {
+	GraphsLoaded    int64
+	GraphsGenerated int64
+	Solves          int64 // actual algorithm executions
+	CacheHits       int64
+	CacheMisses     int64
+	Queries         int64
+	JobsSubmitted   int64
+	JobsDone        int64
+	JobsFailed      int64
+}
+
+// Service is the connectivity query service. Create with New; Close
+// drains the job workers.
+type Service struct {
+	cfg Config
+
+	mu      sync.RWMutex
+	graphs  map[string]*StoredGraph
+	order   []string // graph IDs in first-seen order
+	cache   *lru
+	jobs    map[string]*Job
+	jobHist []string // completed job IDs, oldest first
+	jobSeq  int64
+
+	queue     chan *Job
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	draining  chan struct{}
+	drainOnce sync.Once
+
+	counters struct {
+		graphsLoaded, graphsGenerated    atomic.Int64
+		solves, cacheHits, cacheMisses   atomic.Int64
+		queries, jobsSubmitted, jobsDone atomic.Int64
+		jobsFailed                       atomic.Int64
+	}
+}
+
+// New starts a Service with cfg's worker pool running.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:      cfg,
+		graphs:   make(map[string]*StoredGraph),
+		cache:    newLRU(cfg.CacheEntries),
+		jobs:     make(map[string]*Job),
+		queue:    make(chan *Job, cfg.QueueDepth),
+		draining: make(chan struct{}),
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, waits for in-flight jobs to finish, and
+// returns. Safe to call more than once and concurrently with Submit
+// (Submit synchronizes on the same mutex before touching the queue).
+func (s *Service) Close() {
+	s.StartDrain()
+	if s.closed.Swap(true) {
+		return
+	}
+	s.mu.Lock()
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// StartDrain signals shutdown intent without stopping the workers:
+// blocked WaitJob calls return ErrUnavailable immediately so HTTP
+// handlers release before the server's drain deadline. cmd/wccserve
+// calls it right before http.Server.Shutdown (which does not cancel
+// in-flight request contexts itself); Close implies it.
+func (s *Service) StartDrain() {
+	s.drainOnce.Do(func() { close(s.draining) })
+}
+
+// Counters snapshots the service statistics.
+func (s *Service) Counters() Counters {
+	return Counters{
+		GraphsLoaded:    s.counters.graphsLoaded.Load(),
+		GraphsGenerated: s.counters.graphsGenerated.Load(),
+		Solves:          s.counters.solves.Load(),
+		CacheHits:       s.counters.cacheHits.Load(),
+		CacheMisses:     s.counters.cacheMisses.Load(),
+		Queries:         s.counters.queries.Load(),
+		JobsSubmitted:   s.counters.jobsSubmitted.Load(),
+		JobsDone:        s.counters.jobsDone.Load(),
+		JobsFailed:      s.counters.jobsFailed.Load(),
+	}
+}
+
+// CachedLabelings returns the number of labelings currently cached.
+func (s *Service) CachedLabelings() int {
+	return s.cache.len()
+}
+
+// Load parses an edge list (the wccgen/wccfind format) and stores the
+// graph, enforcing the configured vertex/edge limits before the parser
+// allocates from the untrusted header. Loading a graph whose digest is
+// already present returns the existing entry.
+func (s *Service) Load(name string, r io.Reader) (*StoredGraph, error) {
+	maxV, maxE := s.cfg.MaxVertices, s.cfg.MaxEdges
+	if maxV < 0 {
+		maxV = 0 // negative config means unlimited; the parser's 0 is that
+	}
+	if maxE < 0 {
+		maxE = 0
+	}
+	g, err := graph.ReadEdgeListLimit(r, maxV, maxE)
+	if err != nil {
+		return nil, err
+	}
+	sg, err := s.store(name, g)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.graphsLoaded.Add(1)
+	return sg, nil
+}
+
+// Generate builds a gen.Spec workload and stores the graph. The spec's
+// estimated cost is checked against the configured limits first — the
+// parameters, not the request size, drive the allocation.
+func (s *Service) Generate(name string, spec gen.Spec) (*StoredGraph, error) {
+	v, e := spec.Cost()
+	if s.cfg.MaxVertices >= 0 && v > int64(s.cfg.MaxVertices) {
+		return nil, fmt.Errorf("service: spec would build ~%d vertices, limit %d", v, s.cfg.MaxVertices)
+	}
+	if s.cfg.MaxEdges >= 0 && e > int64(s.cfg.MaxEdges) {
+		return nil, fmt.Errorf("service: spec would build ~%d edges, limit %d", e, s.cfg.MaxEdges)
+	}
+	g, err := spec.Build()
+	if err != nil {
+		return nil, err
+	}
+	if name == "" {
+		name = spec.Family
+	}
+	sg, err := s.store(name, g)
+	if err != nil {
+		return nil, err
+	}
+	s.counters.graphsGenerated.Add(1)
+	return sg, nil
+}
+
+// Graph returns a stored graph by ID.
+func (s *Service) Graph(id string) (*StoredGraph, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	sg, ok := s.graphs[id]
+	if !ok {
+		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
+	}
+	return sg, nil
+}
+
+// Graphs lists the stored graphs in first-seen order.
+func (s *Service) Graphs() []*StoredGraph {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]*StoredGraph, 0, len(s.order))
+	for _, id := range s.order {
+		out = append(out, s.graphs[id])
+	}
+	return out
+}
+
+// GraphCount returns the number of stored graphs.
+func (s *Service) GraphCount() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.order)
+}
+
+func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
+	digest := digestOf(g)
+	id := "g-" + digest[:12]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sg, ok := s.graphs[id]; ok {
+		// The ID is only a 48-bit digest prefix; dedupe requires the full
+		// digest to match, otherwise a prefix collision would silently
+		// answer queries about a different graph.
+		if sg.Digest != digest {
+			return nil, fmt.Errorf("service: graph ID %s collides with a different graph (digest %s vs %s)", id, digest, sg.Digest)
+		}
+		return sg, nil
+	}
+	sg := &StoredGraph{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M(), g: g}
+	s.graphs[id] = sg
+	s.order = append(s.order, id)
+	for s.cfg.MaxGraphs > 0 && len(s.order) > s.cfg.MaxGraphs {
+		delete(s.graphs, s.order[0])
+		s.order = s.order[1:]
+	}
+	return sg, nil
+}
+
+// digestOf hashes the canonical edge list: the header followed by every
+// edge in the deterministic CSR iteration order. Build sorts adjacencies,
+// so any two graphs with the same edge multiset share a digest.
+func digestOf(g *graph.Graph) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%d %d\n", g.N(), g.M())
+	var buf [24]byte
+	g.ForEachEdge(func(e graph.Edge) {
+		b := strconv.AppendInt(buf[:0], int64(e.U), 10)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(e.V), 10)
+		b = append(b, '\n')
+		h.Write(b)
+	})
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// SolveSpec names one solve: which stored graph, which algorithm, and the
+// configuration that (with the graph digest) keys the labeling cache.
+type SolveSpec struct {
+	// GraphID is a StoredGraph.ID.
+	GraphID string
+	// Algo is a registered algorithm name (see algo.Names).
+	Algo string
+	// Lambda, Seed, Memory are the algo.Options fields that affect the
+	// labeling (Workers never does, so it is not part of the cache key).
+	Lambda float64
+	Seed   uint64
+	Memory int
+	// Workers overrides the service-wide SimWorkers for this solve.
+	Workers int
+}
+
+// cacheKey canonicalizes the spec first: options the algorithm ignores
+// (the baselines' seed, wcc's memory, sublinear's λ, everyone's workers)
+// are zeroed so equivalent requests share one labeling instead of
+// re-running the solve and splitting LRU slots.
+func (s *Service) cacheKey(digest string, spec SolveSpec) string {
+	o := algo.CanonicalOptions(spec.Algo, algo.Options{
+		Lambda: spec.Lambda, Seed: spec.Seed, Memory: spec.Memory,
+	})
+	return fmt.Sprintf("%s|%s|seed=%d|lambda=%g|mem=%d", digest, spec.Algo, o.Seed, o.Lambda, o.Memory)
+}
+
+// Lookup returns the cached labeling for spec without solving. The bool
+// reports whether it was present.
+func (s *Service) Lookup(spec SolveSpec) (*Labeling, bool, error) {
+	sg, err := s.Graph(spec.GraphID)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := algo.Get(spec.Algo); err != nil {
+		return nil, false, err
+	}
+	key := s.cacheKey(sg.Digest, spec)
+	l, ok := s.cache.get(key)
+	return l, ok, nil
+}
+
+// Solve returns the labeling for spec, running the algorithm only on a
+// cache miss. It is safe for concurrent use; concurrent misses on the
+// same key may both run the algorithm, but determinism makes the results
+// identical and the second insert idempotent.
+func (s *Service) Solve(spec SolveSpec) (*Labeling, error) {
+	l, _, err := s.solve(spec)
+	return l, err
+}
+
+// solve also reports whether the labeling came from the cache.
+func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
+	sg, err := s.Graph(spec.GraphID)
+	if err != nil {
+		return nil, false, err
+	}
+	a, err := algo.Get(spec.Algo)
+	if err != nil {
+		return nil, false, err
+	}
+	key := s.cacheKey(sg.Digest, spec)
+	if l, ok := s.cache.get(key); ok {
+		s.counters.cacheHits.Add(1)
+		return l, true, nil
+	}
+	s.counters.cacheMisses.Add(1)
+
+	workers := spec.Workers
+	if workers == 0 {
+		workers = s.cfg.SimWorkers
+	}
+	res, err := a.Find(sg.Graph(), algo.Options{
+		Lambda: spec.Lambda, Seed: spec.Seed, Workers: workers, Memory: spec.Memory,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	s.counters.solves.Add(1)
+
+	// Echo the canonical configuration, not the raw request: the labeling
+	// is shared by every equivalent spec (e.g. any seed for a baseline),
+	// so request-specific values would misreport later cache hits.
+	canon := algo.CanonicalOptions(spec.Algo, algo.Options{
+		Lambda: spec.Lambda, Seed: spec.Seed, Memory: spec.Memory,
+	})
+	sizes := graph.ComponentSizes(res.Labels, res.Components)
+	l := &Labeling{
+		Key:        key,
+		GraphID:    sg.ID,
+		Algo:       spec.Algo,
+		Seed:       canon.Seed,
+		Lambda:     canon.Lambda,
+		Memory:     canon.Memory,
+		Components: res.Components,
+		Rounds:     res.Rounds,
+		PeakEdges:  res.PeakEdges,
+		labels:     res.Labels,
+		sizes:      sizes,
+		hist:       graph.SizeHistogramOf(sizes),
+	}
+	s.cache.put(l)
+	return l, false, nil
+}
+
+// errNotSolved marks queries against labelings that are not cached; the
+// HTTP layer maps it to 409 so clients know to POST /v1/solve first.
+type errNotSolved struct{ spec SolveSpec }
+
+func (e errNotSolved) Error() string {
+	return fmt.Sprintf("service: graph %s not solved with algo=%s seed=%d lambda=%g mem=%d (POST /v1/solve first, or the labeling was evicted)",
+		e.spec.GraphID, e.spec.Algo, e.spec.Seed, e.spec.Lambda, e.spec.Memory)
+}
+
+// IsNotSolved reports whether err is the not-yet-solved query error.
+func IsNotSolved(err error) bool {
+	_, ok := err.(errNotSolved)
+	return ok
+}
+
+func (s *Service) cached(spec SolveSpec) (*Labeling, error) {
+	s.counters.queries.Add(1)
+	l, ok, err := s.Lookup(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		s.counters.cacheMisses.Add(1)
+		return nil, errNotSolved{spec: spec}
+	}
+	s.counters.cacheHits.Add(1)
+	return l, nil
+}
+
+// SameComponent answers from the labeling cache in O(1); it never runs an
+// algorithm (IsNotSolved errors ask the caller to solve first).
+func (s *Service) SameComponent(spec SolveSpec, u, v graph.Vertex) (bool, error) {
+	l, err := s.cached(spec)
+	if err != nil {
+		return false, err
+	}
+	return l.SameComponent(u, v)
+}
+
+// ComponentSize answers from the labeling cache in O(1).
+func (s *Service) ComponentSize(spec SolveSpec, u graph.Vertex) (int, error) {
+	l, err := s.cached(spec)
+	if err != nil {
+		return 0, err
+	}
+	return l.ComponentSize(u)
+}
+
+// ComponentCount answers from the labeling cache in O(1).
+func (s *Service) ComponentCount(spec SolveSpec) (int, error) {
+	l, err := s.cached(spec)
+	if err != nil {
+		return 0, err
+	}
+	return l.Components, nil
+}
+
+// ComponentSizes returns the full size histogram (size, count) of a
+// cached labeling in ascending size order, precomputed at solve time.
+func (s *Service) ComponentSizes(spec SolveSpec) ([][2]int, error) {
+	l, err := s.cached(spec)
+	if err != nil {
+		return nil, err
+	}
+	return l.hist, nil
+}
