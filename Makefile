@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race bench-smoke bench
+.PHONY: build test vet race fuzz-smoke bench-smoke bench
 
 build:
 	$(GO) build ./...
@@ -12,6 +12,13 @@ vet:
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
+
+# Seed-corpus pass over every fuzz target (edge-list parser, edge-batch
+# wire format, append endpoint): the recorded crash/error cases run as
+# plain tests in seconds. `go test -fuzz` explores further; this target
+# is the regression gate CI runs.
+fuzz-smoke:
+	$(GO) test -run='^Fuzz' ./internal/graph/ ./internal/service/
 
 # Race-checked run of the packages with executor-level concurrency.
 race:

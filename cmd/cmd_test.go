@@ -26,7 +26,7 @@ func TestMain(m *testing.M) {
 	}
 	defer os.RemoveAll(dir)
 	binDir = dir
-	for _, tool := range []string{"wccgen", "wccfind", "wccbench", "wccserve"} {
+	for _, tool := range []string{"wccgen", "wccfind", "wccbench", "wccserve", "wccstream"} {
 		cmd := exec.Command("go", "build", "-o", filepath.Join(dir, tool), "./"+tool)
 		cmd.Dir = "."
 		if out, err := cmd.CombinedOutput(); err != nil {
@@ -209,5 +209,71 @@ func TestServeLifecycle(t *testing.T) {
 		}
 	case <-time.After(15 * time.Second):
 		t.Fatal("wccserve did not shut down within 15s of SIGINT")
+	}
+}
+
+// startServe boots wccserve on an ephemeral port and returns its base
+// URL; the server is killed when the test ends.
+func startServe(t *testing.T, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "wccserve"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cmd.Process.Kill(); cmd.Wait() })
+	sc := bufio.NewScanner(stderr)
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			go io.Copy(io.Discard, stderr)
+			return strings.TrimSpace(after)
+		}
+	}
+	t.Fatal("wccserve never logged its listen address")
+	return ""
+}
+
+// TestStreamReplay drives the full dynamic pipeline through the two new
+// binaries: wccstream generates a churn trace, records it, replays the
+// recorded file against a live wccserve, and verifies the incrementally
+// maintained labeling against a fresh full solve.
+func TestStreamReplay(t *testing.T) {
+	base := startServe(t)
+
+	// Generated trace straight to the server, with interleaved queries
+	// and final verification.
+	out := runTool(t, nil, "wccstream",
+		"-addr", base, "-family", "union", "-sizes", "40,24", "-d", "6", "-seed", "5",
+		"-batches", "12", "-batch-size", "6", "-intra", "0.4",
+		"-queries", "3", "-verify")
+	for _, want := range []string{"batches/sec", "final: version=12", "verify: fresh dynamic solve agrees"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("wccstream output missing %q:\n%s", want, out)
+		}
+	}
+
+	// Record a trace, then replay the files against the same server (a
+	// fresh lineage: different seed → different base digest).
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "churn.trace")
+	graphPath := filepath.Join(dir, "base.txt")
+	runTool(t, nil, "wccstream",
+		"-family", "union", "-sizes", "30,20", "-d", "6", "-seed", "9",
+		"-batches", "8", "-batch-size", "5",
+		"-write-trace", tracePath, "-write-graph", graphPath)
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), "@ 0") || strings.Count(string(raw), "@ ") != 8 {
+		t.Fatalf("recorded trace malformed:\n%.200s", raw)
+	}
+	out = runTool(t, nil, "wccstream",
+		"-addr", base, "-graph", graphPath, "-trace", tracePath, "-verify")
+	if !strings.Contains(out, "final: version=8") || !strings.Contains(out, "solve agrees") {
+		t.Errorf("trace replay output:\n%s", out)
 	}
 }

@@ -14,7 +14,16 @@
 //	curl -X POST -d '{"graph":"g-...","algo":"wcc","lambda":0.3,"wait":true}' \
 //	     localhost:8080/v1/solve
 //	curl 'localhost:8080/v1/query/same-component?graph=g-...&lambda=0.3&u=0&v=9'
+//	printf '0 9\n3 4\n' | curl -X POST --data-binary @- \
+//	     'localhost:8080/v1/graphs/g-.../edges'
+//	curl 'localhost:8080/v1/graphs/g-.../versions'
 //	curl 'localhost:8080/v1/stats'
+//
+// Graphs are versioned: every accepted edge batch bumps the version and
+// incrementally updates cached labelings (see internal/service/README.md
+// and internal/dynamic/README.md); -max-version-gap bounds the retained
+// window and the fast-forward distance. cmd/wccstream replays churn
+// traces against a running server.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // in-flight requests get a drain window, and the solve workers finish
@@ -53,17 +62,19 @@ func run() error {
 		maxVerts   = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
 		maxEdges   = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
 		maxGraphs  = flag.Int("max-graphs", 0, "graph-store capacity, oldest evicted first (0 = default 64, negative = unlimited)")
+		maxVerGap  = flag.Int("max-version-gap", 0, "retained versions per graph and the largest append gap a cached labeling is fast-forwarded across before a full re-solve is required (0 = default 64)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
 	svc := service.New(service.Config{
-		JobWorkers:   *jobWorkers,
-		CacheEntries: *cacheSize,
-		SimWorkers:   *simWorkers,
-		MaxVertices:  *maxVerts,
-		MaxEdges:     *maxEdges,
-		MaxGraphs:    *maxGraphs,
+		JobWorkers:    *jobWorkers,
+		CacheEntries:  *cacheSize,
+		SimWorkers:    *simWorkers,
+		MaxVertices:   *maxVerts,
+		MaxEdges:      *maxEdges,
+		MaxGraphs:     *maxGraphs,
+		MaxVersionGap: *maxVerGap,
 	})
 	defer svc.Close()
 

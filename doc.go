@@ -6,20 +6,25 @@
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
 // public entry points live in internal/core (Theorem 1/4 pipeline and the
 // Corollary 7.1 oblivious variant) and internal/sublinear (Theorem 2);
-// cmd/wccfind, cmd/wccgen, cmd/wccbench and cmd/wccserve are the
-// executables.
+// cmd/wccfind, cmd/wccgen, cmd/wccbench, cmd/wccserve and cmd/wccstream
+// are the executables.
 //
 // # Algorithm registry
 //
 // internal/algo unifies every connectivity algorithm in the repository
 // behind one interface: Algorithm{Name, Find(g, Options)} with a named
-// registry over "wcc" (Theorem 1), "sublinear" (Theorem 2), and the four
-// baselines ("hashtomin", "boruvka", "labelprop", "exponentiate"). All
-// implementations return exact labelings and are deterministic for a
-// fixed Options.Seed regardless of Options.Workers, so a labeling is
-// addressable by (graph digest, name, seed, λ, memory). cmd/wccfind and
-// the experiment harness select algorithms through the registry instead
-// of per-binary switches.
+// registry over "wcc" (Theorem 1), "sublinear" (Theorem 2), the four
+// baselines ("hashtomin", "boruvka", "labelprop", "exponentiate"), and
+// "dynamic" (the sequential incremental engine). All implementations
+// return exact labelings and are deterministic for a fixed Options.Seed
+// regardless of Options.Workers, so a labeling is addressable by (graph
+// digest, name, seed, λ, memory). cmd/wccfind and the experiment harness
+// select algorithms through the registry instead of per-binary switches.
+// Exactness is enforced by a metamorphic conformance suite: all
+// algorithms must agree up to canonical relabeling (algo.CanonicalForm)
+// on randomized gen.Spec instances, intra-component edge appends must
+// not move the partition, and inter-component appends must merge exactly
+// two components.
 //
 // # Connectivity service
 //
@@ -30,6 +35,23 @@
 // queries answer in O(1) after a single solve. cmd/wccserve exposes it
 // over HTTP+JSON with graceful shutdown; see internal/service/README.md
 // for the API.
+//
+// # Dynamic connectivity
+//
+// Stored graphs are versioned and append-only: POST /v1/graphs/{id}/edges
+// absorbs an edge batch through an incremental union-find
+// (internal/dynamic) in near-O(α) amortized time per edge, bumps the
+// version (chained digest), and fast-forwards cached labelings across
+// the batch via dynamic.MergeLabels instead of invalidating them —
+// connectivity under insertions is monotone, so the forwarded labeling
+// is bit-identical (up to canonical relabeling) to a fresh full solve.
+// Version metadata (including the component-merge history) is bounded by
+// the -max-version-gap threshold; beyond it the service falls back to a
+// registry re-solve. gen.TraceSpec describes reproducible churn
+// workloads and cmd/wccstream replays them (generated or recorded trace
+// files) against a live server, reporting sustained batches/sec;
+// experiment E15 measures the incremental-vs-recompute crossover. See
+// internal/dynamic/README.md.
 //
 // # Execution engine
 //

@@ -1,9 +1,11 @@
 // Package algo is the unified registry of connectivity algorithms: one
 // Algorithm interface over the paper's pipeline (internal/core, Theorem 1),
-// the mildly-sublinear variant (internal/sublinear, Theorem 2), and the
-// four baselines (internal/baseline), so that callers — cmd/wccfind, the
-// experiment harness in internal/bench, and the internal/service query
-// layer — select algorithms by name instead of hand-rolled switches.
+// the mildly-sublinear variant (internal/sublinear, Theorem 2), the
+// four baselines (internal/baseline), and the sequential incremental
+// engine (internal/dynamic, registered as "dynamic"), so that callers —
+// cmd/wccfind, the experiment harness in internal/bench, and the
+// internal/service query layer — select algorithms by name instead of
+// hand-rolled switches.
 //
 // All registered algorithms return exact component labelings; they differ
 // only in the rounds (and, for graph exponentiation, memory) they charge.
@@ -20,6 +22,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/mpc"
 	"repro/internal/sublinear"
@@ -126,9 +129,56 @@ func Find(name string, g *graph.Graph, opts Options) (*Result, error) {
 	return a.Find(g, opts)
 }
 
+// IncrementalCapable is the optional capability interface an Algorithm
+// implements when its labelings can be maintained across edge appends via
+// dynamic.MergeLabels instead of a re-solve. Every registered algorithm
+// is exact, so every labeling CAN be fast-forwarded; the flag marks the
+// implementations whose own execution model is incremental (today:
+// "dynamic"). The service's dynamic path uses exact non-incremental
+// solvers as the verification oracle against incremental results, which
+// is exactly what the conformance suite and the end-to-end scenario test
+// exercise.
+type IncrementalCapable interface {
+	Incremental() bool
+}
+
+// Incremental reports whether the named algorithm advertises the
+// incremental capability. Unknown names report false.
+func Incremental(name string) bool {
+	a, err := Get(name)
+	if err != nil {
+		return false
+	}
+	c, ok := a.(IncrementalCapable)
+	return ok && c.Incremental()
+}
+
+// CanonicalForm returns the canonical relabeling of a dense component
+// labeling: labels renumbered by first appearance (vertex 0 upward). Two
+// labelings describe the same partition iff their canonical forms are
+// bit-identical, which is how the metamorphic conformance suite and the
+// service's dynamic-vs-resolve checks compare algorithms without caring
+// which label values each one happened to emit.
+func CanonicalForm(labels []graph.Vertex) []graph.Vertex {
+	out := make([]graph.Vertex, len(labels))
+	remap := make(map[graph.Vertex]graph.Vertex)
+	next := graph.Vertex(0)
+	for v, l := range labels {
+		canon, ok := remap[l]
+		if !ok {
+			canon = next
+			remap[l] = canon
+			next++
+		}
+		out[v] = canon
+	}
+	return out
+}
+
 func init() {
 	Register(wccAlgo{})
 	Register(sublinearAlgo{})
+	Register(dynamicAlgo{})
 	Register(baselineAlgo{name: "hashtomin", run: func(sim *mpc.Sim, g *graph.Graph) (*baseline.Result, error) {
 		return baseline.HashToMin(sim, g), nil
 	}})
@@ -185,6 +235,27 @@ func (sublinearAlgo) Find(g *graph.Graph, opts Options) (*Result, error) {
 	}, nil
 }
 
+// dynamicAlgo is the sequential incremental engine (internal/dynamic)
+// run to completion over a static graph: union-find absorption of every
+// edge, zero MPC rounds charged. It doubles as the registry's fastest
+// exact reference and as the solver behind the service's versioned
+// append path, where its labelings are maintained across batches instead
+// of recomputed.
+type dynamicAlgo struct{}
+
+func (dynamicAlgo) Name() string      { return "dynamic" }
+func (dynamicAlgo) Incremental() bool { return true }
+
+func (dynamicAlgo) Find(g *graph.Graph, opts Options) (*Result, error) {
+	e := dynamic.FromGraph(g)
+	return &Result{
+		Labels:     e.Labels(),
+		Components: e.Components(),
+		Rounds:     0, // sequential; charges no MPC rounds
+		PeakEdges:  g.M(),
+	}, nil
+}
+
 // baselineAlgo adapts the internal/baseline implementations, deriving the
 // same auto-sized cluster that cmd/wccfind and internal/bench previously
 // duplicated by hand.
@@ -226,8 +297,8 @@ func AutoSim(g *graph.Graph, workers int) *mpc.Sim {
 // CanonicalOptions zeroes the Options fields the named algorithm does not
 // consume, so caches keyed on (graph, name, options) do not split or
 // re-run identical labelings: Workers never affects results, λ only
-// steers "wcc", Memory only "sublinear", and the baselines ignore the
-// seed too. Unknown names are returned unchanged.
+// steers "wcc", Memory only "sublinear", and the baselines and "dynamic"
+// ignore the seed too. Unknown names are returned unchanged.
 func CanonicalOptions(name string, o Options) Options {
 	if _, err := Get(name); err != nil {
 		return o

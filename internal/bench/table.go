@@ -113,5 +113,6 @@ func All() []Runner {
 		{"E12", "oblivious spectral gap (Corollary 7.1)", E12Oblivious},
 		{"E13", "vs diameter-parametrized baseline (§1.3)", E13VsExponentiation},
 		{"E14", "balls and bins (Prop B.1)", E14BallsBins},
+		{"E15", "incremental append vs full recompute", E15Incremental},
 	}
 }

@@ -1,0 +1,172 @@
+package dynamic
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestEngineMatchesStaticComponents(t *testing.T) {
+	// Path 0-1-2 plus isolated 3, 4.
+	g := graph.FromEdges(5, []graph.Edge{{U: 0, V: 1}, {U: 1, V: 2}})
+	e := FromGraph(g)
+	if e.Version() != 0 || e.Components() != 3 || e.Edges() != 2 {
+		t.Fatalf("base state: version=%d components=%d edges=%d", e.Version(), e.Components(), e.Edges())
+	}
+	if e.SameComponent(0, 2) == false || e.SameComponent(0, 3) {
+		t.Fatalf("base connectivity wrong")
+	}
+
+	// Intra-component edge: no merge, version bumps.
+	if m := e.Apply([]graph.Edge{{U: 0, V: 2}}, 0); m != 0 {
+		t.Fatalf("intra edge caused %d merges", m)
+	}
+	if e.Version() != 1 || e.Components() != 3 {
+		t.Fatalf("after intra: version=%d components=%d", e.Version(), e.Components())
+	}
+	if len(e.History()) != 0 {
+		t.Fatalf("intra edge recorded history %v", e.History())
+	}
+
+	// Inter-component edge: exactly one merge.
+	if m := e.Apply([]graph.Edge{{U: 2, V: 3}}, 0); m != 1 {
+		t.Fatalf("inter edge caused %d merges, want 1", m)
+	}
+	if e.Components() != 2 || e.ComponentSize(3) != 4 {
+		t.Fatalf("after inter: components=%d size(3)=%d", e.Components(), e.ComponentSize(3))
+	}
+
+	// Growth: two new singletons, then connect one of them.
+	if m := e.Apply([]graph.Edge{{U: 5, V: 4}}, 2); m != 1 {
+		t.Fatalf("grow batch caused %d merges, want 1", m)
+	}
+	if e.N() != 7 || e.Components() != 3 { // {0..3,}, {4,5}, {6}
+		t.Fatalf("after grow: n=%d components=%d", e.N(), e.Components())
+	}
+
+	hist := e.History()
+	if len(hist) != 2 || hist[0].Version != 2 || hist[1].Version != 3 {
+		t.Fatalf("history = %+v", hist)
+	}
+}
+
+func TestHistoryIsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 1))
+	const n = 200
+	e := New(n)
+	for batch := 0; batch < 40; batch++ {
+		edges := make([]graph.Edge, 0, 8)
+		for i := 0; i < 8; i++ {
+			edges = append(edges, graph.Edge{
+				U: graph.Vertex(rng.IntN(n)), V: graph.Vertex(rng.IntN(n)),
+			})
+		}
+		e.Apply(edges, 0)
+	}
+	// Monotonicity: a loser representative never reappears in any later
+	// merge, versions are non-decreasing, and the component count is the
+	// initial count minus the number of merges.
+	seenLoser := map[graph.Vertex]bool{}
+	lastV := 0
+	for _, m := range e.History() {
+		if m.Version < lastV {
+			t.Fatalf("history versions not monotone: %+v", e.History())
+		}
+		lastV = m.Version
+		if seenLoser[m.Winner] || seenLoser[m.Loser] {
+			t.Fatalf("representative reused after losing: %+v", m)
+		}
+		seenLoser[m.Loser] = true
+	}
+	if want := n - len(e.History()); e.Components() != want {
+		t.Fatalf("components = %d, want initial-merges = %d", e.Components(), want)
+	}
+}
+
+// TestEngineAgreesWithRebuiltGraph drives random batched appends and
+// checks, after every batch, that the engine's labeling partitions the
+// vertices exactly like a from-scratch BFS over the materialized graph.
+func TestEngineAgreesWithRebuiltGraph(t *testing.T) {
+	rng := rand.New(rand.NewPCG(11, 2))
+	const n = 300
+	base := make([]graph.Edge, 0, n/2)
+	for i := 0; i < n/2; i++ {
+		base = append(base, graph.Edge{U: graph.Vertex(rng.IntN(n)), V: graph.Vertex(rng.IntN(n))})
+	}
+	g := graph.FromEdges(n, base)
+	e := FromGraph(g)
+	all := append([]graph.Edge(nil), base...)
+	for batch := 0; batch < 25; batch++ {
+		edges := make([]graph.Edge, 0, 6)
+		for i := 0; i < 6; i++ {
+			edges = append(edges, graph.Edge{U: graph.Vertex(rng.IntN(n)), V: graph.Vertex(rng.IntN(n))})
+		}
+		e.Apply(edges, 0)
+		all = append(all, edges...)
+
+		want, wantCount := graph.Components(graph.FromEdges(n, all))
+		if e.Components() != wantCount {
+			t.Fatalf("batch %d: components = %d, want %d", batch, e.Components(), wantCount)
+		}
+		if !graph.SameLabeling(e.Labels(), want) {
+			t.Fatalf("batch %d: engine labeling diverged from static recompute", batch)
+		}
+	}
+}
+
+func TestMergeLabelsMatchesFullRecompute(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 3))
+	const n = 250
+	base := make([]graph.Edge, 0, n/3)
+	for i := 0; i < n/3; i++ {
+		base = append(base, graph.Edge{U: graph.Vertex(rng.IntN(n)), V: graph.Vertex(rng.IntN(n))})
+	}
+	g := graph.FromEdges(n, base)
+	labels, count := graph.Components(g)
+	all := append([]graph.Edge(nil), base...)
+	curN := n
+	for batch := 0; batch < 20; batch++ {
+		grow := rng.IntN(3)
+		newN := curN + grow
+		edges := make([]graph.Edge, 0, 5)
+		for i := 0; i < 5; i++ {
+			edges = append(edges, graph.Edge{U: graph.Vertex(rng.IntN(newN)), V: graph.Vertex(rng.IntN(newN))})
+		}
+		var err error
+		labels, count, err = MergeLabels(labels, count, edges, newN)
+		if err != nil {
+			t.Fatalf("batch %d: %v", batch, err)
+		}
+		all = append(all, edges...)
+		curN = newN
+
+		want, wantCount := graph.Components(graph.FromEdges(curN, all))
+		if count != wantCount {
+			t.Fatalf("batch %d: count = %d, want %d", batch, count, wantCount)
+		}
+		// MergeLabels promises the canonical form itself, not just the same
+		// partition: bit-identical to the first-appearance relabeling.
+		if !graph.SameLabeling(labels, want) {
+			t.Fatalf("batch %d: merged labeling diverged", batch)
+		}
+		for v := range labels {
+			if labels[v] != want[v] {
+				t.Fatalf("batch %d: not canonical at vertex %d: %d vs %d", batch, v, labels[v], want[v])
+			}
+		}
+	}
+}
+
+func TestMergeLabelsRejectsBadInput(t *testing.T) {
+	labels := []graph.Vertex{0, 1}
+	if _, _, err := MergeLabels(labels, 2, nil, 1); err == nil {
+		t.Fatalf("shrinking newN must fail")
+	}
+	if _, _, err := MergeLabels(labels, 2, []graph.Edge{{U: 0, V: 9}}, 2); err == nil {
+		t.Fatalf("out-of-range endpoint must fail")
+	}
+	if _, _, err := MergeLabels([]graph.Vertex{0, 7}, 2, []graph.Edge{{U: 0, V: 1}}, 2); err == nil {
+		t.Fatalf("corrupt label must fail")
+	}
+}

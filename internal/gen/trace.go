@@ -1,0 +1,81 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"repro/internal/graph"
+)
+
+// TraceSpec is a declarative churn workload: a base graph (any Spec
+// family) followed by a deterministic sequence of appended edge batches.
+// It is the shared request format of cmd/wccstream (replaying batches
+// against a live wccserve) and the incremental-vs-recompute experiment in
+// internal/bench, so both exercise byte-identical streams for the same
+// spec.
+type TraceSpec struct {
+	// Base describes the version-0 graph.
+	Base Spec
+	// Batches is the number of appended batches.
+	Batches int
+	// BatchSize is the number of edges per batch.
+	BatchSize int
+	// IntraFrac in [0,1] is the fraction of each batch drawn by
+	// duplicating an edge appended or present earlier in the stream —
+	// guaranteed intra-component churn (the metamorphic no-op case). The
+	// remainder are uniform random pairs, which merge components when they
+	// land across a cut.
+	IntraFrac float64
+	// Seed drives the batch randomness (independent of Base.Seed).
+	Seed uint64
+}
+
+// Cost estimates the total vertices and edges the trace would
+// materialize, base included, using the same saturation arithmetic as
+// Spec.Cost.
+func (t TraceSpec) Cost() (vertices, edges int64) {
+	v, e := t.Base.Cost()
+	if t.Batches < 0 || t.BatchSize < 0 {
+		return hugeCost, hugeCost
+	}
+	return v, satAdd(e, satMul(int64(t.Batches), int64(t.BatchSize)))
+}
+
+// Build materializes the base graph and the appended batches. The same
+// spec always yields the same base and the same batches.
+func (t TraceSpec) Build() (*graph.Graph, [][]graph.Edge, error) {
+	if t.Batches < 0 || t.BatchSize <= 0 {
+		return nil, nil, fmt.Errorf("gen: trace needs batches >= 0 and batch size > 0 (got %d, %d)", t.Batches, t.BatchSize)
+	}
+	if t.IntraFrac < 0 || t.IntraFrac > 1 {
+		return nil, nil, fmt.Errorf("gen: trace intra fraction %g outside [0,1]", t.IntraFrac)
+	}
+	base, err := t.Base.Build()
+	if err != nil {
+		return nil, nil, err
+	}
+	n := base.N()
+	if n < 2 && t.Batches > 0 {
+		return nil, nil, fmt.Errorf("gen: trace base graph needs at least 2 vertices, got %d", n)
+	}
+	rng := rand.New(rand.NewPCG(t.Seed, 0xc0ffee))
+	// Pool of known edges for intra-component picks: duplicating an
+	// existing edge can never merge components.
+	pool := base.Edges()
+	batches := make([][]graph.Edge, t.Batches)
+	for b := range batches {
+		batch := make([]graph.Edge, 0, t.BatchSize)
+		for i := 0; i < t.BatchSize; i++ {
+			if len(pool) > 0 && rng.Float64() < t.IntraFrac {
+				batch = append(batch, pool[rng.IntN(len(pool))])
+				continue
+			}
+			u := graph.Vertex(rng.IntN(n))
+			v := graph.Vertex(rng.IntN(n))
+			batch = append(batch, graph.Edge{U: u, V: v})
+		}
+		pool = append(pool, batch...)
+		batches[b] = batch
+	}
+	return base, batches, nil
+}

@@ -1,0 +1,94 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/graph"
+)
+
+func TestTraceSpecDeterministic(t *testing.T) {
+	spec := TraceSpec{
+		Base:      Spec{Family: "gnd", N: 120, D: 3, Seed: 5},
+		Batches:   7,
+		BatchSize: 11,
+		IntraFrac: 0.4,
+		Seed:      9,
+	}
+	base1, batches1, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	base2, batches2, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base1.N() != base2.N() || base1.M() != base2.M() {
+		t.Fatalf("base not deterministic: (%d,%d) vs (%d,%d)", base1.N(), base1.M(), base2.N(), base2.M())
+	}
+	if len(batches1) != 7 {
+		t.Fatalf("got %d batches, want 7", len(batches1))
+	}
+	for b := range batches1 {
+		if len(batches1[b]) != 11 {
+			t.Fatalf("batch %d has %d edges, want 11", b, len(batches1[b]))
+		}
+		for i := range batches1[b] {
+			if batches1[b][i] != batches2[b][i] {
+				t.Fatalf("batch %d edge %d differs across builds", b, i)
+			}
+			e := batches1[b][i]
+			if e.U < 0 || int(e.U) >= base1.N() || e.V < 0 || int(e.V) >= base1.N() {
+				t.Fatalf("batch %d edge %d out of range: %v", b, i, e)
+			}
+		}
+	}
+}
+
+func TestTraceSpecIntraOnlyNeverMerges(t *testing.T) {
+	spec := TraceSpec{
+		Base:      Spec{Family: "union", Sizes: []int{30, 20}, D: 6, Seed: 3},
+		Batches:   5,
+		BatchSize: 8,
+		IntraFrac: 1.0,
+		Seed:      4,
+	}
+	base, batches, err := spec.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, want := graph.Components(base)
+	uf := graph.NewUnionFind(base.N())
+	base.ForEachEdge(func(e graph.Edge) { uf.Union(e.U, e.V) })
+	for b, batch := range batches {
+		for _, e := range batch {
+			if uf.Union(e.U, e.V) {
+				t.Fatalf("batch %d: intra-only trace merged components via %v", b, e)
+			}
+		}
+	}
+	if uf.Sets() != want {
+		t.Fatalf("component count drifted: %d vs %d", uf.Sets(), want)
+	}
+}
+
+func TestTraceSpecValidation(t *testing.T) {
+	bad := []TraceSpec{
+		{Base: Spec{Family: "cycle", N: 10}, Batches: 1, BatchSize: 0},
+		{Base: Spec{Family: "cycle", N: 10}, Batches: -1, BatchSize: 5},
+		{Base: Spec{Family: "cycle", N: 10}, Batches: 1, BatchSize: 5, IntraFrac: 1.5},
+		{Base: Spec{Family: "nosuch", N: 10}, Batches: 1, BatchSize: 5},
+	}
+	for i, spec := range bad {
+		if _, _, err := spec.Build(); err == nil {
+			t.Fatalf("spec %d should fail: %+v", i, spec)
+		}
+	}
+}
+
+func TestTraceSpecCost(t *testing.T) {
+	spec := TraceSpec{Base: Spec{Family: "cycle", N: 100}, Batches: 10, BatchSize: 20}
+	v, e := spec.Cost()
+	if v != 100 || e != 100+200 {
+		t.Fatalf("Cost = (%d,%d), want (100,300)", v, e)
+	}
+}

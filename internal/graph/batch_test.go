@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestUnionFindGrowAndSetSize(t *testing.T) {
+	uf := NewUnionFind(3)
+	if uf.N() != 3 || uf.Sets() != 3 {
+		t.Fatalf("fresh forest: N=%d Sets=%d", uf.N(), uf.Sets())
+	}
+	uf.Union(0, 1)
+	if got := uf.SetSize(1); got != 2 {
+		t.Fatalf("SetSize after union = %d, want 2", got)
+	}
+	uf.Grow(2) // elements 3, 4
+	if uf.N() != 5 || uf.Sets() != 4 {
+		t.Fatalf("after Grow(2): N=%d Sets=%d, want 5, 4", uf.N(), uf.Sets())
+	}
+	if uf.SetSize(3) != 1 || uf.SetSize(4) != 1 {
+		t.Fatalf("grown elements must be singletons")
+	}
+	if !uf.Union(4, 0) {
+		t.Fatalf("union of grown element with old set must merge")
+	}
+	if !uf.Connected(4, 1) || uf.SetSize(4) != 3 {
+		t.Fatalf("grown element not merged into {0,1}: connected=%v size=%d", uf.Connected(4, 1), uf.SetSize(4))
+	}
+	// Labels stay dense and first-appearance ordered across growth.
+	labels := uf.Labels()
+	want := []Vertex{0, 0, 1, 2, 0}
+	for i, l := range labels {
+		if l != want[i] {
+			t.Fatalf("Labels() = %v, want %v", labels, want)
+		}
+	}
+}
+
+func TestReadEdgeBatch(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		maxV    int
+		maxE    int
+		wantN   int
+		wantErr string
+	}{
+		{"simple", "0 1\n2 3\n", 4, 10, 2, ""},
+		{"comments and blanks", "# append\n\n1 0\n", 2, 10, 1, ""},
+		{"duplicates allowed", "0 1\n0 1\n1 0\n", 2, 10, 3, ""},
+		{"self-loop allowed", "1 1\n", 2, 10, 1, ""},
+		{"empty batch", "", 2, 10, 0, ""},
+		{"vertex out of range", "0 5\n", 4, 10, 0, "out of range"},
+		{"negative vertex", "-1 0\n", 4, 10, 0, "out of range"},
+		{"oversized batch", "0 1\n0 1\n0 1\n", 2, 2, 0, "more than 2 edges"},
+		{"three fields", "0 1 2\n", 4, 10, 0, "want 2 fields"},
+		{"not a number", "a b\n", 4, 10, 0, "invalid syntax"},
+		{"zero limit rejects", "0 1\n", 4, 0, 0, "rejects all"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			edges, err := ReadEdgeBatch(strings.NewReader(tc.in), tc.maxV, tc.maxE)
+			if tc.wantErr != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(edges) != tc.wantN {
+				t.Fatalf("got %d edges, want %d", len(edges), tc.wantN)
+			}
+		})
+	}
+}
+
+func TestEdgeBatchRoundTrip(t *testing.T) {
+	in := []Edge{{0, 1}, {3, 2}, {4, 4}, {0, 1}}
+	var buf bytes.Buffer
+	if err := WriteEdgeBatch(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadEdgeBatch(&buf, 5, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(in) {
+		t.Fatalf("round trip changed length: %d -> %d", len(in), len(out))
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("edge %d changed: %v -> %v", i, in[i], out[i])
+		}
+	}
+}
+
+// FuzzReadEdgeBatch: the batch parser must never panic, never accept an
+// out-of-range endpoint, and never return more edges than the limit —
+// exactly the invariants the append endpoint relies on for untrusted
+// bodies.
+func FuzzReadEdgeBatch(f *testing.F) {
+	seeds := []string{
+		"0 1\n1 2\n",
+		"",
+		"# comment only\n",
+		"0 0\n",
+		"0 1\n0 1\n0 1\n0 1\n",     // duplicates
+		"5 0\n",                    // out of range for small maxVertex
+		"-1 2\n",                   // negative
+		"1 2 3\n",                  // field count
+		"99999999999999999999 0\n", // overflows int
+		"0 1\nx y\n",
+		strings.Repeat("0 1\n", 100), // oversized vs the fuzz limit below
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	const maxV, maxE = 7, 16
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<14 {
+			return
+		}
+		edges, err := ReadEdgeBatch(bytes.NewReader(data), maxV, maxE)
+		if err != nil {
+			return
+		}
+		if len(edges) > maxE {
+			t.Fatalf("accepted %d edges past limit %d", len(edges), maxE)
+		}
+		for _, e := range edges {
+			if e.U < 0 || e.U >= maxV || e.V < 0 || e.V >= maxV {
+				t.Fatalf("accepted out-of-range edge %v", e)
+			}
+		}
+		// Accepted batches round-trip byte-for-byte through the writer.
+		var buf bytes.Buffer
+		if err := WriteEdgeBatch(&buf, edges); err != nil {
+			t.Fatalf("write back: %v", err)
+		}
+		again, err := ReadEdgeBatch(&buf, maxV, maxE)
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if len(again) != len(edges) {
+			t.Fatalf("round trip changed edge count: %d -> %d", len(edges), len(again))
+		}
+	})
+}

@@ -45,6 +45,72 @@ func ReadEdgeList(r io.Reader) (*Graph, error) {
 	return ReadEdgeListLimit(r, 0, 0)
 }
 
+// ReadEdgeBatch parses the edge-batch wire format used by the dynamic
+// append endpoint (POST /v1/graphs/{id}/edges) and by cmd/wccstream
+// traces: one "u v" pair per line, no header, with blank lines and '#'
+// comments ignored. Unlike the full edge-list format, a batch describes a
+// delta against an existing graph, so there is no vertex count to trust —
+// every endpoint must lie in [0, maxVertex), and parsing aborts once more
+// than maxEdges lines appear (maxEdges <= 0 rejects everything, so
+// callers cannot accidentally pass "no limit"; batches are untrusted).
+// Duplicate and parallel edges are legal — the graphs are multigraphs —
+// and an empty batch is legal too (the caller decides whether a no-op
+// append bumps a version).
+func ReadEdgeBatch(r io.Reader, maxVertex, maxEdges int) ([]Edge, error) {
+	if maxEdges <= 0 {
+		return nil, fmt.Errorf("graph: batch edge limit %d rejects all batches", maxEdges)
+	}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	hint := maxEdges
+	if hint > maxEdgeHint {
+		hint = maxEdgeHint
+	}
+	edges := make([]Edge, 0, min(hint, 64))
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			return nil, fmt.Errorf("graph: batch line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		u, err := strconv.Atoi(fields[0])
+		if err != nil {
+			return nil, fmt.Errorf("graph: batch line %d: %w", lineNo, err)
+		}
+		v, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, fmt.Errorf("graph: batch line %d: %w", lineNo, err)
+		}
+		if u < 0 || u >= maxVertex || v < 0 || v >= maxVertex {
+			return nil, fmt.Errorf("graph: batch line %d: edge (%d,%d) out of range [0,%d)", lineNo, u, v, maxVertex)
+		}
+		if len(edges) >= maxEdges {
+			return nil, fmt.Errorf("graph: batch line %d: more than %d edges", lineNo, maxEdges)
+		}
+		edges = append(edges, Edge{U: Vertex(u), V: Vertex(v)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return edges, nil
+}
+
+// WriteEdgeBatch writes edges in the ReadEdgeBatch wire format.
+func WriteEdgeBatch(w io.Writer, edges []Edge) error {
+	bw := bufio.NewWriter(w)
+	for _, e := range edges {
+		if _, err := fmt.Fprintf(bw, "%d %d\n", e.U, e.V); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
 // ReadEdgeListLimit is ReadEdgeList with caps enforced while parsing:
 // headers declaring more than maxVertices are rejected before any
 // allocation is sized from them, and the read aborts as soon as more

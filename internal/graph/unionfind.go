@@ -1,23 +1,35 @@
 package graph
 
-// UnionFind is a disjoint-set forest with union by rank and path halving.
+// UnionFind is a disjoint-set forest with union by size and path halving.
 // It is the sequential ground-truth component structure against which every
-// MPC algorithm in this repository is validated, and the bookkeeping used
-// when assembling spanning forests from per-phase leader-election stars
-// (Claim 6.12).
+// MPC algorithm in this repository is validated, the bookkeeping used when
+// assembling spanning forests from per-phase leader-election stars
+// (Claim 6.12), and — via Grow — the append-capable core of the dynamic
+// connectivity engine in internal/dynamic: edge appends cost near-O(α)
+// amortized and the element set can extend in place.
 type UnionFind struct {
 	parent []Vertex
-	rank   []int8
+	size   []int32 // size[r] is the set size when r is a root
 	sets   int
 }
 
 // NewUnionFind returns a forest of n singleton sets.
 func NewUnionFind(n int) *UnionFind {
-	parent := make([]Vertex, n)
-	for i := range parent {
-		parent[i] = Vertex(i)
+	uf := &UnionFind{}
+	uf.Grow(n)
+	return uf
+}
+
+// Grow appends k fresh singleton sets, extending the element range from
+// [0, N()) to [0, N()+k). Existing sets are untouched, so a dynamic graph
+// can gain vertices without rebuilding the forest.
+func (uf *UnionFind) Grow(k int) {
+	n := len(uf.parent)
+	for i := n; i < n+k; i++ {
+		uf.parent = append(uf.parent, Vertex(i))
+		uf.size = append(uf.size, 1)
 	}
-	return &UnionFind{parent: parent, rank: make([]int8, n), sets: n}
+	uf.sets += k
 }
 
 // Find returns the representative of x's set.
@@ -36,19 +48,20 @@ func (uf *UnionFind) Union(x, y Vertex) bool {
 	if rx == ry {
 		return false
 	}
-	if uf.rank[rx] < uf.rank[ry] {
+	if uf.size[rx] < uf.size[ry] {
 		rx, ry = ry, rx
 	}
 	uf.parent[ry] = rx
-	if uf.rank[rx] == uf.rank[ry] {
-		uf.rank[rx]++
-	}
+	uf.size[rx] += uf.size[ry]
 	uf.sets--
 	return true
 }
 
 // Connected reports whether x and y are in the same set.
 func (uf *UnionFind) Connected(x, y Vertex) bool { return uf.Find(x) == uf.Find(y) }
+
+// SetSize returns the size of x's set.
+func (uf *UnionFind) SetSize(x Vertex) int { return int(uf.size[uf.Find(x)]) }
 
 // Sets returns the current number of disjoint sets.
 func (uf *UnionFind) Sets() int { return uf.sets }

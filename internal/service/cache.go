@@ -3,19 +3,25 @@ package service
 import (
 	"container/list"
 	"fmt"
+	"strings"
 	"sync"
 
 	"repro/internal/graph"
 )
 
 // Labeling is one cached solve: the exact component labeling of a stored
-// graph under a (algo, seed, λ, memory) configuration, with component
-// sizes precomputed so every query answers in O(1).
+// graph version under a (algo, seed, λ, memory) configuration, with
+// component sizes precomputed so every query answers in O(1). Labelings
+// are immutable once cached; an edge append produces a NEW labeling for
+// the new version (via dynamic.MergeLabels) rather than mutating this
+// one, so concurrent queries never observe a half-merged state.
 type Labeling struct {
 	// Key is the cache key the labeling is stored under.
 	Key string
 	// GraphID identifies the stored graph that was solved.
 	GraphID string
+	// Version is the graph version this labeling describes.
+	Version int
 	// Algo, Seed, Lambda, Memory echo the solve configuration.
 	Algo   string
 	Seed   uint64
@@ -27,6 +33,10 @@ type Labeling struct {
 	Rounds int
 	// PeakEdges is the solve's peak materialized edge set.
 	PeakEdges int
+	// Forwarded reports that this labeling was derived by incrementally
+	// merging appended batches into an earlier solve's labeling instead
+	// of running an algorithm.
+	Forwarded bool
 
 	labels []graph.Vertex
 	sizes  []int    // sizes[c] = vertices labeled c
@@ -116,4 +126,23 @@ func (c *lru) len() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.order.Len()
+}
+
+// withDigestPrefix returns the cached labelings whose key starts with
+// "digest|" — every configuration solved for one specific graph version.
+// The append path uses it to fast-forward all of a version's labelings
+// when a batch lands. O(entries) scan, but the cache is small by design
+// (default 64) and appends are rare relative to queries; recency order is
+// deliberately not touched.
+func (c *lru) withDigestPrefix(digest string) []*Labeling {
+	prefix := digest + "|"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*Labeling
+	for key, el := range c.entries {
+		if strings.HasPrefix(key, prefix) {
+			out = append(out, el.Value.(*Labeling))
+		}
+	}
+	return out
 }

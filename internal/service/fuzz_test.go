@@ -1,0 +1,75 @@
+package service
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// FuzzAppendEndpoint feeds arbitrary bodies to the edge-batch append
+// endpoint. Whatever the bytes, the server must answer (no panic — the
+// mux would turn one into a 500 or a dropped connection), reject
+// malformed input with a 4xx, and keep the stored graph consistent:
+// versions bump by exactly one per accepted batch and the edge count
+// matches the accepted batch sizes.
+func FuzzAppendEndpoint(f *testing.F) {
+	seeds := []string{
+		"0 1\n",
+		"",
+		"# noise\n\n2 3\n",
+		"0 99\n",  // out of range for the 5-vertex base
+		"-3 1\n",  // negative
+		"1 2 3\n", // wrong field count
+		"a b\n",   // not numbers
+		"4294967296 1\n",
+		"1 1\n1 1\n1 1\n", // duplicates + loops
+		strings.Repeat("0 1\n", 2048),
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	s := New(Config{MaxVertices: 64, MaxEdges: 1 << 20})
+	defer s.Close()
+	srv := httptest.NewServer(NewHandler(s))
+	defer srv.Close()
+	sg, err := s.Load("fuzz", strings.NewReader(twoComponentEdgeList))
+	if err != nil {
+		f.Fatal(err)
+	}
+	client := srv.Client()
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		before := sg.Latest()
+		resp, err := client.Post(srv.URL+"/v1/graphs/"+sg.ID+"/edges", "text/plain", bytes.NewReader(data))
+		if err != nil {
+			t.Fatalf("append request died: %v", err)
+		}
+		resp.Body.Close()
+		after := sg.Latest()
+		switch {
+		case resp.StatusCode == http.StatusOK:
+			if after.Version != before.Version+1 {
+				t.Fatalf("accepted batch bumped version %d -> %d", before.Version, after.Version)
+			}
+			if after.M < before.M || after.N < before.N {
+				t.Fatalf("accepted batch shrank the graph: %+v -> %+v", before, after)
+			}
+			if after.Components > before.Components {
+				t.Fatalf("append increased component count %d -> %d", before.Components, after.Components)
+			}
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			if after.Version != before.Version {
+				t.Fatalf("rejected batch (%d) still bumped version %d -> %d",
+					resp.StatusCode, before.Version, after.Version)
+			}
+		default:
+			t.Fatalf("append answered %d", resp.StatusCode)
+		}
+	})
+}

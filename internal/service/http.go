@@ -20,17 +20,26 @@ import (
 //	POST /v1/graphs?name=N            body = edge-list text; stores the graph
 //	POST /v1/graphs/generate          {"family","n","d","sizes","seed","name"}
 //	GET  /v1/graphs                   list stored graphs
-//	GET  /v1/graphs/{id}              one stored graph
-//	POST /v1/solve                    {"graph","algo","lambda","seed","memory",
-//	                                   "workers","wait"} → job (or labeling
-//	                                   summary when wait=true)
+//	GET  /v1/graphs/{id}              one stored graph (latest version)
+//	POST /v1/graphs/{id}/edges        body = edge-batch text ("u v" lines);
+//	                                  ?grow=1 lets endpoints extend the
+//	                                  vertex set; bumps the version and
+//	                                  fast-forwards cached labelings
+//	GET  /v1/graphs/{id}/versions     retained version window
+//	POST /v1/solve                    {"graph","version","algo","lambda","seed",
+//	                                   "memory","workers","wait"} → job (or
+//	                                   labeling summary when wait=true)
 //	GET  /v1/jobs/{id}                job status/result
-//	GET  /v1/query/same-component     ?graph=&algo=&seed=&lambda=&memory=&u=&v=
+//	GET  /v1/query/same-component     ?graph=&version=&algo=&seed=&lambda=&memory=&u=&v=
 //	GET  /v1/query/component-size     ?...&u=
 //	GET  /v1/query/component-count    ?...
 //	GET  /v1/query/sizes              ?... size histogram
 //	GET  /v1/algorithms               registered algorithm names
 //	GET  /v1/stats                    service counters + cache occupancy
+//
+// Query endpoints default to the latest version; pass ?version=K for a
+// retained older version. Solve bodies omit "version" (or pass a
+// negative) for latest.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -40,6 +49,8 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("POST /v1/graphs/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
 	mux.HandleFunc("GET /v1/graphs/{id}", s.handleGetGraph)
+	mux.HandleFunc("POST /v1/graphs/{id}/edges", s.handleAppend)
+	mux.HandleFunc("GET /v1/graphs/{id}/versions", s.handleVersions)
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("GET /v1/query/same-component", s.handleSameComponent)
@@ -81,16 +92,28 @@ func statusFor(err error) int {
 }
 
 func graphJSON(sg *StoredGraph) map[string]any {
+	latest := sg.Latest()
 	return map[string]any{
-		"id": sg.ID, "name": sg.Name, "digest": sg.Digest, "n": sg.N, "m": sg.M,
+		"id": sg.ID, "name": sg.Name, "digest": latest.Digest,
+		"baseDigest": sg.Digest, "version": latest.Version,
+		"n": latest.N, "m": latest.M, "components": latest.Components,
+	}
+}
+
+func versionJSON(info VersionInfo) map[string]any {
+	return map[string]any{
+		"version": info.Version, "digest": info.Digest,
+		"n": info.N, "m": info.M, "appended": info.Appended,
+		"merges": info.Merges, "components": info.Components,
 	}
 }
 
 func labelingJSON(l *Labeling, cached bool) map[string]any {
 	return map[string]any{
-		"graph": l.GraphID, "algo": l.Algo, "seed": l.Seed, "lambda": l.Lambda,
+		"graph": l.GraphID, "version": l.Version, "algo": l.Algo,
+		"seed": l.Seed, "lambda": l.Lambda,
 		"memory": l.Memory, "components": l.Components, "rounds": l.Rounds,
-		"peakEdges": l.PeakEdges, "cached": cached,
+		"peakEdges": l.PeakEdges, "cached": cached, "forwarded": l.Forwarded,
 	}
 }
 
@@ -153,9 +176,88 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, graphJSON(sg))
 }
 
+// maxBatchEdges bounds one appended batch; MaxBytesReader bounds the
+// request body itself. Oversized batches fail parsing with an explicit
+// "more than N edges" error instead of exhausting memory.
+const maxBatchEdges = 1 << 20
+
+func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
+	sg, err := s.Graph(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	grow := false
+	if v := r.URL.Query().Get("grow"); v != "" {
+		if grow, err = strconv.ParseBool(v); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad grow: %w", err))
+			return
+		}
+	}
+	// The parser enforces the endpoint range: the current vertex count
+	// normally, the configured ceiling when growing. Append revalidates
+	// under the graph lock (a concurrent append may have grown N), so a
+	// benign race here can only produce a clean 400, never a bad accept.
+	maxVertex := sg.Latest().N
+	if grow {
+		maxVertex = s.cfg.MaxVertices
+		if maxVertex < 0 {
+			maxVertex = int(^uint(0) >> 1) // unlimited config: full int range
+		}
+	}
+	maxEdges := maxBatchEdges
+	if s.cfg.MaxEdges >= 0 {
+		remaining := s.cfg.MaxEdges - sg.Latest().M
+		if remaining <= 0 {
+			writeError(w, http.StatusBadRequest,
+				fmt.Errorf("service: graph %s is at the configured edge limit %d; no further appends", sg.ID, s.cfg.MaxEdges))
+			return
+		}
+		if remaining < maxEdges {
+			maxEdges = remaining
+		}
+	}
+	batch, err := graph.ReadEdgeBatch(http.MaxBytesReader(w, r.Body, 64<<20), maxVertex, maxEdges)
+	if err != nil {
+		status := http.StatusBadRequest
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		writeError(w, status, err)
+		return
+	}
+	info, err := s.Append(sg.ID, batch, grow)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	out := versionJSON(info)
+	out["graph"] = sg.ID
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleVersions(w http.ResponseWriter, r *http.Request) {
+	sg, err := s.Graph(r.PathValue("id"))
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+	vers := sg.Versions()
+	out := make([]map[string]any, len(vers))
+	for i, info := range vers {
+		out[i] = versionJSON(info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"graph": sg.ID, "latest": vers[len(vers)-1].Version,
+		"maxVersionGap": s.cfg.MaxVersionGap, "versions": out,
+	})
+}
+
 func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	var req struct {
 		Graph   string  `json:"graph"`
+		Version *int    `json:"version"`
 		Algo    string  `json:"algo"`
 		Lambda  float64 `json:"lambda"`
 		Seed    uint64  `json:"seed"`
@@ -167,8 +269,12 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
 		return
 	}
+	version := -1 // latest unless the body pins one
+	if req.Version != nil {
+		version = *req.Version
+	}
 	spec := SolveSpec{
-		GraphID: req.Graph, Algo: req.Algo, Lambda: req.Lambda,
+		GraphID: req.Graph, Version: version, Algo: req.Algo, Lambda: req.Lambda,
 		Seed: req.Seed, Memory: req.Memory, Workers: req.Workers,
 	}
 	job, err := s.Submit(spec)
@@ -218,7 +324,7 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 // endpoints.
 func querySpec(r *http.Request) (SolveSpec, error) {
 	q := r.URL.Query()
-	spec := SolveSpec{GraphID: q.Get("graph"), Algo: q.Get("algo")}
+	spec := SolveSpec{GraphID: q.Get("graph"), Version: -1, Algo: q.Get("algo")}
 	if spec.GraphID == "" {
 		return spec, fmt.Errorf("missing ?graph=")
 	}
@@ -226,6 +332,11 @@ func querySpec(r *http.Request) (SolveSpec, error) {
 		spec.Algo = "wcc"
 	}
 	var err error
+	if v := q.Get("version"); v != "" {
+		if spec.Version, err = strconv.Atoi(v); err != nil {
+			return spec, fmt.Errorf("bad version: %w", err)
+		}
+	}
 	if v := q.Get("seed"); v != "" {
 		if spec.Seed, err = strconv.ParseUint(v, 10, 64); err != nil {
 			return spec, fmt.Errorf("bad seed: %w", err)
@@ -334,16 +445,19 @@ func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	c := s.Counters()
 	writeJSON(w, http.StatusOK, map[string]any{
-		"graphsLoaded":    c.GraphsLoaded,
-		"graphsGenerated": c.GraphsGenerated,
-		"solves":          c.Solves,
-		"cacheHits":       c.CacheHits,
-		"cacheMisses":     c.CacheMisses,
-		"queries":         c.Queries,
-		"jobsSubmitted":   c.JobsSubmitted,
-		"jobsDone":        c.JobsDone,
-		"jobsFailed":      c.JobsFailed,
-		"cachedLabelings": s.CachedLabelings(),
-		"graphs":          s.GraphCount(),
+		"graphsLoaded":      c.GraphsLoaded,
+		"graphsGenerated":   c.GraphsGenerated,
+		"solves":            c.Solves,
+		"cacheHits":         c.CacheHits,
+		"cacheMisses":       c.CacheMisses,
+		"queries":           c.Queries,
+		"jobsSubmitted":     c.JobsSubmitted,
+		"jobsDone":          c.JobsDone,
+		"jobsFailed":        c.JobsFailed,
+		"edgeBatches":       c.EdgeBatches,
+		"edgesAppended":     c.EdgesAppended,
+		"incrementalMerges": c.IncrementalMerges,
+		"cachedLabelings":   s.CachedLabelings(),
+		"graphs":            s.GraphCount(),
 	})
 }

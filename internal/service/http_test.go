@@ -205,7 +205,7 @@ func TestHTTPGenerateAsyncJobAndErrors(t *testing.T) {
 		Algorithms []string `json:"algorithms"`
 	}
 	httpJSON(t, client, "GET", srv.URL+"/v1/algorithms", "", http.StatusOK, &algos)
-	if len(algos.Algorithms) != 6 {
+	if len(algos.Algorithms) != 7 {
 		t.Fatalf("algorithms: %v", algos.Algorithms)
 	}
 }

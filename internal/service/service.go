@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/algo"
+	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
 )
@@ -72,6 +73,14 @@ type Config struct {
 	// negative = unlimited). Queries against an evicted graph return
 	// unknown-graph errors until it is loaded again.
 	MaxGraphs int
+	// MaxVersionGap is the incremental-vs-recompute threshold of the
+	// dynamic subsystem: each stored graph retains its last
+	// MaxVersionGap+1 versions (metadata + batch boundaries), and a
+	// cached labeling can be fast-forwarded across at most MaxVersionGap
+	// appended batches. A labeling whose version has fallen out of that
+	// window cannot be delta-merged anymore — queries report not-solved
+	// and the client re-solves through the registry instead (default 64).
+	MaxVersionGap int
 }
 
 func (c Config) withDefaults() Config {
@@ -96,28 +105,52 @@ func (c Config) withDefaults() Config {
 	if c.MaxGraphs == 0 {
 		c.MaxGraphs = 64
 	}
+	if c.MaxVersionGap <= 0 {
+		c.MaxVersionGap = 64
+	}
 	return c
 }
 
-// StoredGraph is one graph in the store. The ID is derived from the
-// content digest, so loading the same edge list twice (or generating the
-// same spec twice) dedupes onto one entry and one cache lineage.
+// StoredGraph is one graph in the store: an immutable base snapshot
+// (version 0) plus the append-only edge stream layered on top of it. The
+// ID is derived from the base content digest, so loading the same edge
+// list twice (or generating the same spec twice) dedupes onto one entry
+// and one version lineage.
 type StoredGraph struct {
 	// ID is "g-" plus a digest prefix; stable across restarts for the same
-	// edge multiset.
+	// base edge multiset.
 	ID string
 	// Name is the caller-supplied display name (may be empty).
 	Name string
-	// Digest is the full SHA-256 of the canonical edge list.
+	// Digest is the full SHA-256 of the canonical base edge list — the
+	// content address the ID derives from. Appended versions chain their
+	// own digests; see LatestDigest and Versions.
 	Digest string
-	// N and M are the vertex and edge counts.
+	// N and M are the base vertex and edge counts (version 0).
 	N, M int
 
-	g *graph.Graph
+	// Mutable dynamic state, guarded by mu: the retained version window,
+	// the cumulative appended edges, the incremental connectivity engine,
+	// and the lazily materialized latest snapshot. Appends serialize per
+	// graph on this mutex; queries answer from the (immutable) cached
+	// labelings and never take it.
+	mu       sync.RWMutex
+	base     *graph.Graph
+	appended []graph.Edge  // all post-base edges, append order
+	vers     []VersionInfo // retained window, ascending; last = latest
+	eng      *dynamic.Engine
+	snap     *graph.Graph // cached materialization of snapVer
+	snapVer  int
 }
 
-// Graph returns the underlying immutable graph.
-func (sg *StoredGraph) Graph() *graph.Graph { return sg.g }
+// Graph returns the materialized latest version of the graph (the base
+// snapshot itself while nothing has been appended). The returned graph is
+// immutable; a later append materializes a fresh one.
+func (sg *StoredGraph) Graph() *graph.Graph {
+	sg.mu.Lock()
+	defer sg.mu.Unlock()
+	return sg.materializeLocked(sg.vers[len(sg.vers)-1])
+}
 
 // Counters are the service-level statistics exposed by /v1/stats. All
 // fields are cumulative since startup.
@@ -131,6 +164,13 @@ type Counters struct {
 	JobsSubmitted   int64
 	JobsDone        int64
 	JobsFailed      int64
+	// EdgeBatches and EdgesAppended count accepted dynamic appends;
+	// IncrementalMerges counts cached labelings fast-forwarded across
+	// appended batches instead of being recomputed (each one is a solve
+	// the dynamic path avoided).
+	EdgeBatches       int64
+	EdgesAppended     int64
+	IncrementalMerges int64
 }
 
 // Service is the connectivity query service. Create with New; Close
@@ -157,6 +197,8 @@ type Service struct {
 		solves, cacheHits, cacheMisses   atomic.Int64
 		queries, jobsSubmitted, jobsDone atomic.Int64
 		jobsFailed                       atomic.Int64
+		edgeBatches, edgesAppended       atomic.Int64
+		incrementalMerges                atomic.Int64
 	}
 }
 
@@ -204,15 +246,18 @@ func (s *Service) StartDrain() {
 // Counters snapshots the service statistics.
 func (s *Service) Counters() Counters {
 	return Counters{
-		GraphsLoaded:    s.counters.graphsLoaded.Load(),
-		GraphsGenerated: s.counters.graphsGenerated.Load(),
-		Solves:          s.counters.solves.Load(),
-		CacheHits:       s.counters.cacheHits.Load(),
-		CacheMisses:     s.counters.cacheMisses.Load(),
-		Queries:         s.counters.queries.Load(),
-		JobsSubmitted:   s.counters.jobsSubmitted.Load(),
-		JobsDone:        s.counters.jobsDone.Load(),
-		JobsFailed:      s.counters.jobsFailed.Load(),
+		GraphsLoaded:      s.counters.graphsLoaded.Load(),
+		GraphsGenerated:   s.counters.graphsGenerated.Load(),
+		Solves:            s.counters.solves.Load(),
+		CacheHits:         s.counters.cacheHits.Load(),
+		CacheMisses:       s.counters.cacheMisses.Load(),
+		Queries:           s.counters.queries.Load(),
+		JobsSubmitted:     s.counters.jobsSubmitted.Load(),
+		JobsDone:          s.counters.jobsDone.Load(),
+		JobsFailed:        s.counters.jobsFailed.Load(),
+		EdgeBatches:       s.counters.edgeBatches.Load(),
+		EdgesAppended:     s.counters.edgesAppended.Load(),
+		IncrementalMerges: s.counters.incrementalMerges.Load(),
 	}
 }
 
@@ -314,7 +359,12 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 		}
 		return sg, nil
 	}
-	sg := &StoredGraph{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M(), g: g}
+	sg := &StoredGraph{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M(), base: g}
+	sg.eng = dynamic.FromGraph(g)
+	sg.vers = []VersionInfo{{
+		Version: 0, Digest: digest, N: g.N(), M: g.M(),
+		Components: sg.eng.Components(),
+	}}
 	s.graphs[id] = sg
 	s.order = append(s.order, id)
 	for s.cfg.MaxGraphs > 0 && len(s.order) > s.cfg.MaxGraphs {
@@ -341,11 +391,17 @@ func digestOf(g *graph.Graph) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// SolveSpec names one solve: which stored graph, which algorithm, and the
-// configuration that (with the graph digest) keys the labeling cache.
+// SolveSpec names one solve: which stored graph (at which version), which
+// algorithm, and the configuration that (with the version digest) keys
+// the labeling cache.
 type SolveSpec struct {
 	// GraphID is a StoredGraph.ID.
 	GraphID string
+	// Version selects the graph version: a retained version number, or
+	// negative for "latest at resolution time". Version 0 is the base
+	// snapshot, so the zero value of SolveSpec pins the base — HTTP
+	// handlers default an absent version parameter to LatestVersion.
+	Version int
 	// Algo is a registered algorithm name (see algo.Names).
 	Algo string
 	// Lambda, Seed, Memory are the algo.Options fields that affect the
@@ -360,7 +416,10 @@ type SolveSpec struct {
 // cacheKey canonicalizes the spec first: options the algorithm ignores
 // (the baselines' seed, wcc's memory, sublinear's λ, everyone's workers)
 // are zeroed so equivalent requests share one labeling instead of
-// re-running the solve and splitting LRU slots.
+// re-running the solve and splitting LRU slots. The digest is a VERSION
+// digest, never a bare graph ID: two versions of the same graph chain
+// different digests, so a stale labeling can never answer a query for a
+// newer version — there is simply no key collision to exploit.
 func (s *Service) cacheKey(digest string, spec SolveSpec) string {
 	o := algo.CanonicalOptions(spec.Algo, algo.Options{
 		Lambda: spec.Lambda, Seed: spec.Seed, Memory: spec.Memory,
@@ -368,8 +427,11 @@ func (s *Service) cacheKey(digest string, spec SolveSpec) string {
 	return fmt.Sprintf("%s|%s|seed=%d|lambda=%g|mem=%d", digest, spec.Algo, o.Seed, o.Lambda, o.Memory)
 }
 
-// Lookup returns the cached labeling for spec without solving. The bool
-// reports whether it was present.
+// Lookup returns the labeling for spec without running any algorithm.
+// The bool reports whether one was available: cached directly, or
+// derivable by fast-forwarding a cached labeling of an earlier retained
+// version across the appended batches (an incremental merge, not a
+// solve).
 func (s *Service) Lookup(spec SolveSpec) (*Labeling, bool, error) {
 	sg, err := s.Graph(spec.GraphID)
 	if err != nil {
@@ -378,9 +440,17 @@ func (s *Service) Lookup(spec SolveSpec) (*Labeling, bool, error) {
 	if _, err := algo.Get(spec.Algo); err != nil {
 		return nil, false, err
 	}
-	key := s.cacheKey(sg.Digest, spec)
-	l, ok := s.cache.get(key)
-	return l, ok, nil
+	info, err := sg.resolveVersion(spec.Version)
+	if err != nil {
+		return nil, false, err
+	}
+	if l, ok := s.cache.get(s.cacheKey(info.Digest, spec)); ok {
+		return l, true, nil
+	}
+	if l, ok := s.fastForward(sg, info, spec); ok {
+		return l, true, nil
+	}
+	return nil, false, nil
 }
 
 // Solve returns the labeling for spec, running the algorithm only on a
@@ -392,7 +462,8 @@ func (s *Service) Solve(spec SolveSpec) (*Labeling, error) {
 	return l, err
 }
 
-// solve also reports whether the labeling came from the cache.
+// solve also reports whether the labeling came from the cache (directly
+// or by incremental fast-forward — either way no algorithm ran).
 func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	sg, err := s.Graph(spec.GraphID)
 	if err != nil {
@@ -402,8 +473,16 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	key := s.cacheKey(sg.Digest, spec)
+	info, err := sg.resolveVersion(spec.Version)
+	if err != nil {
+		return nil, false, err
+	}
+	key := s.cacheKey(info.Digest, spec)
 	if l, ok := s.cache.get(key); ok {
+		s.counters.cacheHits.Add(1)
+		return l, true, nil
+	}
+	if l, ok := s.fastForward(sg, info, spec); ok {
 		s.counters.cacheHits.Add(1)
 		return l, true, nil
 	}
@@ -413,7 +492,11 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	if workers == 0 {
 		workers = s.cfg.SimWorkers
 	}
-	res, err := a.Find(sg.Graph(), algo.Options{
+	snapshot := sg.Snapshot(info.Version)
+	if snapshot == nil {
+		return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, info.Version, ErrNotFound)
+	}
+	res, err := a.Find(snapshot, algo.Options{
 		Lambda: spec.Lambda, Seed: spec.Seed, Workers: workers, Memory: spec.Memory,
 	})
 	if err != nil {
@@ -431,6 +514,7 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	l := &Labeling{
 		Key:        key,
 		GraphID:    sg.ID,
+		Version:    info.Version,
 		Algo:       spec.Algo,
 		Seed:       canon.Seed,
 		Lambda:     canon.Lambda,
