@@ -13,22 +13,22 @@ vet:
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
-# Seed-corpus pass over every fuzz target (edge-list parser, edge-batch
-# wire format, append endpoint): the recorded crash/error cases run as
-# plain tests in seconds. `go test -fuzz` explores further; this target
-# is the regression gate CI runs.
+# Seed-corpus pass over every fuzz target (edge-list parser, binary CSR
+# codec, edge-batch wire format, append endpoint, WAL replay): the
+# recorded crash/error cases run as plain tests in seconds. `go test
+# -fuzz` explores further; this target is the regression gate CI runs.
 fuzz-smoke:
-	$(GO) test -run='^Fuzz' ./internal/graph/ ./internal/service/
+	$(GO) test -run='^Fuzz' ./internal/graph/ ./internal/service/ ./internal/store/
 
 # Race-checked run of the packages with executor-level concurrency.
 race:
-	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/ ./internal/service/
+	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/ ./internal/service/ ./internal/store/
 
 # One-iteration pass over the perf-critical benchmarks: catches crashes,
 # allocation regressions (-benchmem), and gross slowdowns in seconds.
 bench-smoke:
 	$(GO) test -run=NONE -benchtime=1x -benchmem \
-		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel' .
+		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec' .
 
 # Full benchmark sweep (slow).
 bench:

@@ -8,6 +8,7 @@ package repro
 // MPC rounds — via custom metrics next to wall-clock time.
 
 import (
+	"bytes"
 	"math/rand/v2"
 	"testing"
 
@@ -347,6 +348,69 @@ func BenchmarkAGMSketchComponents(b *testing.B) {
 		_, count, _ := cs.Components()
 		if count != 1 {
 			b.Fatalf("sketch split the cycle into %d", count)
+		}
+	}
+}
+
+// BenchmarkBinaryCodec measures the binary CSR codec round trip against
+// the text edge list on a generated workload and guards the size win:
+// the binary encoding must be strictly smaller than the text one (it is
+// the on-disk snapshot format of internal/store, so a regression here
+// is a disk-footprint regression for every durable wccserve).
+func BenchmarkBinaryCodec(b *testing.B) {
+	g, err := gen.Spec{Family: "gnd", N: 20000, D: 8, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var text bytes.Buffer
+	if err := graph.WriteEdgeList(&text, g); err != nil {
+		b.Fatal(err)
+	}
+	var bin bytes.Buffer
+	if err := graph.WriteBinary(&bin, g); err != nil {
+		b.Fatal(err)
+	}
+	if bin.Len() >= text.Len() {
+		b.Fatalf("binary encoding %d bytes, text %d — binary must be smaller", bin.Len(), text.Len())
+	}
+	b.ReportMetric(float64(bin.Len()), "binB")
+	b.ReportMetric(float64(text.Len()), "textB")
+	b.ReportMetric(float64(text.Len())/float64(bin.Len()), "ratio")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bin.Reset()
+		if err := graph.WriteBinary(&bin, g); err != nil {
+			b.Fatal(err)
+		}
+		g2, err := graph.ReadBinary(bytes.NewReader(bin.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g2.M() != g.M() {
+			b.Fatalf("round trip changed m: %d -> %d", g.M(), g2.M())
+		}
+	}
+}
+
+// BenchmarkTextCodec is the baseline BenchmarkBinaryCodec is compared
+// against: the same round trip through the text edge-list format.
+func BenchmarkTextCodec(b *testing.B) {
+	g, err := gen.Spec{Family: "gnd", N: 20000, D: 8, Seed: 1}.Build()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var text bytes.Buffer
+		if err := graph.WriteEdgeList(&text, g); err != nil {
+			b.Fatal(err)
+		}
+		g2, err := graph.ReadEdgeList(bytes.NewReader(text.Bytes()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if g2.M() != g.M() {
+			b.Fatalf("round trip changed m: %d -> %d", g.M(), g2.M())
 		}
 	}
 }

@@ -13,6 +13,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -65,6 +66,34 @@ func TestGenPipeFind(t *testing.T) {
 	i, j := strings.Index(out, "40 × 1"), strings.Index(out, "60 × 1")
 	if i < 0 || j < 0 || i > j {
 		t.Errorf("histogram not sorted by size:\n%s", out)
+	}
+}
+
+// TestGenBinaryPipeFind drives the binary CSR codec end to end through
+// the CLIs: wccgen -format binary produces a smaller file than text,
+// and wccfind both auto-detects it and accepts it with -format binary.
+func TestGenBinaryPipeFind(t *testing.T) {
+	text := runTool(t, nil, "wccgen", "-type", "union", "-sizes", "60,40", "-d", "8", "-seed", "3")
+	bin := runTool(t, nil, "wccgen", "-type", "union", "-sizes", "60,40", "-d", "8", "-seed", "3", "-format", "binary")
+	if len(bin) >= len(text) {
+		t.Errorf("binary output %d bytes, text %d — binary should be smaller", len(bin), len(text))
+	}
+	for _, args := range [][]string{
+		{"-algo", "hashtomin", "-sizes"},                     // auto-detect
+		{"-algo", "hashtomin", "-format", "binary", "-sizes"}, // pinned
+	} {
+		out := runTool(t, []byte(bin), "wccfind", args...)
+		for _, want := range []string{"components: 2", "verification: exact match"} {
+			if !strings.Contains(out, want) {
+				t.Errorf("wccfind %v missing %q:\n%s", args, want, out)
+			}
+		}
+	}
+	// Pinning the wrong format must fail loudly, not mis-parse.
+	cmd := exec.Command(filepath.Join(binDir, "wccfind"), "-format", "text")
+	cmd.Stdin = strings.NewReader(bin)
+	if err := cmd.Run(); err == nil {
+		t.Error("wccfind -format text accepted binary input")
 	}
 }
 
@@ -234,6 +263,150 @@ func startServe(t *testing.T, args ...string) string {
 	}
 	t.Fatal("wccserve never logged its listen address")
 	return ""
+}
+
+// startServeStoppable boots wccserve and returns its base URL plus a
+// stop function that SIGTERMs the process and waits for a clean exit —
+// the graceful half of a restart cycle.
+func startServeStoppable(t *testing.T, args ...string) (string, func() error) {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(binDir, "wccserve"), append([]string{"-addr", "127.0.0.1:0"}, args...)...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	stopped := false
+	t.Cleanup(func() {
+		if !stopped {
+			cmd.Process.Kill()
+			cmd.Wait()
+		}
+	})
+	sc := bufio.NewScanner(stderr)
+	var base string
+	for sc.Scan() {
+		if _, after, ok := strings.Cut(sc.Text(), "listening on "); ok {
+			base = strings.TrimSpace(after)
+			break
+		}
+	}
+	if base == "" {
+		t.Fatal("wccserve never logged its listen address")
+	}
+	go io.Copy(io.Discard, stderr)
+	stop := func() error {
+		stopped = true
+		if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+			return err
+		}
+		done := make(chan error, 1)
+		go func() { done <- cmd.Wait() }()
+		select {
+		case err := <-done:
+			return err
+		case <-time.After(15 * time.Second):
+			cmd.Process.Kill()
+			return fmt.Errorf("wccserve did not exit within 15s of SIGTERM")
+		}
+	}
+	return base, stop
+}
+
+// httpGetBody fetches a URL and returns the raw body, failing the test
+// on transport errors or non-2xx statuses.
+func httpGetBody(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode >= 300 {
+		t.Fatalf("GET %s: %d %s", url, resp.StatusCode, raw)
+	}
+	return string(raw)
+}
+
+// TestServeRestartRecovery is the durability acceptance test: a server
+// started with -data-dir, loaded, appended to, and solved, is SIGTERMed
+// and restarted on the same directory — and must answer the versions
+// endpoint and the cached connectivity queries bit-for-bit identically
+// (after one deterministic re-solve; the labeling cache is volatile).
+func TestServeRestartRecovery(t *testing.T) {
+	dataDir := t.TempDir()
+	base, stop := startServeStoppable(t, "-data-dir", dataDir)
+
+	post := func(base, path, body string) string {
+		resp, err := http.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		raw, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: %d %s", path, resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+
+	// Load a two-component graph, append one intra- and one
+	// inter-component batch (so the digest chain is at version 2), and
+	// solve.
+	loaded := post(base, "/v1/graphs?name=durable", "6 5\n0 1\n1 2\n2 0\n3 4\n4 5\n")
+	_, after, ok := strings.Cut(loaded, `"id":"`)
+	end := strings.Index(after, `"`)
+	if !ok || end < 0 {
+		t.Fatalf("load response without id: %s", loaded)
+	}
+	id := after[:end]
+	post(base, "/v1/graphs/"+id+"/edges", "0 2\n")
+	post(base, "/v1/graphs/"+id+"/edges", "2 3\n")
+	solveBody := fmt.Sprintf(`{"graph":%q,"algo":"hashtomin","wait":true}`, id)
+	post(base, "/v1/solve", solveBody)
+
+	queries := []string{
+		"/v1/graphs/" + id + "/versions",
+		"/v1/query/same-component?graph=" + id + "&algo=hashtomin&u=0&v=5",
+		"/v1/query/component-count?graph=" + id + "&algo=hashtomin",
+		"/v1/query/component-size?graph=" + id + "&algo=hashtomin&u=1",
+		"/v1/query/sizes?graph=" + id + "&algo=hashtomin",
+	}
+	before := make(map[string]string, len(queries))
+	for _, q := range queries {
+		before[q] = httpGetBody(t, base+q)
+	}
+
+	// Kill mid-workload (after the appends), then restart on the same
+	// data directory.
+	if err := stop(); err != nil {
+		t.Fatalf("graceful stop: %v", err)
+	}
+	base2, stop2 := startServeStoppable(t, "-data-dir", dataDir)
+
+	// The graph is already there — no re-load. The versions endpoint
+	// must be byte-identical immediately; queries need one re-solve
+	// (deterministic, so the labeling is the same one).
+	if got := httpGetBody(t, base2+queries[0]); got != before[queries[0]] {
+		t.Errorf("versions changed across restart:\nbefore: %s\nafter:  %s", before[queries[0]], got)
+	}
+	post(base2, "/v1/solve", solveBody)
+	for _, q := range queries {
+		if got := httpGetBody(t, base2+q); got != before[q] {
+			t.Errorf("%s changed across restart:\nbefore: %s\nafter:  %s", q, before[q], got)
+		}
+	}
+	// The lineage keeps chaining: the next append lands as version 3.
+	out := post(base2, "/v1/graphs/"+id+"/edges", "1 4\n")
+	if !strings.Contains(out, `"version":3`) {
+		t.Errorf("post-restart append response: %s", out)
+	}
+	if err := stop2(); err != nil {
+		t.Fatalf("second graceful stop: %v", err)
+	}
 }
 
 // TestStreamReplay drives the full dynamic pipeline through the two new

@@ -8,6 +8,11 @@
 //	wccfind -in graph.txt                 # oblivious (Corollary 7.1)
 //	wccfind -in graph.txt -algo sublinear -memory 128
 //	wccfind -in graph.txt -algo hashtomin
+//	wccfind -in graph.bin                 # binary CSR input, auto-detected
+//
+// Input may be the text edge-list format or the binary CSR codec
+// (wccgen -format binary); -format auto sniffs the magic header,
+// -format text/binary pins it.
 //
 // Algorithms come from the internal/algo registry: wcc (the paper,
 // default), sublinear (Theorem 2), hashtomin, boruvka, labelprop,
@@ -17,12 +22,28 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/algo"
 	"repro/internal/graph"
 )
+
+// readGraph decodes r as the requested format; "auto" sniffs the binary
+// magic via graph.ReadAuto, the codec's own dispatcher.
+func readGraph(r io.Reader, format string) (*graph.Graph, error) {
+	switch format {
+	case "text":
+		return graph.ReadEdgeList(r)
+	case "binary":
+		return graph.ReadBinary(r)
+	case "auto":
+		return graph.ReadAuto(r)
+	default:
+		return nil, fmt.Errorf("unknown -format %q (want auto, text, or binary)", format)
+	}
+}
 
 func main() {
 	if err := run(); err != nil {
@@ -40,6 +61,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
 		sizes    = flag.Bool("sizes", false, "print the component size histogram")
+		format   = flag.String("format", "auto", "input format: auto (sniff magic), text, or binary")
 	)
 	flag.Parse()
 
@@ -48,7 +70,7 @@ func run() error {
 		return err
 	}
 
-	r := os.Stdin
+	var r io.Reader = os.Stdin
 	if *in != "" {
 		f, err := os.Open(*in)
 		if err != nil {
@@ -57,7 +79,7 @@ func run() error {
 		defer f.Close()
 		r = f
 	}
-	g, err := graph.ReadEdgeList(r)
+	g, err := readGraph(r, *format)
 	if err != nil {
 		return err
 	}

@@ -1,11 +1,14 @@
 // Command wccgen emits workload graphs in the edge-list format consumed by
-// wccfind: a "n m" header followed by one "u v" line per edge.
+// wccfind: a "n m" header followed by one "u v" line per edge — or, with
+// -format binary, the compact varint-delta CSR codec (graph.WriteBinary,
+// the internal/store snapshot format), which wccfind auto-detects.
 //
 // Usage:
 //
 //	wccgen -type expander -n 1024 -d 8 -seed 1 > g.txt
 //	wccgen -type ringofcliques -n 128 -d 12        # k=n cliques of size d
 //	wccgen -type union -sizes 512,256,256 -d 8     # disjoint expanders
+//	wccgen -type gnd -n 100000 -d 8 -format binary -out g.bin
 //
 // Types: expander, gnd, cycle, path, grid, clique, star, hypercube,
 // ringofcliques, bridged, union.
@@ -14,6 +17,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -35,10 +39,21 @@ func run() error {
 		n     = flag.Int("n", 1024, "vertex count (rows for grid, dimension for hypercube, ring length for ringofcliques)")
 		d     = flag.Int("d", 8, "degree parameter (columns for grid, clique size for ringofcliques)")
 		sizes = flag.String("sizes", "", "comma-separated component sizes for -type union")
-		seed  = flag.Uint64("seed", 1, "random seed")
-		out   = flag.String("out", "", "output file (default stdout)")
+		seed   = flag.Uint64("seed", 1, "random seed")
+		out    = flag.String("out", "", "output file (default stdout)")
+		format = flag.String("format", "text", "output format: text (edge list) or binary (compact CSR)")
 	)
 	flag.Parse()
+
+	var write func(io.Writer, *graph.Graph) error
+	switch *format {
+	case "text":
+		write = graph.WriteEdgeList
+	case "binary":
+		write = graph.WriteBinary
+	default:
+		return fmt.Errorf("unknown -format %q (want text or binary)", *format)
+	}
 
 	// Only union reads -sizes; parsing it for other types would turn a
 	// stale flag value into a spurious failure.
@@ -65,7 +80,7 @@ func run() error {
 	}
 
 	if *out == "" {
-		return graph.WriteEdgeList(os.Stdout, g)
+		return write(os.Stdout, g)
 	}
 	// Close errors matter here: a bare deferred Close would report success
 	// on ENOSPC while leaving a truncated graph behind.
@@ -73,7 +88,7 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	if err := graph.WriteEdgeList(f, g); err != nil {
+	if err := write(f, g); err != nil {
 		f.Close()
 		return err
 	}

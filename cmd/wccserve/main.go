@@ -6,7 +6,8 @@
 //
 // Usage:
 //
-//	wccserve -addr :8080 -job-workers 2 -cache 64
+//	wccserve -addr :8080 -job-workers 2 -cache-entries 64
+//	wccserve -addr :8080 -data-dir /var/lib/wcc     # durable across restarts
 //
 //	curl -X POST --data-binary @g.txt 'localhost:8080/v1/graphs?name=g'
 //	curl -X POST -d '{"family":"union","n":0,"d":8,"sizes":[60,40],"seed":3}' \
@@ -24,6 +25,13 @@
 // and internal/dynamic/README.md); -max-version-gap bounds the retained
 // window and the fast-forward distance. cmd/wccstream replays churn
 // traces against a running server.
+//
+// With -data-dir, graph state is durable (internal/store): every graph
+// keeps a binary CSR snapshot plus an fsync'd append-only edge-batch
+// WAL under the directory, digest-verified and replayed on boot, so a
+// restarted server answers the same queries — same IDs, versions, and
+// chained digests — it did before SIGTERM. Without it, state is
+// in-memory and dies with the process.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // in-flight requests get a drain window, and the solve workers finish
@@ -56,27 +64,37 @@ func main() {
 func run() error {
 	var (
 		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		dataDir    = flag.String("data-dir", "", "durable storage directory (snapshot + WAL per graph, replayed on boot); empty = in-memory only")
 		jobWorkers = flag.Int("job-workers", 2, "concurrent solve jobs")
-		cacheSize  = flag.Int("cache", 64, "labeling cache capacity (entries)")
+		cacheSize  = flag.Int("cache-entries", 64, "labeling cache capacity (entries)")
+		jobHistory = flag.Int("job-history", 0, "completed jobs kept queryable via /v1/jobs (0 = default 256)")
 		simWorkers = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS (never affects results)")
 		maxVerts   = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
 		maxEdges   = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
-		maxGraphs  = flag.Int("max-graphs", 0, "graph-store capacity, oldest evicted first (0 = default 64, negative = unlimited)")
+		maxGraphs  = flag.Int("max-graphs", 0, "graph-store capacity, least recently accessed evicted first (0 = default 64, negative = unlimited)")
 		maxVerGap  = flag.Int("max-version-gap", 0, "retained versions per graph and the largest append gap a cached labeling is fast-forwarded across before a full re-solve is required (0 = default 64)")
 		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 	)
 	flag.Parse()
 
-	svc := service.New(service.Config{
+	svc, err := service.Open(service.Config{
 		JobWorkers:    *jobWorkers,
 		CacheEntries:  *cacheSize,
+		JobHistory:    *jobHistory,
 		SimWorkers:    *simWorkers,
 		MaxVertices:   *maxVerts,
 		MaxEdges:      *maxEdges,
 		MaxGraphs:     *maxGraphs,
 		MaxVersionGap: *maxVerGap,
+		DataDir:       *dataDir,
 	})
+	if err != nil {
+		return fmt.Errorf("open store: %w", err)
+	}
 	defer svc.Close()
+	if *dataDir != "" {
+		log.Printf("wccserve: data dir %s: recovered %d graphs", *dataDir, svc.GraphCount())
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -53,6 +53,26 @@
 // experiment E15 measures the incremental-vs-recompute crossover. See
 // internal/dynamic/README.md.
 //
+// # Durable storage
+//
+// Graph state lives behind the pluggable internal/store.Store
+// interface — base snapshots, appended batches, version lineages and
+// their chained digests — with two backends passing one conformance
+// suite: an in-memory map (the default) and a durable disk store
+// (wccserve -data-dir). The durable backend keeps, per graph, a binary
+// CSR snapshot file plus an fsync'd append-only edge-batch WAL, both
+// digest-verified and replayed on boot, with background compaction
+// folding WAL batches that outgrow the retained version window into a
+// fresh snapshot; a restarted server answers the same queries (same
+// IDs, versions, chained digests) it did before SIGTERM. Eviction under
+// MaxGraphs pressure is LRU by last access, so hot graphs survive. The
+// snapshot format is the varint-delta binary CSR codec of
+// internal/graph (WriteBinary/ReadBinaryLimit, typically 3-5x smaller
+// than the text edge list and limit-enforced the same way), also
+// available as wccgen/wccfind -format binary. See
+// internal/store/README.md for the on-disk layout and crash-recovery
+// rules.
+//
 // # Execution engine
 //
 // The simulated cluster runs on a pluggable executor (internal/mpc,

@@ -65,6 +65,58 @@ func FuzzReadEdgeList(f *testing.F) {
 	})
 }
 
+// FuzzReadBinary: the binary CSR decoder must never panic and, when it
+// accepts an input, the graph must be internally consistent and
+// round-trip through WriteBinary (accepted inputs need not be in
+// canonical edge order, so only the re-encoded form is compared).
+func FuzzReadBinary(f *testing.F) {
+	// Valid encodings of a few shapes, plus the recorded error cases the
+	// unit tests assert on: truncations, bad magic, out-of-range deltas,
+	// varint overflows, and huge declared counts.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(3, 3)
+	b.AddEdge(4, 5)
+	var valid bytes.Buffer
+	if err := WriteBinary(&valid, b.Build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add(valid.Bytes()[:len(valid.Bytes())-1]) // torn tail
+	f.Add([]byte(binaryMagic))
+	f.Add([]byte("WCCB1\n\x02\x01\x05\x00"))                         // u delta past n
+	f.Add([]byte("WCCB1\n\x03\x01\x00\x01"))                         // negative v
+	f.Add([]byte("not a binary graph"))
+	f.Add(append([]byte(binaryMagic), 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01))
+	f.Add(append([]byte(binaryMagic), 3, 1, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<16 {
+			return
+		}
+		// Same allocation guard as FuzzReadEdgeList: accepted n beyond
+		// 2^20 would make Build itself the bottleneck.
+		g, err := ReadBinaryLimit(bytes.NewReader(data), 1<<20, 1<<16)
+		if err != nil {
+			return
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("accepted graph fails Validate: %v", err)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		g2, err := ReadBinary(bytes.NewReader(buf.Bytes()))
+		if err != nil {
+			t.Fatalf("re-read: %v", err)
+		}
+		if g2.N() != g.N() || g2.M() != g.M() {
+			t.Fatalf("round trip changed size: (%d,%d) -> (%d,%d)", g.N(), g.M(), g2.N(), g2.M())
+		}
+	})
+}
+
 // headerVertexCount extracts the n a well-formed header would declare,
 // mirroring ReadEdgeList's comment/blank-line skipping.
 func headerVertexCount(data []byte) (int64, bool) {

@@ -128,6 +128,10 @@ func (c *lru) len() int {
 	return c.order.Len()
 }
 
+// capacity returns the configured entry bound — reported next to the
+// occupancy by /v1/stats so operators can see headroom, not just usage.
+func (c *lru) capacity() int { return c.cap }
+
 // withDigestPrefix returns the cached labelings whose key starts with
 // "digest|" — every configuration solved for one specific graph version.
 // The append path uses it to fast-forward all of a version's labelings

@@ -91,13 +91,25 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
-func graphJSON(sg *StoredGraph) map[string]any {
+// graphJSON renders a stored graph with its latest version. ok=false
+// means the graph was evicted between lookup and now (MaxGraphs
+// pressure) — the handle has no version data left, and the caller must
+// 404 rather than serve a zero digest with a 200.
+func graphJSON(sg *StoredGraph) (map[string]any, bool) {
 	latest := sg.Latest()
+	if latest.Digest == "" {
+		return nil, false
+	}
 	return map[string]any{
 		"id": sg.ID, "name": sg.Name, "digest": latest.Digest,
 		"baseDigest": sg.Digest, "version": latest.Version,
 		"n": latest.N, "m": latest.M, "components": latest.Components,
-	}
+	}, true
+}
+
+// errEvicted is the 404 for a graph that vanished mid-request.
+func errEvicted(id string) error {
+	return fmt.Errorf("service: graph %s evicted: %w", id, ErrNotFound)
 }
 
 func versionJSON(info VersionInfo) map[string]any {
@@ -132,7 +144,7 @@ func (s *Service) handleLoad(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, graphJSON(sg))
+	writeGraph(w, sg)
 }
 
 func (s *Service) handleGenerate(w http.ResponseWriter, r *http.Request) {
@@ -155,14 +167,27 @@ func (s *Service) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, graphJSON(sg))
+	writeGraph(w, sg)
+}
+
+// writeGraph serves one graph summary, 404ing if it was evicted
+// underneath the handler.
+func writeGraph(w http.ResponseWriter, sg *StoredGraph) {
+	out, ok := graphJSON(sg)
+	if !ok {
+		writeError(w, http.StatusNotFound, errEvicted(sg.ID))
+		return
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Service) handleListGraphs(w http.ResponseWriter, r *http.Request) {
 	list := s.Graphs()
-	out := make([]map[string]any, len(list))
-	for i, sg := range list {
-		out[i] = graphJSON(sg)
+	out := make([]map[string]any, 0, len(list))
+	for _, sg := range list {
+		if g, ok := graphJSON(sg); ok {
+			out = append(out, g)
+		}
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"graphs": out})
 }
@@ -173,7 +198,7 @@ func (s *Service) handleGetGraph(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, graphJSON(sg))
+	writeGraph(w, sg)
 }
 
 // maxBatchEdges bounds one appended batch; MaxBytesReader bounds the
@@ -194,11 +219,16 @@ func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	latest := sg.Latest()
+	if latest.Digest == "" {
+		writeError(w, http.StatusNotFound, errEvicted(sg.ID))
+		return
+	}
 	// The parser enforces the endpoint range: the current vertex count
 	// normally, the configured ceiling when growing. Append revalidates
 	// under the graph lock (a concurrent append may have grown N), so a
 	// benign race here can only produce a clean 400, never a bad accept.
-	maxVertex := sg.Latest().N
+	maxVertex := latest.N
 	if grow {
 		maxVertex = s.cfg.MaxVertices
 		if maxVertex < 0 {
@@ -207,7 +237,7 @@ func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
 	}
 	maxEdges := maxBatchEdges
 	if s.cfg.MaxEdges >= 0 {
-		remaining := s.cfg.MaxEdges - sg.Latest().M
+		remaining := s.cfg.MaxEdges - latest.M
 		if remaining <= 0 {
 			writeError(w, http.StatusBadRequest,
 				fmt.Errorf("service: graph %s is at the configured edge limit %d; no further appends", sg.ID, s.cfg.MaxEdges))
@@ -244,6 +274,10 @@ func (s *Service) handleVersions(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	vers := sg.Versions()
+	if len(vers) == 0 {
+		writeError(w, http.StatusNotFound, errEvicted(sg.ID))
+		return
+	}
 	out := make([]map[string]any, len(vers))
 	for i, info := range vers {
 		out[i] = versionJSON(info)
@@ -444,6 +478,7 @@ func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	c := s.Counters()
+	cfg := s.Config()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graphsLoaded":      c.GraphsLoaded,
 		"graphsGenerated":   c.GraphsGenerated,
@@ -459,5 +494,18 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		"incrementalMerges": c.IncrementalMerges,
 		"cachedLabelings":   s.CachedLabelings(),
 		"graphs":            s.GraphCount(),
+		// The active limits (post-default), so operators can read the
+		// effective policy off a running server instead of its flags.
+		"limits": map[string]any{
+			"maxVertices":   cfg.MaxVertices,
+			"maxEdges":      cfg.MaxEdges,
+			"maxGraphs":     cfg.MaxGraphs,
+			"cacheEntries":  s.cache.capacity(),
+			"jobHistory":    cfg.JobHistory,
+			"maxVersionGap": cfg.MaxVersionGap,
+			"queueDepth":    cfg.QueueDepth,
+			"jobWorkers":    cfg.JobWorkers,
+		},
+		"durable": cfg.DataDir != "",
 	})
 }

@@ -6,6 +6,14 @@
 // component-size, component-count, solve statistics — answer in O(1)
 // without re-running any algorithm.
 //
+// Graph state itself lives behind the internal/store.Store interface:
+// the service holds no edge, version, or digest data of its own, only
+// runtime handles (per-graph incremental engines and locks) keyed on
+// store identities. New selects the in-memory backend; Config.DataDir
+// selects the durable snapshot+WAL backend, which replays its files on
+// Open so a restarted wccserve answers the same queries (same digests,
+// same versions) it did before SIGTERM.
+//
 // Algorithms are deterministic for a fixed seed regardless of the worker
 // setting (see internal/algo), which is what makes the cache key sound:
 // two solves of the same graph digest under the same configuration always
@@ -18,12 +26,9 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"errors"
 	"fmt"
 	"io"
-	"strconv"
 	"sync"
 	"sync/atomic"
 
@@ -31,6 +36,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // ErrNotFound marks lookups of graphs or jobs that do not exist (never
@@ -67,11 +73,11 @@ type Config struct {
 	// /v1/jobs/{id}; older ones (and the labelings they pin) are dropped
 	// so a long-lived service does not grow without bound (default 256).
 	JobHistory int
-	// MaxGraphs bounds the graph store itself, first-loaded first
-	// evicted, for the same reason: each distinct edge list pins up to
-	// MaxVertices/MaxEdges of memory forever otherwise (default 64;
-	// negative = unlimited). Queries against an evicted graph return
-	// unknown-graph errors until it is loaded again.
+	// MaxGraphs bounds the graph store, least-recently-accessed evicted
+	// first, so hot graphs survive capacity pressure: each distinct edge
+	// list pins up to MaxVertices/MaxEdges of memory forever otherwise
+	// (default 64; negative = unlimited). Queries against an evicted
+	// graph return unknown-graph errors until it is loaded again.
 	MaxGraphs int
 	// MaxVersionGap is the incremental-vs-recompute threshold of the
 	// dynamic subsystem: each stored graph retains its last
@@ -81,6 +87,11 @@ type Config struct {
 	// window cannot be delta-merged anymore — queries report not-solved
 	// and the client re-solves through the registry instead (default 64).
 	MaxVersionGap int
+	// DataDir selects the durable storage backend: per-graph binary CSR
+	// snapshot plus an fsync'd edge-batch WAL under this directory,
+	// digest-verified and replayed on Open (see internal/store). Empty
+	// selects the in-memory backend — nothing survives a restart.
+	DataDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -111,11 +122,20 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// StoredGraph is one graph in the store: an immutable base snapshot
-// (version 0) plus the append-only edge stream layered on top of it. The
-// ID is derived from the base content digest, so loading the same edge
-// list twice (or generating the same spec twice) dedupes onto one entry
-// and one version lineage.
+// storeConfig maps the service policy onto the storage engine's knobs.
+func (c Config) storeConfig() store.Config {
+	return store.Config{
+		MaxGraphs:      c.MaxGraphs,
+		RetainVersions: c.MaxVersionGap + 1,
+	}
+}
+
+// StoredGraph is the runtime handle of one stored graph: its immutable
+// identity plus the per-graph incremental engine and append lock. All
+// graph state — base snapshot, appended batches, version lineage — lives
+// in the storage engine; the handle only accelerates appends (the
+// union-find engine would otherwise rebuild per batch) and is recreated
+// on demand after a restart or an eviction/reload cycle.
 type StoredGraph struct {
 	// ID is "g-" plus a digest prefix; stable across restarts for the same
 	// base edge multiset.
@@ -129,27 +149,27 @@ type StoredGraph struct {
 	// N and M are the base vertex and edge counts (version 0).
 	N, M int
 
-	// Mutable dynamic state, guarded by mu: the retained version window,
-	// the cumulative appended edges, the incremental connectivity engine,
-	// and the lazily materialized latest snapshot. Appends serialize per
-	// graph on this mutex; queries answer from the (immutable) cached
-	// labelings and never take it.
-	mu       sync.RWMutex
-	base     *graph.Graph
-	appended []graph.Edge  // all post-base edges, append order
-	vers     []VersionInfo // retained window, ascending; last = latest
-	eng      *dynamic.Engine
-	snap     *graph.Graph // cached materialization of snapVer
-	snapVer  int
+	svc *Service
+	// mu serializes appends per graph and guards eng. Queries answer
+	// from the storage engine and the (immutable) cached labelings and
+	// never take it.
+	mu  sync.Mutex
+	eng *dynamic.Engine
 }
 
 // Graph returns the materialized latest version of the graph (the base
 // snapshot itself while nothing has been appended). The returned graph is
-// immutable; a later append materializes a fresh one.
+// immutable and pointer-stable until the next append.
 func (sg *StoredGraph) Graph() *graph.Graph {
-	sg.mu.Lock()
-	defer sg.mu.Unlock()
-	return sg.materializeLocked(sg.vers[len(sg.vers)-1])
+	info, err := sg.resolveVersion(-1)
+	if err != nil {
+		return nil
+	}
+	g, err := sg.svc.st.Materialize(sg.ID, info.Version)
+	if err != nil {
+		return nil
+	}
+	return g
 }
 
 // Counters are the service-level statistics exposed by /v1/stats. All
@@ -173,14 +193,15 @@ type Counters struct {
 	IncrementalMerges int64
 }
 
-// Service is the connectivity query service. Create with New; Close
-// drains the job workers.
+// Service is the connectivity query service. Create with New (in-memory)
+// or Open (honors Config.DataDir); Close drains the job workers and
+// closes the storage engine.
 type Service struct {
 	cfg Config
+	st  store.Store
 
 	mu      sync.RWMutex
-	graphs  map[string]*StoredGraph
-	order   []string // graph IDs in first-seen order
+	handles map[string]*StoredGraph
 	cache   *lru
 	jobs    map[string]*Job
 	jobHist []string // completed job IDs, oldest first
@@ -202,12 +223,26 @@ type Service struct {
 	}
 }
 
-// New starts a Service with cfg's worker pool running.
-func New(cfg Config) *Service {
+// Open starts a Service with cfg's worker pool running, backed by the
+// durable disk store when cfg.DataDir is set (replaying its snapshots
+// and WALs — the error is the store's verification verdict) and the
+// in-memory store otherwise.
+func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	var st store.Store
+	if cfg.DataDir != "" {
+		disk, err := store.Open(cfg.DataDir, cfg.storeConfig())
+		if err != nil {
+			return nil, err
+		}
+		st = disk
+	} else {
+		st = store.NewMemory(cfg.storeConfig())
+	}
 	s := &Service{
 		cfg:      cfg,
-		graphs:   make(map[string]*StoredGraph),
+		st:       st,
+		handles:  make(map[string]*StoredGraph),
 		cache:    newLRU(cfg.CacheEntries),
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
@@ -217,12 +252,23 @@ func New(cfg Config) *Service {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	return s, nil
+}
+
+// New is Open for the in-memory backend, which cannot fail. It panics if
+// cfg.DataDir is set and unusable; durable callers should use Open.
+func New(cfg Config) *Service {
+	s, err := Open(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("service.New: %v (use Open for durable stores)", err))
+	}
 	return s
 }
 
-// Close stops accepting jobs, waits for in-flight jobs to finish, and
-// returns. Safe to call more than once and concurrently with Submit
-// (Submit synchronizes on the same mutex before touching the queue).
+// Close stops accepting jobs, waits for in-flight jobs to finish, closes
+// the storage engine, and returns. Safe to call more than once and
+// concurrently with Submit (Submit synchronizes on the same mutex before
+// touching the queue).
 func (s *Service) Close() {
 	s.StartDrain()
 	if s.closed.Swap(true) {
@@ -232,6 +278,7 @@ func (s *Service) Close() {
 	close(s.queue)
 	s.mu.Unlock()
 	s.wg.Wait()
+	s.st.Close()
 }
 
 // StartDrain signals shutdown intent without stopping the workers:
@@ -264,6 +311,12 @@ func (s *Service) Counters() Counters {
 // CachedLabelings returns the number of labelings currently cached.
 func (s *Service) CachedLabelings() int {
 	return s.cache.len()
+}
+
+// Config returns the service's effective (defaulted) configuration —
+// the active limits /v1/stats reports.
+func (s *Service) Config() Config {
+	return s.cfg
 }
 
 // Load parses an edge list (the wccgen/wccfind format) and stores the
@@ -316,80 +369,130 @@ func (s *Service) Generate(name string, spec gen.Spec) (*StoredGraph, error) {
 	return sg, nil
 }
 
-// Graph returns a stored graph by ID.
+// Graph returns a stored graph's runtime handle by ID. The lookup goes
+// through the storage engine (bumping the graph's LRU recency); handles
+// are created on demand, so graphs recovered from a data directory are
+// addressable without any warm-up.
 func (s *Service) Graph(id string) (*StoredGraph, error) {
+	meta, ok := s.st.Get(id)
+	if !ok {
+		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
+	}
+	// Fast path: queries share the handle under the read lock.
 	s.mu.RLock()
-	defer s.mu.RUnlock()
-	sg, ok := s.graphs[id]
+	sg, have := s.handles[id]
+	s.mu.RUnlock()
+	if have {
+		return sg, nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sg, ok = s.handleLocked(meta)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
 	}
 	return sg, nil
 }
 
+// handleLocked returns (creating if needed) the runtime handle for a
+// graph. Membership is re-verified against the store under s.mu before
+// inserting — every eviction sweep (see store()) also runs under s.mu,
+// so a handle for a concurrently evicted graph can never be left behind
+// in the map. Callers hold s.mu; ok=false means the graph is gone.
+func (s *Service) handleLocked(meta store.Meta) (*StoredGraph, bool) {
+	if sg, ok := s.handles[meta.ID]; ok {
+		return sg, true
+	}
+	if _, ok := s.st.Get(meta.ID); !ok {
+		return nil, false
+	}
+	sg := &StoredGraph{ID: meta.ID, Name: meta.Name, Digest: meta.Digest, N: meta.N, M: meta.M, svc: s}
+	s.handles[meta.ID] = sg
+	return sg, true
+}
+
 // Graphs lists the stored graphs in first-seen order.
 func (s *Service) Graphs() []*StoredGraph {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]*StoredGraph, 0, len(s.order))
-	for _, id := range s.order {
-		out = append(out, s.graphs[id])
+	metas := s.st.List()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*StoredGraph, 0, len(metas))
+	for _, meta := range metas {
+		if sg, ok := s.handleLocked(meta); ok {
+			out = append(out, sg)
+		}
 	}
 	return out
 }
 
 // GraphCount returns the number of stored graphs.
 func (s *Service) GraphCount() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.order)
+	return s.st.Len()
 }
 
 func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
-	digest := digestOf(g)
+	digest := store.DigestGraph(g)
 	id := "g-" + digest[:12]
+	if sg, ok, err := s.dedupe(id, digest); ok || err != nil {
+		return sg, err
+	}
+	// The Put — a snapshot write plus fsyncs on the durable backend —
+	// runs outside s.mu so concurrent queries never stall behind a load.
+	// Two racing loads of the same content are resolved below: the loser
+	// dedupes onto the winner's entry.
+	eng := dynamic.FromGraph(g)
+	meta := store.Meta{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M()}
+	v0 := store.Version{Version: 0, Digest: digest, N: g.N(), M: g.M(), Components: eng.Components()}
+	evicted, err := s.st.Put(meta, g, v0)
+	if err != nil {
+		if sg, ok, derr := s.dedupe(id, digest); ok || derr != nil {
+			return sg, derr // a concurrent load won the Put race
+		}
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if sg, ok := s.graphs[id]; ok {
-		// The ID is only a 48-bit digest prefix; dedupe requires the full
-		// digest to match, otherwise a prefix collision would silently
-		// answer queries about a different graph.
-		if sg.Digest != digest {
-			return nil, fmt.Errorf("service: graph ID %s collides with a different graph (digest %s vs %s)", id, digest, sg.Digest)
-		}
-		return sg, nil
+	for _, eid := range evicted {
+		delete(s.handles, eid)
 	}
-	sg := &StoredGraph{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M(), base: g}
-	sg.eng = dynamic.FromGraph(g)
-	sg.vers = []VersionInfo{{
-		Version: 0, Digest: digest, N: g.N(), M: g.M(),
-		Components: sg.eng.Components(),
-	}}
-	s.graphs[id] = sg
-	s.order = append(s.order, id)
-	for s.cfg.MaxGraphs > 0 && len(s.order) > s.cfg.MaxGraphs {
-		delete(s.graphs, s.order[0])
-		s.order = s.order[1:]
+	sg, ok := s.handleLocked(meta)
+	if !ok {
+		// Evicted again before the handle landed — possible only under
+		// MaxGraphs pressure from concurrent loads.
+		return nil, fmt.Errorf("service: graph %s evicted under store pressure: %w", id, ErrNotFound)
 	}
+	// Reuse the engine the digest pass already built (under the handle
+	// lock: the handle may already be visible to concurrent appends).
+	sg.mu.Lock()
+	if sg.eng == nil {
+		sg.eng = eng
+	}
+	sg.mu.Unlock()
 	return sg, nil
 }
 
-// digestOf hashes the canonical edge list: the header followed by every
-// edge in the deterministic CSR iteration order. Build sorts adjacencies,
-// so any two graphs with the same edge multiset share a digest.
-func digestOf(g *graph.Graph) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%d %d\n", g.N(), g.M())
-	var buf [24]byte
-	g.ForEachEdge(func(e graph.Edge) {
-		b := strconv.AppendInt(buf[:0], int64(e.U), 10)
-		b = append(b, ' ')
-		b = strconv.AppendInt(b, int64(e.V), 10)
-		b = append(b, '\n')
-		h.Write(b)
-	})
-	return hex.EncodeToString(h.Sum(nil))
+// dedupe resolves a content address against the store: ok means the
+// graph already exists and sg is its handle. The ID is only a 48-bit
+// digest prefix; dedupe requires the full digest to match, otherwise a
+// prefix collision would silently answer queries about a different
+// graph.
+func (s *Service) dedupe(id, digest string) (*StoredGraph, bool, error) {
+	meta, ok := s.st.Get(id)
+	if !ok {
+		return nil, false, nil
+	}
+	if meta.Digest != digest {
+		return nil, false, fmt.Errorf("service: graph ID %s collides with a different graph (digest %s vs %s)", id, digest, meta.Digest)
+	}
+	sg, err := s.Graph(id)
+	if err != nil {
+		return nil, false, nil // evicted in the meantime; treat as absent
+	}
+	return sg, true, nil
 }
+
+// digestOf is store.DigestGraph — the content address of a graph.
+func digestOf(g *graph.Graph) string { return store.DigestGraph(g) }
 
 // SolveSpec names one solve: which stored graph (at which version), which
 // algorithm, and the configuration that (with the version digest) keys

@@ -402,6 +402,39 @@ func TestGraphStoreEviction(t *testing.T) {
 	}
 }
 
+// TestGraphStoreEvictionIsLRU is the regression test for the old
+// first-loaded-first-evicted policy: a graph that keeps being queried
+// must survive MaxGraphs pressure; the least recently accessed one goes.
+func TestGraphStoreEvictionIsLRU(t *testing.T) {
+	s := New(Config{JobWorkers: 1, MaxGraphs: 2})
+	defer s.Close()
+	hot, err := s.Generate("hot", gen.Spec{Family: "cycle", N: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := s.Generate("cold", gen.Spec{Family: "cycle", N: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Access the older graph: under FIFO it would still be evicted
+	// next; under LRU the colder, newer one goes instead.
+	if _, err := s.Graph(hot.ID); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Generate("new", gen.Spec{Family: "cycle", N: 12}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.GraphCount(); got != 2 {
+		t.Fatalf("store holds %d graphs, want capacity 2", got)
+	}
+	if _, err := s.Graph(hot.ID); err != nil {
+		t.Errorf("hot graph evicted despite recent access: %v", err)
+	}
+	if _, err := s.Graph(cold.ID); err == nil {
+		t.Error("least recently used graph survived eviction")
+	}
+}
+
 func TestDigestIsContentAddressed(t *testing.T) {
 	g1, err := gen.Spec{Family: "cycle", N: 12}.Build()
 	if err != nil {

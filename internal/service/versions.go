@@ -1,145 +1,105 @@
 package service
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
-	"strconv"
 
 	"repro/internal/dynamic"
 	"repro/internal/graph"
+	"repro/internal/store"
 )
 
 // VersionInfo describes one retained version of a stored graph. Version 0
 // is the immutable base snapshot; every accepted edge batch bumps the
 // version and chains a fresh digest, so (version digest, algo, seed, λ,
 // memory) uniquely addresses a labeling across the graph's whole history.
-type VersionInfo struct {
-	// Version is the sequence number (0 = base).
-	Version int
-	// Digest identifies this version's exact edge multiset: the base
-	// content digest for version 0, a chained SHA-256 of (previous
-	// digest, new vertex count, batch edges) afterwards.
-	Digest string
-	// N and M are the vertex and edge counts at this version.
-	N, M int
-	// Appended is the number of edges this version's batch added.
-	Appended int
-	// Merges is the number of component merges the batch caused.
-	Merges int
-	// Components is the component count at this version.
-	Components int
-
-	// off is the prefix of StoredGraph.appended included in this version.
-	off int
-}
+// It is the storage engine's lineage entry verbatim — the store retains
+// the window and its chained digests, the service only interprets them.
+type VersionInfo = store.Version
 
 // LatestVersion returns the newest version number.
 func (sg *StoredGraph) LatestVersion() int {
-	sg.mu.RLock()
-	defer sg.mu.RUnlock()
-	return sg.vers[len(sg.vers)-1].Version
+	return sg.Latest().Version
 }
 
-// Latest returns the newest version's metadata.
+// Latest returns the newest version's metadata (the zero VersionInfo if
+// the graph was evicted from the store underneath this handle).
 func (sg *StoredGraph) Latest() VersionInfo {
-	sg.mu.RLock()
-	defer sg.mu.RUnlock()
-	return sg.vers[len(sg.vers)-1]
+	vers := sg.Versions()
+	if len(vers) == 0 {
+		return VersionInfo{}
+	}
+	return vers[len(vers)-1]
 }
 
 // Versions returns the retained version window, oldest first. Older
 // versions have been dropped (bounded retention); their labelings may
 // still sit in the cache but can no longer be fast-forwarded or re-solved.
 func (sg *StoredGraph) Versions() []VersionInfo {
-	sg.mu.RLock()
-	defer sg.mu.RUnlock()
-	out := make([]VersionInfo, len(sg.vers))
-	copy(out, sg.vers)
-	return out
+	vers, err := sg.svc.st.Versions(sg.ID)
+	if err != nil {
+		return nil
+	}
+	return vers
 }
 
 // resolveVersion maps a SolveSpec.Version (negative = latest) to retained
 // version metadata. Unknown or no-longer-retained versions are
 // ErrNotFound: the service cannot answer for state it no longer holds.
 func (sg *StoredGraph) resolveVersion(version int) (VersionInfo, error) {
-	sg.mu.RLock()
-	defer sg.mu.RUnlock()
-	if version < 0 {
-		return sg.vers[len(sg.vers)-1], nil
+	vers := sg.Versions()
+	if len(vers) == 0 {
+		return VersionInfo{}, fmt.Errorf("service: unknown graph %q: %w", sg.ID, ErrNotFound)
 	}
-	for _, info := range sg.vers {
+	if version < 0 {
+		return vers[len(vers)-1], nil
+	}
+	for _, info := range vers {
 		if info.Version == version {
 			return info, nil
 		}
 	}
 	return VersionInfo{}, fmt.Errorf("service: graph %s version %d not retained (window %d..%d): %w",
-		sg.ID, version, sg.vers[0].Version, sg.vers[len(sg.vers)-1].Version, ErrNotFound)
+		sg.ID, version, vers[0].Version, vers[len(vers)-1].Version, ErrNotFound)
 }
 
 // Snapshot materializes the CSR graph of a retained version, or nil if
 // the version is not retained. The latest version's materialization is
-// cached; solving an older retained version rebuilds on demand.
+// cached by the storage engine; solving an older retained version
+// rebuilds on demand.
 func (sg *StoredGraph) Snapshot(version int) *graph.Graph {
-	sg.mu.Lock()
-	defer sg.mu.Unlock()
-	for _, info := range sg.vers {
-		if info.Version == version {
-			return sg.materializeLocked(info)
-		}
-	}
-	return nil
-}
-
-// materializeLocked builds (or returns the cached) CSR snapshot of one
-// retained version. Callers hold sg.mu.
-func (sg *StoredGraph) materializeLocked(info VersionInfo) *graph.Graph {
-	if info.Version == 0 {
-		return sg.base
-	}
-	if sg.snap != nil && sg.snapVer == info.Version {
-		return sg.snap
-	}
-	b := graph.NewBuilderHint(info.N, info.M)
-	sg.base.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U, e.V) })
-	for _, e := range sg.appended[:info.off] {
-		b.AddEdge(e.U, e.V)
-	}
-	g := b.Build()
-	// Cache only the newest materialization: streams solve the tip, and
-	// one snapshot bounds the extra memory to O(n+m) per graph.
-	if info.Version == sg.vers[len(sg.vers)-1].Version {
-		sg.snap, sg.snapVer = g, info.Version
+	g, err := sg.svc.st.Materialize(sg.ID, version)
+	if err != nil {
+		return nil
 	}
 	return g
 }
 
-// chainDigest derives the digest of a new version from its predecessor,
-// the (possibly grown) vertex count, and the appended batch, in batch
-// order. Chaining keeps appends O(batch) instead of re-hashing the whole
-// edge multiset, while still guaranteeing distinct digests along a
-// lineage — the property the labeling-cache keys rely on.
-func chainDigest(prev string, n int, batch []graph.Edge) string {
-	h := sha256.New()
-	fmt.Fprintf(h, "%s\n%d\n", prev, n)
-	var buf [24]byte
-	for _, e := range batch {
-		b := strconv.AppendInt(buf[:0], int64(e.U), 10)
-		b = append(b, ' ')
-		b = strconv.AppendInt(b, int64(e.V), 10)
-		b = append(b, '\n')
-		h.Write(b)
+// ensureEngineLocked (re)builds the incremental engine from the store's
+// latest materialization. Handles start engineless — after a restart or
+// an eviction/reload cycle — and pay the O(mα) seed once, on the first
+// append. Callers hold sg.mu.
+func (sg *StoredGraph) ensureEngineLocked(latest VersionInfo) error {
+	if sg.eng != nil {
+		return nil
 	}
-	return hex.EncodeToString(h.Sum(nil))
+	g, err := sg.svc.st.Materialize(sg.ID, latest.Version)
+	if err != nil {
+		return err
+	}
+	sg.eng = dynamic.FromGraph(g)
+	return nil
 }
 
 // Append absorbs one edge batch into the stored graph, bumping its
 // version. Endpoints must lie in [0, N) of the current version unless
 // grow is true, in which case endpoints up to MaxVertices-1 extend the
 // vertex set with isolated newcomers first. Appends serialize per graph;
-// cached labelings of the previous latest version are fast-forwarded to
-// the new version in place (an incremental merge), so the O(1) query
-// path keeps answering without a re-solve.
+// the batch and its chained version metadata are handed to the storage
+// engine (the durable backend fsyncs before acknowledging) before the
+// in-memory engine advances, so a storage failure never leaves the
+// engine ahead of durable state. Cached labelings of the previous latest
+// version are fast-forwarded to the new version in place (an incremental
+// merge), so the O(1) query path keeps answering without a re-solve.
 func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo, error) {
 	sg, err := s.Graph(id)
 	if err != nil {
@@ -147,7 +107,12 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 	}
 
 	sg.mu.Lock()
-	prev := sg.vers[len(sg.vers)-1]
+	vers, err := s.st.Versions(id)
+	if err != nil || len(vers) == 0 {
+		sg.mu.Unlock()
+		return VersionInfo{}, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
+	}
+	prev := vers[len(vers)-1]
 
 	// Validate the batch against the current version under the lock:
 	// concurrent appends may have changed N since the caller parsed it.
@@ -175,24 +140,26 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		return VersionInfo{}, fmt.Errorf("service: append would grow graph to %d edges, limit %d", prev.M+len(batch), s.cfg.MaxEdges)
 	}
 
+	if err := sg.ensureEngineLocked(prev); err != nil {
+		sg.mu.Unlock()
+		return VersionInfo{}, err
+	}
 	merges := sg.eng.Apply(batch, newN-prev.N)
-	sg.appended = append(sg.appended, batch...)
 	info := VersionInfo{
 		Version:    prev.Version + 1,
-		Digest:     chainDigest(prev.Digest, newN, batch),
+		Digest:     store.ChainDigest(prev.Digest, newN, batch),
 		N:          newN,
 		M:          prev.M + len(batch),
 		Appended:   len(batch),
 		Merges:     merges,
 		Components: sg.eng.Components(),
-		off:        len(sg.appended),
 	}
-	sg.vers = append(sg.vers, info)
-	// Bounded retention: keep the last MaxVersionGap+1 versions. Dropped
-	// versions keep their share of sg.appended (the latest snapshot still
-	// needs every edge) but can no longer anchor solves or fast-forwards.
-	if keep := s.cfg.MaxVersionGap + 1; len(sg.vers) > keep {
-		sg.vers = append(sg.vers[:0:0], sg.vers[len(sg.vers)-keep:]...)
+	if err := s.st.Append(id, batch, info); err != nil {
+		// The engine ran ahead of the (not-)stored batch; drop it so the
+		// next append reseeds from the store's actual state.
+		sg.eng = nil
+		sg.mu.Unlock()
+		return VersionInfo{}, err
 	}
 	sg.mu.Unlock()
 
@@ -241,41 +208,32 @@ func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, batch []graph
 
 // fastForward tries to derive the labeling of the target version from a
 // cached labeling of an earlier retained version of the same graph,
-// replaying the retained appended batches through dynamic.MergeLabels.
-// It walks nearest-first, so the replay spans as few batches as possible.
-// Success caches the forwarded labeling under the target digest and
-// counts one incremental merge; failure (nothing cached inside the
-// retention window) means the caller re-solves through the registry —
-// exactly the version-gap fallback the config threshold describes.
+// replaying the retained appended batches (store.Delta) through
+// dynamic.MergeLabels. It walks nearest-first, so the replay spans as
+// few batches as possible. Success caches the forwarded labeling under
+// the target digest and counts one incremental merge; failure (nothing
+// cached inside the retention window) means the caller re-solves through
+// the registry — exactly the version-gap fallback the config threshold
+// describes.
 func (s *Service) fastForward(sg *StoredGraph, target VersionInfo, spec SolveSpec) (*Labeling, bool) {
-	sg.mu.RLock()
-	// Candidate versions older than the target, nearest first, plus the
-	// edge slice each would need to replay. The appended slice is
-	// append-only and every retained off is <= len(appended), so the
-	// sub-slices stay valid after the lock is released.
-	type candidate struct {
-		info  VersionInfo
-		delta []graph.Edge
-	}
-	var cands []candidate
-	for i := len(sg.vers) - 1; i >= 0; i-- {
-		v := sg.vers[i]
+	vers := sg.Versions()
+	for i := len(vers) - 1; i >= 0; i-- {
+		v := vers[i]
 		if v.Version >= target.Version {
 			continue
 		}
 		if target.Version-v.Version > s.cfg.MaxVersionGap {
 			break
 		}
-		cands = append(cands, candidate{info: v, delta: sg.appended[v.off:target.off]})
-	}
-	sg.mu.RUnlock()
-
-	for _, c := range cands {
-		l, ok := s.cache.get(s.cacheKey(c.info.Digest, spec))
+		l, ok := s.cache.get(s.cacheKey(v.Digest, spec))
 		if !ok {
 			continue
 		}
-		fwd, err := s.forwardLabeling(l, target, c.delta)
+		delta, err := s.st.Delta(sg.ID, v.Version, target.Version)
+		if err != nil {
+			continue
+		}
+		fwd, err := s.forwardLabeling(l, target, delta)
 		if err != nil {
 			continue
 		}

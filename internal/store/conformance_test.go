@@ -1,0 +1,271 @@
+package store
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// The conformance suite: every Store backend must pass the exact same
+// behavioral checks. TestMemoryConformance and TestDiskConformance run
+// it against both implementations; the service layer relies on the two
+// being interchangeable.
+func runConformance(t *testing.T, open func(t *testing.T, cfg Config) Store) {
+	t.Run("PutGetList", func(t *testing.T) { testPutGetList(t, open(t, Config{})) })
+	t.Run("LRUEviction", func(t *testing.T) { testLRUEviction(t, open(t, Config{MaxGraphs: 2})) })
+	t.Run("AppendLineage", func(t *testing.T) { testAppendLineage(t, open(t, Config{})) })
+	t.Run("VersionWindow", func(t *testing.T) { testVersionWindow(t, open(t, Config{RetainVersions: 3, SyncCompaction: true})) })
+	t.Run("DeltaAndMaterialize", func(t *testing.T) { testDeltaAndMaterialize(t, open(t, Config{})) })
+	t.Run("Evict", func(t *testing.T) { testEvict(t, open(t, Config{})) })
+}
+
+func TestMemoryConformance(t *testing.T) {
+	runConformance(t, func(t *testing.T, cfg Config) Store {
+		s := NewMemory(cfg)
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+func TestDiskConformance(t *testing.T) {
+	runConformance(t, func(t *testing.T, cfg Config) Store {
+		s, err := Open(t.TempDir(), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { s.Close() })
+		return s
+	})
+}
+
+// line builds a path graph on n vertices.
+func line(n int) *graph.Graph {
+	b := graph.NewBuilder(n)
+	for i := 0; i < n-1; i++ {
+		b.AddEdge(graph.Vertex(i), graph.Vertex(i+1))
+	}
+	return b.Build()
+}
+
+// putGraph stores a path graph under a deterministic identity and
+// returns its meta.
+func putGraph(t *testing.T, s Store, n int) Meta {
+	t.Helper()
+	g := line(n)
+	digest := DigestGraph(g)
+	meta := Meta{ID: "g-" + digest[:12], Name: fmt.Sprintf("line%d", n), Digest: digest, N: g.N(), M: g.M()}
+	v0 := Version{Version: 0, Digest: digest, N: g.N(), M: g.M(), Components: 1}
+	if _, err := s.Put(meta, g, v0); err != nil {
+		t.Fatal(err)
+	}
+	return meta
+}
+
+// appendBatch chains one batch onto the graph's latest version.
+func appendBatch(t *testing.T, s Store, id string, batch []graph.Edge) Version {
+	t.Helper()
+	vers, err := s.Versions(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := vers[len(vers)-1]
+	v := Version{
+		Version:  prev.Version + 1,
+		Digest:   ChainDigest(prev.Digest, prev.N, batch),
+		N:        prev.N,
+		M:        prev.M + len(batch),
+		Appended: len(batch),
+	}
+	if err := s.Append(id, batch, v); err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func testPutGetList(t *testing.T, s Store) {
+	a := putGraph(t, s, 4)
+	b := putGraph(t, s, 7)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	got, ok := s.Get(a.ID)
+	if !ok || got != a {
+		t.Fatalf("Get(%s) = %+v, %v", a.ID, got, ok)
+	}
+	if _, ok := s.Get("g-nope"); ok {
+		t.Fatal("Get of unknown id succeeded")
+	}
+	list := s.List()
+	if len(list) != 2 || list[0].ID != a.ID || list[1].ID != b.ID {
+		t.Fatalf("List order %v, want [%s %s]", list, a.ID, b.ID)
+	}
+	// Double Put of the same ID must fail, not silently replace.
+	g := line(4)
+	if _, err := s.Put(a, g, Version{Digest: a.Digest, N: g.N(), M: g.M()}); err == nil {
+		t.Fatal("duplicate Put succeeded")
+	}
+}
+
+// testLRUEviction is the regression test for the first-loaded-first-
+// evicted bug: a graph that keeps being accessed must survive capacity
+// pressure; the least recently used one goes.
+func testLRUEviction(t *testing.T, s Store) {
+	a := putGraph(t, s, 4)
+	b := putGraph(t, s, 5)
+	// Touch a: it is now more recently used than b.
+	if _, ok := s.Get(a.ID); !ok {
+		t.Fatal("graph a missing after put")
+	}
+	c := putGraph(t, s, 6)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", s.Len())
+	}
+	if _, ok := s.Get(b.ID); ok {
+		t.Error("least recently used graph b survived eviction")
+	}
+	if _, ok := s.Get(a.ID); !ok {
+		t.Error("hot graph a was evicted despite being accessed")
+	}
+	if _, ok := s.Get(c.ID); !ok {
+		t.Error("newest graph c was evicted")
+	}
+}
+
+func testAppendLineage(t *testing.T, s Store) {
+	m := putGraph(t, s, 5)
+	v1 := appendBatch(t, s, m.ID, []graph.Edge{{U: 0, V: 4}})
+	v2 := appendBatch(t, s, m.ID, []graph.Edge{{U: 1, V: 3}, {U: 2, V: 2}})
+	vers, err := s.Versions(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 3 {
+		t.Fatalf("%d versions, want 3", len(vers))
+	}
+	if vers[0].Version != 0 || vers[0].Digest != m.Digest {
+		t.Errorf("version 0 = %+v", vers[0])
+	}
+	if vers[1] != v1 || vers[2] != v2 {
+		t.Errorf("lineage %+v, want [%+v %+v]", vers[1:], v1, v2)
+	}
+	// Digests chain: recomputing from the retained data reproduces them.
+	if want := ChainDigest(m.Digest, 5, []graph.Edge{{U: 0, V: 4}}); v1.Digest != want {
+		t.Errorf("v1 digest %s, want %s", v1.Digest, want)
+	}
+	if err := s.Append("g-nope", nil, Version{}); err == nil {
+		t.Error("append to unknown graph succeeded")
+	}
+}
+
+func testVersionWindow(t *testing.T, s Store) {
+	m := putGraph(t, s, 6)
+	for i := 0; i < 5; i++ {
+		appendBatch(t, s, m.ID, []graph.Edge{{U: graph.Vertex(i), V: graph.Vertex(i + 1)}})
+	}
+	vers, err := s.Versions(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vers) != 3 {
+		t.Fatalf("window holds %d versions, want RetainVersions=3", len(vers))
+	}
+	if vers[0].Version != 3 || vers[2].Version != 5 {
+		t.Fatalf("window %d..%d, want 3..5", vers[0].Version, vers[2].Version)
+	}
+	// Versions out of the window are gone for materialization and delta.
+	if _, err := s.Materialize(m.ID, 0); err == nil {
+		t.Error("materialized version 0 outside the window")
+	}
+	if _, err := s.Delta(m.ID, 0, 5); err == nil {
+		t.Error("delta from outside the window succeeded")
+	}
+	// Everything inside the window still materializes with the right
+	// edge counts.
+	for _, v := range vers {
+		g, err := s.Materialize(m.ID, v.Version)
+		if err != nil {
+			t.Fatalf("materialize %d: %v", v.Version, err)
+		}
+		if g.M() != v.M || g.N() != v.N {
+			t.Errorf("version %d materialized as n=%d m=%d, want n=%d m=%d", v.Version, g.N(), g.M(), v.N, v.M)
+		}
+	}
+}
+
+func testDeltaAndMaterialize(t *testing.T, s Store) {
+	m := putGraph(t, s, 5)
+	b1 := []graph.Edge{{U: 0, V: 2}}
+	b2 := []graph.Edge{{U: 1, V: 4}, {U: 3, V: 3}}
+	appendBatch(t, s, m.ID, b1)
+	appendBatch(t, s, m.ID, b2)
+
+	d, err := s.Delta(m.ID, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append(append([]graph.Edge{}, b1...), b2...)
+	if len(d) != len(want) {
+		t.Fatalf("delta 0..2 has %d edges, want %d", len(d), len(want))
+	}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("delta[%d] = %v, want %v", i, d[i], want[i])
+		}
+	}
+	d, err = s.Delta(m.ID, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d) != 2 || d[0] != b2[0] {
+		t.Fatalf("delta 1..2 = %v", d)
+	}
+	if _, err := s.Delta(m.ID, 2, 1); err == nil {
+		t.Error("backward delta succeeded")
+	}
+
+	g0, err := s.Materialize(m.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g0.M() != m.M {
+		t.Errorf("base materialization m=%d, want %d", g0.M(), m.M)
+	}
+	g2, err := s.Materialize(m.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.M() != m.M+3 {
+		t.Errorf("latest materialization m=%d, want %d", g2.M(), m.M+3)
+	}
+	// The latest materialization is cached and pointer-stable.
+	again, err := s.Materialize(m.ID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != again {
+		t.Error("latest materialization not pointer-stable")
+	}
+	if !g2.HasEdge(1, 4) || !g2.HasEdge(0, 2) {
+		t.Error("latest materialization missing appended edges")
+	}
+}
+
+func testEvict(t *testing.T, s Store) {
+	m := putGraph(t, s, 4)
+	if !s.Evict(m.ID) {
+		t.Fatal("evict reported absent")
+	}
+	if s.Evict(m.ID) {
+		t.Fatal("second evict reported present")
+	}
+	if _, ok := s.Get(m.ID); ok {
+		t.Fatal("evicted graph still present")
+	}
+	if _, err := s.Versions(m.ID); err == nil {
+		t.Fatal("versions of evicted graph succeeded")
+	}
+	if s.Len() != 0 {
+		t.Fatalf("Len = %d after evict", s.Len())
+	}
+}

@@ -1,0 +1,694 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// On-disk layout: one subdirectory per graph ID holding
+//
+//	snapshot.bin   magic ∥ uvarint-len metaJSON ∥ binary CSR graph ∥ SHA-256(payload)
+//	wal.log        magic ∥ records, each: uvarint len ∥ payload ∥ SHA-256(payload)
+//	               payload = uvarint-len metaJSON(Version) ∥ uvarint count ∥ count × (uvarint u ∥ uvarint v)
+//
+// Snapshots are written to a temp file, fsync'd, and renamed into
+// place — they are never torn. WAL records are fsync'd before Append
+// returns; a crash mid-write leaves a torn tail that open detects (by
+// its per-record digest) and truncates away, which can only drop an
+// append the caller was never told succeeded. On open every surviving
+// record's chained version digest is re-verified against the lineage,
+// so silent corruption cannot replay into a wrong graph.
+const (
+	snapMagic = "WCCSNAP1"
+	walMagic  = "WCCWAL1\n"
+	snapFile  = "snapshot.bin"
+	walFile   = "wal.log"
+)
+
+// snapMeta is the JSON metadata block of a snapshot file.
+type snapMeta struct {
+	Meta Meta    `json:"meta"`
+	Seq  int64   `json:"seq"`
+	Ver  Version `json:"version"` // the version this snapshot materializes
+}
+
+// Disk is the durable Store: per-graph snapshot + WAL under one data
+// directory, with LRU eviction deleting graph directories and a
+// compaction worker folding WAL batches that outgrow the retained
+// version window into a fresh snapshot.
+type Disk struct {
+	dir string
+	cfg Config
+
+	mu     sync.Mutex
+	t      *table
+	wals   map[string]*os.File
+	seq    int64
+	closed bool
+
+	compactCh chan string
+	done      chan struct{}
+	wg        sync.WaitGroup
+}
+
+// Open loads (or creates) a disk store rooted at dir, verifying every
+// snapshot digest and replaying every WAL. A torn WAL tail (crash
+// mid-append) is truncated; a corrupt snapshot or a chain-digest
+// mismatch is a hard error — the store refuses to serve state it
+// cannot vouch for.
+func Open(dir string, cfg Config) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	s := &Disk{
+		dir:       dir,
+		cfg:       cfg.withDefaults(),
+		t:         newTable(),
+		wals:      make(map[string]*os.File),
+		compactCh: make(chan string, 64),
+		done:      make(chan struct{}),
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var recs []*record
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		rec, wal, err := s.load(ent.Name())
+		if err != nil {
+			return nil, fmt.Errorf("store: graph %s: %w", ent.Name(), err)
+		}
+		recs = append(recs, rec)
+		s.wals[rec.meta.ID] = wal
+		if rec.seq >= s.seq {
+			s.seq = rec.seq + 1
+		}
+	}
+	// First-stored order survives restarts via the persisted sequence
+	// number; recency restarts from that same order.
+	sort.Slice(recs, func(i, j int) bool { return recs[i].seq < recs[j].seq })
+	for _, rec := range recs {
+		s.t.insert(rec)
+	}
+	s.wg.Add(1)
+	go s.compactor()
+	// Anything already past the window (e.g. killed before a pending
+	// compaction) is folded now.
+	for _, rec := range recs {
+		s.maybeCompact(rec.meta.ID, rec)
+	}
+	return s, nil
+}
+
+// load reads one graph directory: snapshot, then WAL replay.
+func (s *Disk) load(id string) (*record, *os.File, error) {
+	gdir := filepath.Join(s.dir, id)
+	data, err := os.ReadFile(filepath.Join(gdir, snapFile))
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot: %w", err)
+	}
+	if len(data) < len(snapMagic)+sha256.Size {
+		return nil, nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
+	}
+	payload, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], sum) {
+		return nil, nil, fmt.Errorf("snapshot: digest mismatch (corrupt file)")
+	}
+	if string(payload[:len(snapMagic)]) != snapMagic {
+		return nil, nil, fmt.Errorf("snapshot: bad magic")
+	}
+	r := bytes.NewReader(payload[len(snapMagic):])
+	metaRaw, err := readBlock(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot meta: %w", err)
+	}
+	var sm snapMeta
+	if err := json.Unmarshal(metaRaw, &sm); err != nil {
+		return nil, nil, fmt.Errorf("snapshot meta: %w", err)
+	}
+	if sm.Meta.ID != id {
+		return nil, nil, fmt.Errorf("snapshot names graph %s, directory is %s", sm.Meta.ID, id)
+	}
+	g, err := graph.ReadBinary(r)
+	if err != nil {
+		return nil, nil, fmt.Errorf("snapshot graph: %w", err)
+	}
+	if r.Len() != 0 {
+		return nil, nil, fmt.Errorf("snapshot: %d trailing bytes", r.Len())
+	}
+	if g.N() != sm.Ver.N || g.M() != sm.Ver.M {
+		return nil, nil, fmt.Errorf("snapshot graph is n=%d m=%d, metadata says n=%d m=%d", g.N(), g.M(), sm.Ver.N, sm.Ver.M)
+	}
+	if sm.Ver.Version == 0 && DigestGraph(g) != sm.Meta.Digest {
+		return nil, nil, fmt.Errorf("snapshot content does not match its digest")
+	}
+	rec := &record{meta: sm.Meta, seq: sm.Seq, snap: g, snapVer: sm.Ver}
+
+	wal, err := s.replayWAL(gdir, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return rec, wal, nil
+}
+
+// replayWAL reads the graph's WAL into rec, truncating a torn tail, and
+// returns the file reopened for appending.
+func (s *Disk) replayWAL(gdir string, rec *record) (*os.File, error) {
+	path := filepath.Join(gdir, walFile)
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		// Crash between snapshot write and WAL creation in Put: the
+		// graph exists with no appends yet.
+		data = nil
+	} else if err != nil {
+		return nil, fmt.Errorf("wal: %w", err)
+	}
+	good := 0
+	if len(data) >= len(walMagic) && string(data[:len(walMagic)]) == walMagic {
+		good = len(walMagic)
+	} else if len(data) < len(walMagic) && string(data) == walMagic[:len(data)] {
+		// A crash between Put's snapshot rename and the completed header
+		// write leaves a strict prefix of the magic — a torn write of a
+		// file nobody was told exists yet. Recreate it rather than brick
+		// the whole store on open.
+		data = nil
+	} else if len(data) > 0 {
+		return nil, fmt.Errorf("wal: bad magic")
+	}
+	prev := rec.snapVer
+	for good < len(data) {
+		v, batch, next, ok := parseWALRecord(data, good)
+		if !ok {
+			// Torn or corrupt tail: everything from here on is a write
+			// that never finished (fsync never returned success for it).
+			break
+		}
+		if v.Version <= rec.snapVer.Version {
+			// A compaction crash can leave the old WAL beside the new
+			// snapshot; batches the snapshot already folded are skipped.
+			good = next
+			continue
+		}
+		if v.Version != prev.Version+1 {
+			return nil, fmt.Errorf("wal: version %d follows %d (gap)", v.Version, prev.Version)
+		}
+		if want := ChainDigest(prev.Digest, v.N, batch); v.Digest != want {
+			return nil, fmt.Errorf("wal: version %d digest mismatch (chain broken)", v.Version)
+		}
+		rec.appendLocked(batch, v)
+		prev = v
+		good = next
+	}
+	if good == 0 && len(data) == 0 {
+		// No WAL at all: create it fresh with its header.
+		if err := s.writeWALHeader(path); err != nil {
+			return nil, err
+		}
+	} else if good < len(data) {
+		if err := os.Truncate(path, int64(good)); err != nil {
+			return nil, fmt.Errorf("wal truncate: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal reopen: %w", err)
+	}
+	return f, nil
+}
+
+func (s *Disk) writeWALHeader(path string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.WriteString(walMagic); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// parseWALRecord decodes one record at data[off:]. ok=false means the
+// record is torn or corrupt (caller truncates).
+func parseWALRecord(data []byte, off int) (v Version, batch []graph.Edge, next int, ok bool) {
+	r := bytes.NewReader(data[off:])
+	plen, err := binary.ReadUvarint(r)
+	if err != nil || plen > uint64(r.Len()) {
+		return Version{}, nil, 0, false
+	}
+	start := len(data) - r.Len()
+	end := start + int(plen)
+	if end+sha256.Size > len(data) {
+		return Version{}, nil, 0, false
+	}
+	payload := data[start:end]
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], data[end:end+sha256.Size]) {
+		return Version{}, nil, 0, false
+	}
+	pr := bytes.NewReader(payload)
+	metaRaw, err := readBlock(pr)
+	if err != nil {
+		return Version{}, nil, 0, false
+	}
+	if err := json.Unmarshal(metaRaw, &v); err != nil {
+		return Version{}, nil, 0, false
+	}
+	count, err := binary.ReadUvarint(pr)
+	if err != nil || count > uint64(pr.Len()) { // every edge takes ≥ 2 bytes
+		return Version{}, nil, 0, false
+	}
+	batch = make([]graph.Edge, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, err := binary.ReadUvarint(pr)
+		if err != nil {
+			return Version{}, nil, 0, false
+		}
+		w, err := binary.ReadUvarint(pr)
+		if err != nil {
+			return Version{}, nil, 0, false
+		}
+		if u >= uint64(v.N) || w >= uint64(v.N) {
+			return Version{}, nil, 0, false
+		}
+		batch = append(batch, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(w)})
+	}
+	if pr.Len() != 0 {
+		return Version{}, nil, 0, false
+	}
+	return v, batch, end + sha256.Size, true
+}
+
+// readBlock reads a uvarint-length-prefixed byte block.
+func readBlock(r *bytes.Reader) ([]byte, error) {
+	n, err := binary.ReadUvarint(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(r.Len()) {
+		return nil, fmt.Errorf("block length %d exceeds remaining %d bytes", n, r.Len())
+	}
+	out := make([]byte, n)
+	if _, err := r.Read(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func appendBlock(dst, block []byte) []byte {
+	dst = binary.AppendUvarint(dst, uint64(len(block)))
+	return append(dst, block...)
+}
+
+// encodeSnapshot renders the full snapshot file contents.
+func encodeSnapshot(sm snapMeta, g *graph.Graph) ([]byte, error) {
+	metaRaw, err := json.Marshal(sm)
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte(snapMagic), appendBlock(nil, metaRaw)...)
+	var gbuf bytes.Buffer
+	if err := graph.WriteBinary(&gbuf, g); err != nil {
+		return nil, err
+	}
+	payload = append(payload, gbuf.Bytes()...)
+	sum := sha256.Sum256(payload)
+	return append(payload, sum[:]...), nil
+}
+
+// encodeWALRecord renders one WAL record (length ∥ payload ∥ digest).
+func encodeWALRecord(v Version, batch []graph.Edge) ([]byte, error) {
+	metaRaw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	payload := appendBlock(nil, metaRaw)
+	payload = binary.AppendUvarint(payload, uint64(len(batch)))
+	for _, e := range batch {
+		payload = binary.AppendUvarint(payload, uint64(e.U))
+		payload = binary.AppendUvarint(payload, uint64(e.V))
+	}
+	rec := binary.AppendUvarint(nil, uint64(len(payload)))
+	rec = append(rec, payload...)
+	sum := sha256.Sum256(payload)
+	return append(rec, sum[:]...), nil
+}
+
+// writeFileAtomic writes data to path via a temp file + fsync + rename.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// syncDir flushes directory metadata (renames, creates); best-effort on
+// platforms where directories cannot be fsync'd.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
+
+func (s *Disk) Put(meta Meta, base *graph.Graph, v0 Version) ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("store: closed")
+	}
+	if _, ok := s.t.recs[meta.ID]; ok {
+		return nil, fmt.Errorf("store: graph %s already present", meta.ID)
+	}
+	gdir := filepath.Join(s.dir, meta.ID)
+	if err := os.MkdirAll(gdir, 0o755); err != nil {
+		return nil, err
+	}
+	rec := &record{meta: meta, seq: s.seq, snap: base, snapVer: v0}
+	s.seq++
+	snap, err := encodeSnapshot(snapMeta{Meta: meta, Seq: rec.seq, Ver: v0}, base)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+		return nil, err
+	}
+	walPath := filepath.Join(gdir, walFile)
+	if err := s.writeWALHeader(walPath); err != nil {
+		return nil, err
+	}
+	syncDir(gdir)
+	syncDir(s.dir)
+	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	s.t.insert(rec)
+	s.wals[meta.ID] = wal
+	var evicted []string
+	for s.cfg.MaxGraphs > 0 && len(s.t.recs) > s.cfg.MaxGraphs {
+		id, ok := s.t.lruVictim()
+		if !ok {
+			break
+		}
+		s.evictLocked(id)
+		evicted = append(evicted, id)
+	}
+	return evicted, nil
+}
+
+func (s *Disk) Get(id string) (Meta, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.t.recs[id]
+	if !ok {
+		return Meta{}, false
+	}
+	s.t.touch(r)
+	return r.meta, true
+}
+
+func (s *Disk) List() []Meta {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.t.list()
+}
+
+func (s *Disk) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.t.recs)
+}
+
+// rec looks a record (and its WAL handle) up and bumps recency.
+func (s *Disk) rec(id string) (*record, *os.File, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.t.recs[id]
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: graph %s", ErrNotFound, id)
+	}
+	s.t.touch(r)
+	return r, s.wals[id], nil
+}
+
+func (s *Disk) Append(id string, batch []graph.Edge, v Version) error {
+	r, _, err := s.rec(id)
+	if err != nil {
+		return err
+	}
+	data, err := encodeWALRecord(v, batch)
+	if err != nil {
+		return err
+	}
+	// The WAL handle is re-read under the record lock: a concurrent
+	// compaction swaps it (and closes the old one) while holding r.mu.
+	r.mu.Lock()
+	s.mu.Lock()
+	wal := s.wals[id]
+	s.mu.Unlock()
+	if wal == nil {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: graph %s", ErrNotFound, id)
+	}
+	if _, err := wal.Write(data); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if err := wal.Sync(); err != nil {
+		r.mu.Unlock()
+		return fmt.Errorf("store: wal fsync: %w", err)
+	}
+	r.appendLocked(batch, v)
+	r.mu.Unlock()
+	s.maybeCompact(id, r)
+	return nil
+}
+
+// maybeCompact schedules (or, with SyncCompaction, runs) a compaction
+// if the graph's WAL has outgrown the retained version window.
+func (s *Disk) maybeCompact(id string, r *record) {
+	r.mu.Lock()
+	over := len(r.batches)+1 > s.cfg.RetainVersions
+	r.mu.Unlock()
+	if !over {
+		return
+	}
+	if s.cfg.SyncCompaction {
+		s.logCompact(id)
+		return
+	}
+	select {
+	case s.compactCh <- id:
+	default: // worker busy and queue full; the next append re-triggers
+	}
+}
+
+// logCompact runs one compaction and reports failures: the files stay
+// valid on error, but the operator must hear about a WAL that cannot
+// shrink.
+func (s *Disk) logCompact(id string) {
+	if err := s.compact(id); err != nil {
+		log.Printf("store: compact %s: %v", id, err)
+	}
+}
+
+func (s *Disk) compactor() {
+	defer s.wg.Done()
+	for {
+		select {
+		case id := <-s.compactCh:
+			s.logCompact(id)
+		case <-s.done:
+			return
+		}
+	}
+}
+
+// compact folds every WAL batch older than the retained window into a
+// fresh snapshot at the window's oldest version, then rewrites the WAL
+// with only the remaining batches. Runs under the record lock: appends
+// to this graph stall for one materialization + two file writes, other
+// graphs are unaffected. Crash-safe: the snapshot lands first (old WAL
+// records it already covers are skipped on open by their version), the
+// WAL rename second. A failure leaves the pre-compaction files fully
+// valid — the error is reported so a persistently failing compaction
+// (ENOSPC) is visible instead of a silently growing WAL.
+func (s *Disk) compact(id string) error {
+	s.mu.Lock()
+	r, ok := s.t.recs[id]
+	wal := s.wals[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil // evicted while queued
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	w := r.window(s.cfg.RetainVersions)
+	target := w[0]
+	if target.Version == r.snapVer.Version {
+		return nil
+	}
+	newBase, err := r.materializeLocked(target.Version, s.cfg.RetainVersions)
+	if err != nil {
+		return fmt.Errorf("materialize version %d: %w", target.Version, err)
+	}
+	gdir := filepath.Join(s.dir, id)
+	snap, err := encodeSnapshot(snapMeta{Meta: r.meta, Seq: r.seq, Ver: target}, newBase)
+	if err != nil {
+		return fmt.Errorf("encode snapshot: %w", err)
+	}
+	if err := writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+		return fmt.Errorf("write snapshot: %w", err)
+	}
+	// Rewrite the WAL with the batches the new snapshot does not cover.
+	targetOff, err := r.offOf(target.Version, s.cfg.RetainVersions)
+	if err != nil {
+		return err
+	}
+	walData := []byte(walMagic)
+	var kept []batchMeta
+	prevOff := 0
+	for _, b := range r.batches {
+		if b.v.Version > target.Version {
+			recData, err := encodeWALRecord(b.v, r.appended[prevOff:b.off])
+			if err != nil {
+				return fmt.Errorf("encode wal record %d: %w", b.v.Version, err)
+			}
+			walData = append(walData, recData...)
+			kept = append(kept, batchMeta{v: b.v, off: b.off - targetOff})
+		}
+		prevOff = b.off
+	}
+	if err := writeFileAtomic(filepath.Join(gdir, walFile), walData); err != nil {
+		return fmt.Errorf("write wal: %w", err)
+	}
+	syncDir(gdir)
+	newWal, err := os.OpenFile(filepath.Join(gdir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("reopen wal: %w", err)
+	}
+	// Swap in-memory state. The old appended array stays untouched so
+	// Delta slices handed out before the compaction remain valid.
+	r.snap = newBase
+	r.snapVer = target
+	r.appended = append([]graph.Edge(nil), r.appended[targetOff:]...)
+	r.batches = kept
+	s.mu.Lock()
+	if s.wals[id] == wal {
+		s.wals[id] = newWal
+		wal.Close()
+	} else {
+		newWal.Close() // record was evicted/replaced mid-compaction
+	}
+	s.mu.Unlock()
+	return nil
+}
+
+func (s *Disk) Versions(id string) ([]Version, error) {
+	r, _, err := s.rec(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.window(s.cfg.RetainVersions), nil
+}
+
+func (s *Disk) Delta(id string, from, to int) ([]graph.Edge, error) {
+	r, _, err := s.rec(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.deltaLocked(from, to, s.cfg.RetainVersions)
+}
+
+func (s *Disk) Materialize(id string, version int) (*graph.Graph, error) {
+	r, _, err := s.rec(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.materializeLocked(version, s.cfg.RetainVersions)
+}
+
+func (s *Disk) Evict(id string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.t.recs[id]
+	if !ok {
+		return false
+	}
+	s.evictLocked(id)
+	return true
+}
+
+// evictLocked removes the record, closes its WAL, and deletes its
+// directory. Callers hold s.mu.
+func (s *Disk) evictLocked(id string) {
+	s.t.remove(id)
+	if wal, ok := s.wals[id]; ok {
+		wal.Close()
+		delete(s.wals, id)
+	}
+	os.RemoveAll(filepath.Join(s.dir, id))
+}
+
+// Close stops the compaction worker and closes every WAL handle. All
+// acknowledged appends are already fsync'd, so Close loses nothing.
+func (s *Disk) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.done)
+	s.wg.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for id, wal := range s.wals {
+		if err := wal.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		delete(s.wals, id)
+	}
+	return firstErr
+}

@@ -1,0 +1,194 @@
+package store
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/graph"
+)
+
+// record is the in-memory state both backends keep per graph: the
+// snapshot graph (the base at first; the durable backend rebases it on
+// compaction), the edges appended after it, and the lineage metadata of
+// every batch still layered on top of the snapshot. A record's own
+// mutex guards all mutable fields; the store-level mutex only guards
+// the id→record table and the LRU bookkeeping.
+type record struct {
+	mu      sync.Mutex
+	meta    Meta
+	seq     int64 // first-stored order; the durable backend persists it
+	used    int64 // last-access tick for LRU eviction
+	snap    *graph.Graph
+	snapVer Version
+	// appended holds every post-snapshot edge in append order; batches
+	// marks each batch's version metadata and its end offset within
+	// appended. Both are append-only between compactions, so slices
+	// handed out under the lock stay valid after it is released.
+	appended []graph.Edge
+	batches  []batchMeta
+	// cache is the latest version's materialization (pointer-stable
+	// until the next append); the snapshot itself covers the oldest.
+	cache    *graph.Graph
+	cacheVer int
+}
+
+type batchMeta struct {
+	v   Version
+	off int // len(appended) prefix including this batch
+}
+
+// window returns the retained version lineage, oldest first: the
+// snapshot version plus every batch version, trimmed to retain entries.
+func (r *record) window(retain int) []Version {
+	out := make([]Version, 0, len(r.batches)+1)
+	out = append(out, r.snapVer)
+	for _, b := range r.batches {
+		out = append(out, b.v)
+	}
+	if len(out) > retain {
+		out = out[len(out)-retain:]
+	}
+	return out
+}
+
+// offOf maps a version number to its prefix of r.appended, restricted
+// to the retained window.
+func (r *record) offOf(version, retain int) (int, error) {
+	w := r.window(retain)
+	if len(w) == 0 || version < w[0].Version || version > w[len(w)-1].Version {
+		lo, hi := 0, 0
+		if len(w) > 0 {
+			lo, hi = w[0].Version, w[len(w)-1].Version
+		}
+		return 0, fmt.Errorf("%w: graph %s version %d not retained (window %d..%d)", ErrNotFound, r.meta.ID, version, lo, hi)
+	}
+	if version == r.snapVer.Version {
+		return 0, nil
+	}
+	for _, b := range r.batches {
+		if b.v.Version == version {
+			return b.off, nil
+		}
+	}
+	return 0, fmt.Errorf("%w: graph %s version %d not retained", ErrNotFound, r.meta.ID, version)
+}
+
+// versionsLocked, deltaLocked, materializeLocked implement the shared
+// read paths; callers hold r.mu.
+func (r *record) deltaLocked(from, to, retain int) ([]graph.Edge, error) {
+	if from >= to {
+		return nil, fmt.Errorf("store: delta %d..%d is not forward", from, to)
+	}
+	a, err := r.offOf(from, retain)
+	if err != nil {
+		return nil, err
+	}
+	b, err := r.offOf(to, retain)
+	if err != nil {
+		return nil, err
+	}
+	return r.appended[a:b], nil
+}
+
+func (r *record) materializeLocked(version, retain int) (*graph.Graph, error) {
+	if version == r.snapVer.Version {
+		// Still ensure the version is retained: after heavy appends the
+		// snapshot version can fall out of the window in the memory
+		// backend (the durable one compacts it forward instead).
+		if _, err := r.offOf(version, retain); err != nil {
+			return nil, err
+		}
+		return r.snap, nil
+	}
+	off, err := r.offOf(version, retain)
+	if err != nil {
+		return nil, err
+	}
+	if r.cache != nil && r.cacheVer == version {
+		return r.cache, nil
+	}
+	var info Version
+	for _, b := range r.batches {
+		if b.v.Version == version {
+			info = b.v
+			break
+		}
+	}
+	b := graph.NewBuilderHint(info.N, info.M)
+	r.snap.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U, e.V) })
+	for _, e := range r.appended[:off] {
+		b.AddEdge(e.U, e.V)
+	}
+	g := b.Build()
+	// Cache only the newest materialization: streams solve the tip, and
+	// one snapshot bounds the extra memory to O(n+m) per graph.
+	if len(r.batches) > 0 && version == r.batches[len(r.batches)-1].v.Version {
+		r.cache, r.cacheVer = g, version
+	}
+	return g, nil
+}
+
+// appendLocked applies the shared in-memory effect of one batch.
+func (r *record) appendLocked(batch []graph.Edge, v Version) {
+	r.appended = append(r.appended, batch...)
+	r.batches = append(r.batches, batchMeta{v: v, off: len(r.appended)})
+}
+
+// table is the id→record bookkeeping both backends share: insertion
+// order for List, a monotone access tick for LRU eviction.
+type table struct {
+	recs  map[string]*record
+	order []string
+	tick  int64
+}
+
+func newTable() *table {
+	return &table{recs: make(map[string]*record)}
+}
+
+func (t *table) touch(r *record) {
+	t.tick++
+	r.used = t.tick
+}
+
+func (t *table) insert(r *record) {
+	t.recs[r.meta.ID] = r
+	t.order = append(t.order, r.meta.ID)
+	t.touch(r)
+}
+
+func (t *table) remove(id string) (*record, bool) {
+	r, ok := t.recs[id]
+	if !ok {
+		return nil, false
+	}
+	delete(t.recs, id)
+	for i, v := range t.order {
+		if v == id {
+			t.order = append(t.order[:i], t.order[i+1:]...)
+			break
+		}
+	}
+	return r, true
+}
+
+// lruVictim returns the least recently used record's ID.
+func (t *table) lruVictim() (string, bool) {
+	var victim string
+	var best int64
+	found := false
+	for id, r := range t.recs {
+		if !found || r.used < best {
+			victim, best, found = id, r.used, true
+		}
+	}
+	return victim, found
+}
+
+func (t *table) list() []Meta {
+	out := make([]Meta, 0, len(t.order))
+	for _, id := range t.order {
+		out = append(out, t.recs[id].meta)
+	}
+	return out
+}
