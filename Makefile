@@ -26,9 +26,14 @@ race:
 
 # One-iteration pass over the perf-critical benchmarks: catches crashes,
 # allocation regressions (-benchmem), and gross slowdowns in seconds.
+# The service line also runs the AllocsPerRun guard that pins the
+# cache-hit query path at 0 allocs/op (TestQueryHitPathZeroAllocs).
+# CI uploads the output as an artifact for benchstat diffs across PRs.
 bench-smoke:
 	$(GO) test -run=NONE -benchtime=1x -benchmem \
 		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec' .
+	$(GO) test -run='ZeroAllocs' -benchtime=1x -benchmem \
+		-bench='QueryHit|QueryBatch|HTTPQuery' ./internal/service/
 
 # Full benchmark sweep (slow).
 bench:

@@ -1,0 +1,319 @@
+// Command wccload is the query-storm load harness for wccserve: it
+// drives the O(1) read path — the one ISSUE 5 rebuilt to be lock-free
+// and allocation-free — with many concurrent clients and reports
+// sustained throughput and latency percentiles, so read-path regressions
+// show up as numbers, not vibes.
+//
+// It prepares the target itself (generate or reuse a graph, solve it
+// once) and then hammers queries for a fixed duration:
+//
+//	# 8 workers, 10s of single GET same-component queries
+//	wccload -addr http://localhost:8080 -family gnd -n 20000 -d 8 -c 8
+//
+//	# the same storm through POST /v1/query/batch, 64 queries per request
+//	wccload -addr http://localhost:8080 -family gnd -n 20000 -d 8 -c 8 -batch 64
+//
+//	# against a graph something else already loaded
+//	wccload -addr http://localhost:8080 -graph g-1234567890ab -algo hashtomin
+//
+// Output: requests/sec, queries/sec, error count, and client-observed
+// latency p50/p90/p99/max per request, plus the server's cache hit
+// ratio before and after (from /v1/stats) so a storm that silently
+// missed the cache is visible. Single-query mode measures per-request
+// overhead; batch mode shows how the one-lookup-per-batch endpoint
+// amortizes it — comparing the two queries/sec figures is the point.
+//
+// The workload is uniform random vertex pairs from a fixed seed per
+// worker: deterministic enough to compare runs, varied enough to touch
+// every cache shard.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "wccload:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		addr    = flag.String("addr", "", "wccserve base URL (e.g. http://localhost:8080); required")
+		graphID = flag.String("graph", "", "existing graph ID to query (skips generation)")
+		family  = flag.String("family", "gnd", "graph family to generate when -graph is not set")
+		n       = flag.Int("n", 20000, "generated graph vertices")
+		d       = flag.Int("d", 8, "generated graph degree parameter")
+		seed    = flag.Uint64("seed", 1, "generated graph seed")
+		algo    = flag.String("algo", "hashtomin", "algorithm configuration to solve and query")
+		conc    = flag.Int("c", 8, "concurrent client workers")
+		dur     = flag.Duration("duration", 10*time.Second, "storm duration")
+		batch   = flag.Int("batch", 0, "queries per request: 0 = single GETs, k>0 = POST /v1/query/batch with k queries")
+	)
+	flag.Parse()
+	if *addr == "" {
+		return fmt.Errorf("-addr is required")
+	}
+	if *conc <= 0 || *batch < 0 {
+		return fmt.Errorf("-c must be positive and -batch non-negative")
+	}
+	c := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: time.Minute}}
+
+	// Prepare: resolve or generate the graph, then solve once so the
+	// storm below is all cache hits — the path under test.
+	id, vertices := *graphID, 0
+	var err error
+	if id == "" {
+		id, vertices, err = c.generate(*family, *n, *d, *seed)
+	} else {
+		vertices, err = c.lookup(id)
+	}
+	if err != nil {
+		return err
+	}
+	if err := c.solve(id, *algo); err != nil {
+		return err
+	}
+	fmt.Printf("target %s: n=%d algo=%s workers=%d duration=%v", id, vertices, *algo, *conc, *dur)
+	if *batch > 0 {
+		fmt.Printf(" batch=%d", *batch)
+	}
+	fmt.Println()
+
+	before, err := c.stats()
+	if err != nil {
+		return err
+	}
+
+	// Storm: every worker loops until the deadline, recording one
+	// latency sample per request.
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		all      []time.Duration
+		requests int64
+		queries  int64
+		errors   int64
+	)
+	deadline := time.Now().Add(*dur)
+	start := time.Now()
+	for w := 0; w < *conc; w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewPCG(uint64(worker)+1, 0x10ad))
+			lat := make([]time.Duration, 0, 1<<16)
+			var reqs, qs, errs int64
+			var body bytes.Buffer
+			urlBuf := make([]byte, 0, 256)
+			for time.Now().Before(deadline) {
+				var err error
+				t0 := time.Now()
+				if *batch > 0 {
+					body.Reset()
+					buildBatchBody(&body, id, *algo, *batch, rng, vertices)
+					err = c.postBatch(&body)
+					qs += int64(*batch)
+				} else {
+					urlBuf = urlBuf[:0]
+					urlBuf = append(urlBuf, c.base...)
+					urlBuf = append(urlBuf, "/v1/query/same-component?graph="...)
+					urlBuf = append(urlBuf, id...)
+					urlBuf = append(urlBuf, "&algo="...)
+					urlBuf = append(urlBuf, *algo...)
+					urlBuf = append(urlBuf, "&u="...)
+					urlBuf = strconv.AppendInt(urlBuf, int64(rng.IntN(vertices)), 10)
+					urlBuf = append(urlBuf, "&v="...)
+					urlBuf = strconv.AppendInt(urlBuf, int64(rng.IntN(vertices)), 10)
+					err = c.getOK(string(urlBuf))
+					qs++
+				}
+				lat = append(lat, time.Since(t0))
+				reqs++
+				if err != nil {
+					errs++
+				}
+			}
+			mu.Lock()
+			all = append(all, lat...)
+			requests += reqs
+			queries += qs
+			errors += errs
+			mu.Unlock()
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	after, err := c.stats()
+	if err != nil {
+		return err
+	}
+
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	fmt.Printf("sustained: %.0f requests/sec, %.0f queries/sec over %v (%d errors)\n",
+		float64(requests)/elapsed.Seconds(), float64(queries)/elapsed.Seconds(),
+		elapsed.Round(time.Millisecond), errors)
+	if len(all) > 0 {
+		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
+			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1])
+	}
+	dh, dl := after.Hits-before.Hits, after.Hits+after.Misses-before.Hits-before.Misses
+	ratio := 0.0
+	if dl > 0 {
+		ratio = float64(dh) / float64(dl)
+	}
+	fmt.Printf("server: %d lookups during the storm, cache hit ratio %.4f (lifetime %.4f)\n",
+		dl, ratio, after.Ratio)
+	if errors > 0 {
+		return fmt.Errorf("%d requests failed", errors)
+	}
+	return nil
+}
+
+func pct(sorted []time.Duration, p int) time.Duration {
+	i := len(sorted) * p / 100
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// buildBatchBody appends a /v1/query/batch request of k same-component
+// queries; hand-assembled so the load generator itself is not the
+// bottleneck it is trying to find.
+func buildBatchBody(w *bytes.Buffer, id, algo string, k int, rng *rand.Rand, n int) {
+	w.WriteString(`{"graph":"`)
+	w.WriteString(id)
+	w.WriteString(`","algo":"`)
+	w.WriteString(algo)
+	w.WriteString(`","queries":[`)
+	for i := 0; i < k; i++ {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		fmt.Fprintf(w, `{"op":"same-component","u":%d,"v":%d}`, rng.IntN(n), rng.IntN(n))
+	}
+	w.WriteString(`]}`)
+}
+
+type client struct {
+	base string
+	http *http.Client
+}
+
+func (c *client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return fmt.Errorf("%s %s: %d %s", req.Method, req.URL.Path, resp.StatusCode, bytes.TrimSpace(data))
+	}
+	if out != nil {
+		return json.NewDecoder(resp.Body).Decode(out)
+	}
+	_, err = io.Copy(io.Discard, resp.Body)
+	return err
+}
+
+func (c *client) getJSON(path string, out any) error {
+	req, err := http.NewRequest("GET", c.base+path, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, out)
+}
+
+// getOK fetches url and discards the body — the storm only needs the
+// status; parsing every response would measure the client, not the
+// server.
+func (c *client) getOK(url string) error {
+	req, err := http.NewRequest("GET", url, nil)
+	if err != nil {
+		return err
+	}
+	return c.do(req, nil)
+}
+
+func (c *client) postBatch(body io.Reader) error {
+	req, err := http.NewRequest("POST", c.base+"/v1/query/batch", body)
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, nil)
+}
+
+func (c *client) generate(family string, n, d int, seed uint64) (string, int, error) {
+	body, _ := json.Marshal(map[string]any{
+		"name": "wccload", "family": family, "n": n, "d": d, "seed": seed,
+	})
+	req, err := http.NewRequest("POST", c.base+"/v1/graphs/generate", bytes.NewReader(body))
+	if err != nil {
+		return "", 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	var out struct {
+		ID string `json:"id"`
+		N  int    `json:"n"`
+	}
+	if err := c.do(req, &out); err != nil {
+		return "", 0, err
+	}
+	return out.ID, out.N, nil
+}
+
+func (c *client) lookup(id string) (int, error) {
+	var out struct {
+		N int `json:"n"`
+	}
+	if err := c.getJSON("/v1/graphs/"+id, &out); err != nil {
+		return 0, err
+	}
+	return out.N, nil
+}
+
+func (c *client) solve(id, algo string) error {
+	body, _ := json.Marshal(map[string]any{"graph": id, "algo": algo, "wait": true})
+	req, err := http.NewRequest("POST", c.base+"/v1/solve", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, nil)
+}
+
+type statsSnap struct {
+	Hits   int64
+	Misses int64
+	Ratio  float64
+}
+
+func (c *client) stats() (statsSnap, error) {
+	var out struct {
+		CacheHits     int64   `json:"cacheHits"`
+		CacheMisses   int64   `json:"cacheMisses"`
+		CacheHitRatio float64 `json:"cacheHitRatio"`
+	}
+	if err := c.getJSON("/v1/stats", &out); err != nil {
+		return statsSnap{}, err
+	}
+	return statsSnap{Hits: out.CacheHits, Misses: out.CacheMisses, Ratio: out.CacheHitRatio}, nil
+}

@@ -8,6 +8,7 @@
 //
 //	wccserve -addr :8080 -job-workers 2 -cache-entries 64
 //	wccserve -addr :8080 -data-dir /var/lib/wcc     # durable across restarts
+//	wccserve -addr :8080 -pprof localhost:6060      # profiling sidecar listener
 //
 //	curl -X POST --data-binary @g.txt 'localhost:8080/v1/graphs?name=g'
 //	curl -X POST -d '{"family":"union","n":0,"d":8,"sizes":[60,40],"seed":3}' \
@@ -33,6 +34,11 @@
 // chained digests — it did before SIGTERM. Without it, state is
 // in-memory and dies with the process.
 //
+// -pprof exposes net/http/pprof on a SEPARATE listener (off by default),
+// so profiling endpoints are never reachable through the service port —
+// bind it to localhost and point `go tool pprof` at
+// http://localhost:6060/debug/pprof/profile while wccload drives traffic.
+//
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
 // in-flight requests get a drain window, and the solve workers finish
 // their current jobs before exit.
@@ -46,6 +52,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -63,23 +70,26 @@ func main() {
 
 func run() error {
 	var (
-		addr       = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
-		dataDir    = flag.String("data-dir", "", "durable storage directory (snapshot + WAL per graph, replayed on boot); empty = in-memory only")
-		jobWorkers = flag.Int("job-workers", 2, "concurrent solve jobs")
-		cacheSize  = flag.Int("cache-entries", 64, "labeling cache capacity (entries)")
-		jobHistory = flag.Int("job-history", 0, "completed jobs kept queryable via /v1/jobs (0 = default 256)")
-		simWorkers = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS (never affects results)")
-		maxVerts   = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
-		maxEdges   = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
-		maxGraphs  = flag.Int("max-graphs", 0, "graph-store capacity, least recently accessed evicted first (0 = default 64, negative = unlimited)")
-		maxVerGap  = flag.Int("max-version-gap", 0, "retained versions per graph and the largest append gap a cached labeling is fast-forwarded across before a full re-solve is required (0 = default 64)")
-		drain      = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		addr        = flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		dataDir     = flag.String("data-dir", "", "durable storage directory (snapshot + WAL per graph, replayed on boot); empty = in-memory only")
+		jobWorkers  = flag.Int("job-workers", 2, "concurrent solve jobs")
+		cacheSize   = flag.Int("cache-entries", 64, "labeling cache capacity (entries)")
+		cacheShards = flag.Int("cache-shards", 0, "labeling-cache lock stripes, rounded up to a power of two and clamped to 64 (0 = 4x GOMAXPROCS; never affects which entries survive)")
+		jobHistory  = flag.Int("job-history", 0, "completed jobs kept queryable via /v1/jobs (0 = default 256)")
+		simWorkers  = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS (never affects results)")
+		maxVerts    = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
+		maxEdges    = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
+		maxGraphs   = flag.Int("max-graphs", 0, "graph-store capacity, least recently accessed evicted first (0 = default 64, negative = unlimited)")
+		maxVerGap   = flag.Int("max-version-gap", 0, "retained versions per graph and the largest append gap a cached labeling is fast-forwarded across before a full re-solve is required (0 = default 64)")
+		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); empty = disabled")
 	)
 	flag.Parse()
 
 	svc, err := service.Open(service.Config{
 		JobWorkers:    *jobWorkers,
 		CacheEntries:  *cacheSize,
+		CacheShards:   *cacheShards,
 		JobHistory:    *jobHistory,
 		SimWorkers:    *simWorkers,
 		MaxVertices:   *maxVerts,
@@ -94,6 +104,30 @@ func run() error {
 	defer svc.Close()
 	if *dataDir != "" {
 		log.Printf("wccserve: data dir %s: recovered %d graphs", *dataDir, svc.GraphCount())
+	}
+
+	if *pprofAddr != "" {
+		// Profiling stays off the service listener: a separate mux on a
+		// separate (typically loopback) port, so operators can firewall
+		// it independently and a profile can never be triggered by
+		// service traffic.
+		pm := http.NewServeMux()
+		pm.HandleFunc("/debug/pprof/", pprof.Index)
+		pm.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pm.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pm.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pm.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			return fmt.Errorf("pprof listen: %w", err)
+		}
+		defer pln.Close()
+		go func() {
+			if err := http.Serve(pln, pm); err != nil && !errors.Is(err, net.ErrClosed) {
+				log.Printf("wccserve: pprof server: %v", err)
+			}
+		}()
+		log.Printf("wccserve: pprof on http://%s/debug/pprof/", pln.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *addr)

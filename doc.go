@@ -6,8 +6,8 @@
 // experiment index, and EXPERIMENTS.md for paper-vs-measured results. The
 // public entry points live in internal/core (Theorem 1/4 pipeline and the
 // Corollary 7.1 oblivious variant) and internal/sublinear (Theorem 2);
-// cmd/wccfind, cmd/wccgen, cmd/wccbench, cmd/wccserve and cmd/wccstream
-// are the executables.
+// cmd/wccfind, cmd/wccgen, cmd/wccbench, cmd/wccserve, cmd/wccstream
+// and cmd/wccload are the executables.
 //
 // # Algorithm registry
 //
@@ -30,11 +30,19 @@
 //
 // internal/service turns one-shot runs into a long-lived query system:
 // a content-addressed graph store (load edge lists or generate gen.Spec
-// families), an async job runner over a bounded worker pool, and an LRU
-// labeling cache so same-component / component-size / component-count
-// queries answer in O(1) after a single solve. cmd/wccserve exposes it
-// over HTTP+JSON with graceful shutdown; see internal/service/README.md
-// for the API.
+// families), an async job runner over a bounded worker pool, and a
+// sharded LRU labeling cache so same-component / component-size /
+// component-count queries answer in O(1) after a single solve. The
+// cache-hit read path is zero-allocation and takes no global lock:
+// lock-free graph handles, per-graph atomic version snapshots (no store
+// round trip), fixed-size struct cache keys, lock-striped cache shards
+// with atomic recency stamps, and pooled append-based JSON responses.
+// POST /v1/query/batch answers many queries against one labeling
+// lookup. cmd/wccserve exposes it over HTTP+JSON with graceful shutdown
+// (plus an optional separate net/http/pprof listener via -pprof);
+// cmd/wccload is the query-storm load harness reporting throughput and
+// latency percentiles. See internal/service/README.md, "Performance &
+// tuning", for the read-path design and benchmark methodology.
 //
 // # Dynamic connectivity
 //

@@ -1,10 +1,13 @@
 package service
 
 import (
-	"container/list"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
-	"strings"
+	"math"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/graph"
 )
@@ -16,8 +19,6 @@ import (
 // the new version (via dynamic.MergeLabels) rather than mutating this
 // one, so concurrent queries never observe a half-merged state.
 type Labeling struct {
-	// Key is the cache key the labeling is stored under.
-	Key string
 	// GraphID identifies the stored graph that was solved.
 	GraphID string
 	// Version is the graph version this labeling describes.
@@ -38,6 +39,11 @@ type Labeling struct {
 	// of running an algorithm.
 	Forwarded bool
 
+	// key is the cache key the labeling is stored under — a fixed-size
+	// comparable struct, so neither building it nor looking it up
+	// allocates (the old fmt.Sprintf string key cost two allocations per
+	// query).
+	key    labelingKey
 	labels []graph.Vertex
 	sizes  []int    // sizes[c] = vertices labeled c
 	hist   [][2]int // (size, count) pairs ascending, precomputed for O(1) queries
@@ -77,76 +83,226 @@ func (l *Labeling) checkVertex(u graph.Vertex) error {
 	return nil
 }
 
-// lru is a fixed-capacity least-recently-used cache of labelings with its
-// own mutex, so the O(1) query path never serializes behind the service's
-// graph-store lock (or behind a solve holding it).
-type lru struct {
-	mu      sync.Mutex
-	cap     int
-	order   *list.List // front = most recently used; values are *Labeling
-	entries map[string]*list.Element
+// labelingKey addresses one labeling: the decoded version digest plus the
+// canonicalized solve configuration. It is a fixed-size comparable value,
+// so it works directly as a map key, lives on the stack, and hashes to a
+// shard without formatting anything. The algo field is the registry index
+// from the service's canonicalization table, not the name, keeping the
+// struct pointer-free.
+type labelingKey struct {
+	digest [sha256Len]byte
+	algo   uint32
+	memory int
+	seed   uint64
+	lambda float64
 }
 
-func newLRU(capacity int) *lru {
-	return &lru{
-		cap:     capacity,
-		order:   list.New(),
-		entries: make(map[string]*list.Element, capacity),
+// sha256Len is the decoded length of the hex digests the store chains.
+const sha256Len = 32
+
+// decodeDigest turns a store digest (64 hex chars) into its fixed-size
+// key form. Malformed or short digests (possible only for internal bugs,
+// never for store-issued digests) yield a best-effort prefix — the worst
+// case is a cache miss, never a wrong answer, because every lookup and
+// insert decodes the same way.
+func decodeDigest(digest string) (d [sha256Len]byte) {
+	hex.Decode(d[:], []byte(digest)[:min(len(digest), 2*sha256Len)])
+	return d
+}
+
+// cacheShard is one lock-striped segment of the labeling cache. The
+// RWMutex guards only the map structure; access recency lives in each
+// entry's atomic stamp, so a get takes the shared lock, never the
+// exclusive one — concurrent hits on the same shard do not serialize
+// behind list splicing the way the old single-mutex LRU did.
+type cacheShard struct {
+	mu      sync.RWMutex
+	entries map[labelingKey]*cacheEntry
+	_       [32]byte // keep neighboring shards' locks off one cache line
+}
+
+// cacheEntry pairs an immutable labeling with its last-access stamp.
+// put replaces the whole entry rather than mutating l, so a get that has
+// already released the shard lock still returns a coherent labeling.
+type cacheEntry struct {
+	l     *Labeling
+	stamp atomic.Int64
+}
+
+// cache is the sharded labeling cache: a fixed number of power-of-two
+// lock-striped shards with one global capacity and one global logical
+// clock. Hits are wait-free apart from a shared RLock on the key's shard
+// and two atomic stores (stamp + clock), and they allocate nothing.
+// Eviction is exact least-recently-stamped across the whole cache,
+// preserving the old LRU's observable behavior; it runs only on insert
+// overflow, i.e. on the solve path, where a full shard scan is noise
+// next to an algorithm execution.
+type cache struct {
+	cap    int
+	mask   uint64
+	clock  atomic.Int64
+	count  atomic.Int64
+	shards []cacheShard
+}
+
+// newCache sizes the shard array: shards is rounded up to a power of
+// two and clamped to [1,64] — enough stripes that 8 cores rarely
+// collide, few enough that the full-sweep paths (withDigestPrefix under
+// the append lock, evict scans, /v1/stats occupancy) stay cheap however
+// the flag is set. 0 picks 4×GOMAXPROCS.
+func newCache(capacity, shards int) *cache {
+	if shards <= 0 {
+		shards = runtime.GOMAXPROCS(0) * 4
 	}
+	if shards > 64 {
+		shards = 64
+	}
+	shards = 1 << bitsFor(shards)
+	c := &cache{cap: capacity, mask: uint64(shards - 1), shards: make([]cacheShard, shards)}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[labelingKey]*cacheEntry)
+	}
+	return c
 }
 
-func (c *lru) get(key string) (*Labeling, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	el, ok := c.entries[key]
-	if !ok {
+// bitsFor returns ceil(log2(n)) for n ≥ 1.
+func bitsFor(n int) (b uint) {
+	for 1<<b < n {
+		b++
+	}
+	return b
+}
+
+// shardOf hashes a key to its shard. The digest is SHA-256 output —
+// already uniform — so the hash only needs to fold in the configuration
+// fields and mix once (splitmix64 finalizer) so near-identical specs
+// (seed k vs k+1) still spread.
+func (c *cache) shardOf(k *labelingKey) *cacheShard {
+	h := binary.LittleEndian.Uint64(k.digest[:8])
+	h ^= k.seed*0x9e3779b97f4a7c15 + uint64(k.algo)
+	h ^= math.Float64bits(k.lambda) + uint64(k.memory)<<17
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 29
+	return &c.shards[h&c.mask]
+}
+
+// get returns the labeling under k, stamping it most recently used. The
+// hot path of every query: one shared shard lock, one map probe, two
+// atomic writes, zero allocations.
+func (c *cache) get(k labelingKey) (*Labeling, bool) {
+	sh := c.shardOf(&k)
+	sh.mu.RLock()
+	e := sh.entries[k]
+	sh.mu.RUnlock()
+	if e == nil {
 		return nil, false
 	}
-	c.order.MoveToFront(el)
-	return el.Value.(*Labeling), true
+	e.stamp.Store(c.clock.Add(1))
+	return e.l, true
 }
 
-func (c *lru) put(l *Labeling) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.entries[l.Key]; ok {
-		el.Value = l
-		c.order.MoveToFront(el)
-		return
-	}
-	c.entries[l.Key] = c.order.PushFront(l)
-	for c.order.Len() > c.cap {
-		oldest := c.order.Back()
-		c.order.Remove(oldest)
-		delete(c.entries, oldest.Value.(*Labeling).Key)
+// put inserts (or replaces) a labeling under its key and evicts down to
+// capacity. Replacement installs a fresh entry instead of mutating the
+// old one, so concurrent gets holding the old pointer stay coherent.
+func (c *cache) put(l *Labeling) {
+	e := &cacheEntry{l: l}
+	e.stamp.Store(c.clock.Add(1))
+	sh := c.shardOf(&l.key)
+	sh.mu.Lock()
+	_, existed := sh.entries[l.key]
+	sh.entries[l.key] = e
+	sh.mu.Unlock()
+	if !existed {
+		if c.count.Add(1) > int64(c.cap) {
+			c.evict()
+		}
 	}
 }
 
-func (c *lru) len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.order.Len()
+// evict removes globally least-recently-stamped entries until the cache
+// is back under capacity. The scan visits every shard under its shared
+// lock; the delete revalidates under the exclusive lock, so two racing
+// evictions cannot double-count one removal.
+func (c *cache) evict() {
+	for c.count.Load() > int64(c.cap) {
+		var (
+			victim      *cacheEntry
+			victimKey   labelingKey
+			victimShard *cacheShard
+			oldest      = int64(math.MaxInt64)
+		)
+		for i := range c.shards {
+			sh := &c.shards[i]
+			sh.mu.RLock()
+			for k, e := range sh.entries {
+				if s := e.stamp.Load(); s < oldest {
+					oldest, victim, victimKey, victimShard = s, e, k, sh
+				}
+			}
+			sh.mu.RUnlock()
+		}
+		if victim == nil {
+			return // emptied by a concurrent eviction
+		}
+		victimShard.mu.Lock()
+		if cur := victimShard.entries[victimKey]; cur == victim {
+			delete(victimShard.entries, victimKey)
+			victimShard.mu.Unlock()
+			c.count.Add(-1)
+			continue
+		}
+		victimShard.mu.Unlock()
+		// The victim was replaced or already evicted; rescan.
+	}
+}
+
+// len returns the number of cached labelings.
+func (c *cache) len() int {
+	n := c.count.Load()
+	if n < 0 {
+		return 0
+	}
+	return int(n)
 }
 
 // capacity returns the configured entry bound — reported next to the
 // occupancy by /v1/stats so operators can see headroom, not just usage.
-func (c *lru) capacity() int { return c.cap }
+func (c *cache) capacity() int { return c.cap }
 
-// withDigestPrefix returns the cached labelings whose key starts with
-// "digest|" — every configuration solved for one specific graph version.
+// occupancy returns the per-shard entry counts, in shard order — the
+// /v1/stats signal for sizing -cache-entries and -cache-shards (a single
+// hot shard means the key mix defeats the hash; uniformly full shards
+// mean the capacity is the bottleneck).
+func (c *cache) occupancy() []int {
+	out := make([]int, len(c.shards))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		out[i] = len(sh.entries)
+		sh.mu.RUnlock()
+	}
+	return out
+}
+
+// withDigestPrefix returns the cached labelings stored under one version
+// digest — every configuration solved for that specific graph version.
 // The append path uses it to fast-forward all of a version's labelings
 // when a batch lands. O(entries) scan, but the cache is small by design
-// (default 64) and appends are rare relative to queries; recency order is
-// deliberately not touched.
-func (c *lru) withDigestPrefix(digest string) []*Labeling {
-	prefix := digest + "|"
-	c.mu.Lock()
-	defer c.mu.Unlock()
+// (default 64) and appends are rare relative to queries; recency stamps
+// are deliberately not touched.
+func (c *cache) withDigestPrefix(digest string) []*Labeling {
+	d := decodeDigest(digest)
 	var out []*Labeling
-	for key, el := range c.entries {
-		if strings.HasPrefix(key, prefix) {
-			out = append(out, el.Value.(*Labeling))
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.RLock()
+		for k, e := range sh.entries {
+			if k.digest == d {
+				out = append(out, e.l)
+			}
 		}
+		sh.mu.RUnlock()
 	}
 	return out
 }

@@ -5,8 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
+	"net/url"
 	"strconv"
+	"sync"
 
 	"repro/internal/algo"
 	"repro/internal/gen"
@@ -34,12 +37,19 @@ import (
 //	GET  /v1/query/component-size     ?...&u=
 //	GET  /v1/query/component-count    ?...
 //	GET  /v1/query/sizes              ?... size histogram
+//	POST /v1/query/batch              {"graph","version","algo","seed","lambda",
+//	                                   "memory","queries":[{"op","u","v"},...]}
+//	                                  — many queries, ONE labeling lookup
 //	GET  /v1/algorithms               registered algorithm names
 //	GET  /v1/stats                    service counters + cache occupancy
 //
 // Query endpoints default to the latest version; pass ?version=K for a
 // retained older version. Solve bodies omit "version" (or pass a
 // negative) for latest.
+//
+// The single-query and batch endpoints encode their responses with
+// pooled buffers and direct byte appends (no reflection, no per-request
+// encoder), and every response carries Content-Length.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -57,6 +67,7 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/query/component-size", s.handleComponentSize)
 	mux.HandleFunc("GET /v1/query/component-count", s.handleComponentCount)
 	mux.HandleFunc("GET /v1/query/sizes", s.handleSizes)
+	mux.HandleFunc("POST /v1/query/batch", s.handleQueryBatch)
 	mux.HandleFunc("GET /v1/algorithms", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": algo.Names()})
 	})
@@ -64,10 +75,49 @@ func NewHandler(s *Service) http.Handler {
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
+// bufPool recycles response buffers across requests so the hot query
+// endpoints do not grow a fresh encoder buffer per response. Buffers
+// that ballooned (a huge sizes histogram) are dropped rather than pinned.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 1024); return &b }}
+
+func getBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// maxPooledBuf must comfortably cover the largest hot-path response — a
+// maxBatchQueries batch encodes to ~115 KiB — or steady max-batch load
+// would regrow and drop a buffer per request, defeating the pool.
+const maxPooledBuf = 1 << 18
+
+func putBuf(bp *[]byte) {
+	if cap(*bp) > maxPooledBuf {
+		return
+	}
+	*bp = (*bp)[:0]
+	bufPool.Put(bp)
+}
+
+// writeRaw sends one preserialized JSON response with an explicit
+// Content-Length (so keep-alive clients never wait on chunked framing
+// for these tiny payloads).
+func writeRaw(w http.ResponseWriter, status int, b []byte) {
+	h := w.Header()
+	h.Set("Content-Type", "application/json")
+	h.Set("Content-Length", strconv.Itoa(len(b)))
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+	w.Write(b) // a failed write means the client left; nothing to report to it
+}
+
+// writeJSON marshals v and sends it. Encode failures (only possible for
+// programmer-error values, never request data) are logged and surfaced
+// as a 500 instead of being silently dropped mid-response — marshaling
+// before touching the ResponseWriter is what keeps that option open.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	b, err := json.Marshal(v)
+	if err != nil {
+		log.Printf("service: encoding %T response: %v", v, err)
+		writeRaw(w, http.StatusInternalServerError, []byte(`{"error":"internal: response encoding failed"}`+"\n"))
+		return
+	}
+	writeRaw(w, status, append(b, '\n'))
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
@@ -355,9 +405,10 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 }
 
 // querySpec decodes the common query parameters shared by the /v1/query
-// endpoints.
-func querySpec(r *http.Request) (SolveSpec, error) {
-	q := r.URL.Query()
+// endpoints. The caller parses the URL query once and shares it with
+// queryVertex — url.Values allocates, so parsing it per parameter would
+// triple that cost on the hottest endpoint.
+func querySpec(q url.Values) (SolveSpec, error) {
 	spec := SolveSpec{GraphID: q.Get("graph"), Version: -1, Algo: q.Get("algo")}
 	if spec.GraphID == "" {
 		return spec, fmt.Errorf("missing ?graph=")
@@ -389,8 +440,8 @@ func querySpec(r *http.Request) (SolveSpec, error) {
 	return spec, nil
 }
 
-func queryVertex(r *http.Request, key string) (graph.Vertex, error) {
-	v := r.URL.Query().Get(key)
+func queryVertex(q url.Values, key string) (graph.Vertex, error) {
+	v := q.Get(key)
 	if v == "" {
 		return 0, fmt.Errorf("missing ?%s=", key)
 	}
@@ -402,17 +453,18 @@ func queryVertex(r *http.Request, key string) (graph.Vertex, error) {
 }
 
 func (s *Service) handleSameComponent(w http.ResponseWriter, r *http.Request) {
-	spec, err := querySpec(r)
+	q := r.URL.Query()
+	spec, err := querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	u, err := queryVertex(r, "u")
+	u, err := queryVertex(q, "u")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	v, err := queryVertex(r, "v")
+	v, err := queryVertex(q, "v")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -422,16 +474,27 @@ func (s *Service) handleSameComponent(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"u": u, "v": v, "same": same})
+	bp := getBuf()
+	b := append(*bp, `{"u":`...)
+	b = strconv.AppendInt(b, int64(u), 10)
+	b = append(b, `,"v":`...)
+	b = strconv.AppendInt(b, int64(v), 10)
+	b = append(b, `,"same":`...)
+	b = strconv.AppendBool(b, same)
+	b = append(b, '}', '\n')
+	writeRaw(w, http.StatusOK, b)
+	*bp = b
+	putBuf(bp)
 }
 
 func (s *Service) handleComponentSize(w http.ResponseWriter, r *http.Request) {
-	spec, err := querySpec(r)
+	q := r.URL.Query()
+	spec, err := querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	u, err := queryVertex(r, "u")
+	u, err := queryVertex(q, "u")
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -441,11 +504,20 @@ func (s *Service) handleComponentSize(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"u": u, "size": size})
+	bp := getBuf()
+	b := append(*bp, `{"u":`...)
+	b = strconv.AppendInt(b, int64(u), 10)
+	b = append(b, `,"size":`...)
+	b = strconv.AppendInt(b, int64(size), 10)
+	b = append(b, '}', '\n')
+	writeRaw(w, http.StatusOK, b)
+	*bp = b
+	putBuf(bp)
 }
 
 func (s *Service) handleComponentCount(w http.ResponseWriter, r *http.Request) {
-	spec, err := querySpec(r)
+	q := r.URL.Query()
+	spec, err := querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -455,11 +527,18 @@ func (s *Service) handleComponentCount(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"components": count})
+	bp := getBuf()
+	b := append(*bp, `{"components":`...)
+	b = strconv.AppendInt(b, int64(count), 10)
+	b = append(b, '}', '\n')
+	writeRaw(w, http.StatusOK, b)
+	*bp = b
+	putBuf(bp)
 }
 
 func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
-	spec, err := querySpec(r)
+	q := r.URL.Query()
+	spec, err := querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -469,31 +548,175 @@ func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
 		writeError(w, statusFor(err), err)
 		return
 	}
-	out := make([]map[string]int, len(hist))
+	bp := getBuf()
+	b := append(*bp, `{"sizes":[`...)
 	for i, sc := range hist {
-		out[i] = map[string]int{"size": sc[0], "count": sc[1]}
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"size":`...)
+		b = strconv.AppendInt(b, int64(sc[0]), 10)
+		b = append(b, `,"count":`...)
+		b = strconv.AppendInt(b, int64(sc[1]), 10)
+		b = append(b, '}')
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"sizes": out})
+	b = append(b, ']', '}', '\n')
+	writeRaw(w, http.StatusOK, b)
+	*bp = b
+	putBuf(bp)
+}
+
+// maxBatchQueries bounds one batch request; bigger batches gain nothing
+// (the lookup is already amortized) and would pin oversized buffers.
+const maxBatchQueries = 8192
+
+// batchScratch recycles the decoded-query and result slices across batch
+// requests, so a steady batch load settles into zero slice growth.
+type batchScratch struct {
+	qs  []BatchQuery
+	out []BatchResult
+}
+
+var batchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+// putBatchScratch returns scratch to the pool unless an abusive request
+// (rejected or not) ballooned its slices past the batch limit — pooling
+// those would pin the worst request's memory for the process lifetime,
+// the same policy putBuf applies to byte buffers.
+func putBatchScratch(scratch *batchScratch) {
+	if cap(scratch.qs) > maxBatchQueries || cap(scratch.out) > maxBatchQueries {
+		return
+	}
+	batchPool.Put(scratch)
+}
+
+// handleQueryBatch answers many queries in one request against ONE
+// labeling lookup — the network round trip, handler dispatch, graph
+// resolution, and cache probe amortize across the whole batch. Per-item
+// failures (bad vertex, unknown op) are reported inline as
+// {"error":...} results; only batch-level problems (unknown graph,
+// unsolved configuration, malformed body) fail the request.
+func (s *Service) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
+	scratch := batchPool.Get().(*batchScratch)
+	defer putBatchScratch(scratch)
+	req := struct {
+		Graph   string       `json:"graph"`
+		Version *int         `json:"version"`
+		Algo    string       `json:"algo"`
+		Lambda  float64      `json:"lambda"`
+		Seed    uint64       `json:"seed"`
+		Memory  int          `json:"memory"`
+		Queries []BatchQuery `json:"queries"`
+	}{Queries: scratch.qs[:0]}
+	// 1 MiB comfortably fits a maxBatchQueries batch (~40 bytes/query)
+	// while bounding how far a flood of tiny queries can grow the decode
+	// slice before the count check below rejects it.
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("bad request body: %w", err))
+		return
+	}
+	scratch.qs = req.Queries[:0]
+	if len(req.Queries) == 0 {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("empty batch (want \"queries\": [{\"op\":...},...])"))
+		return
+	}
+	if len(req.Queries) > maxBatchQueries {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("batch of %d queries exceeds the limit %d", len(req.Queries), maxBatchQueries))
+		return
+	}
+	version := -1
+	if req.Version != nil {
+		version = *req.Version
+	}
+	algoName := req.Algo
+	if algoName == "" {
+		algoName = "wcc"
+	}
+	spec := SolveSpec{
+		GraphID: req.Graph, Version: version, Algo: algoName,
+		Lambda: req.Lambda, Seed: req.Seed, Memory: req.Memory,
+	}
+	if cap(scratch.out) < len(req.Queries) {
+		scratch.out = make([]BatchResult, len(req.Queries))
+	}
+	out := scratch.out[:len(req.Queries)]
+	l, err := s.Query(spec, req.Queries, out)
+	if err != nil {
+		writeError(w, statusFor(err), err)
+		return
+	}
+
+	bp := getBuf()
+	b := append(*bp, `{"graph":"`...)
+	b = append(b, l.GraphID...)
+	b = append(b, `","version":`...)
+	b = strconv.AppendInt(b, int64(l.Version), 10)
+	b = append(b, `,"count":`...)
+	b = strconv.AppendInt(b, int64(len(out)), 10)
+	b = append(b, `,"results":[`...)
+	for i := range out {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		r := &out[i]
+		if r.Err != "" {
+			b = append(b, `{"error":`...)
+			b = strconv.AppendQuote(b, r.Err)
+			b = append(b, '}')
+			continue
+		}
+		switch req.Queries[i].Op {
+		case OpSameComponent:
+			b = append(b, `{"same":`...)
+			b = strconv.AppendBool(b, r.Same)
+		case OpComponentSize:
+			b = append(b, `{"size":`...)
+			b = strconv.AppendInt(b, int64(r.Size), 10)
+		case OpComponentCount:
+			b = append(b, `{"components":`...)
+			b = strconv.AppendInt(b, int64(r.Components), 10)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ']', '}', '\n')
+	writeRaw(w, http.StatusOK, b)
+	*bp = b
+	putBuf(bp)
 }
 
 func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	c := s.Counters()
 	cfg := s.Config()
+	hitRatio := 0.0
+	if looked := c.CacheHits + c.CacheMisses; looked > 0 {
+		hitRatio = float64(c.CacheHits) / float64(looked)
+	}
+	cachedLabelings := s.CachedLabelings()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graphsLoaded":      c.GraphsLoaded,
 		"graphsGenerated":   c.GraphsGenerated,
 		"solves":            c.Solves,
 		"cacheHits":         c.CacheHits,
 		"cacheMisses":       c.CacheMisses,
+		"cacheHitRatio":     hitRatio,
 		"queries":           c.Queries,
+		"batchQueries":      c.BatchQueries,
 		"jobsSubmitted":     c.JobsSubmitted,
 		"jobsDone":          c.JobsDone,
 		"jobsFailed":        c.JobsFailed,
 		"edgeBatches":       c.EdgeBatches,
 		"edgesAppended":     c.EdgesAppended,
 		"incrementalMerges": c.IncrementalMerges,
-		"cachedLabelings":   s.CachedLabelings(),
+		"cachedLabelings":   cachedLabelings,
 		"graphs":            s.GraphCount(),
+		// Per-shard cache occupancy: a single hot stripe means the key
+		// mix defeats the shard hash; uniformly full stripes mean
+		// -cache-entries is the bottleneck.
+		"cache": map[string]any{
+			"entries":  cachedLabelings,
+			"capacity": s.cache.capacity(),
+			"shards":   s.CacheShardOccupancy(),
+		},
 		// The active limits (post-default), so operators can read the
 		// effective policy off a running server instead of its flags.
 		"limits": map[string]any{

@@ -139,6 +139,128 @@ func TestHTTPEndToEnd(t *testing.T) {
 	}
 }
 
+// TestHTTPQueryBatch covers POST /v1/query/batch: mixed ops answered
+// against one labeling lookup, per-item errors inline, batch-level
+// errors (unsolved, malformed, empty) as request failures.
+func TestHTTPQueryBatch(t *testing.T) {
+	svc := New(Config{JobWorkers: 1, CacheEntries: 16})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	var g struct {
+		ID string `json:"id"`
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs?name=two", twoComponents, http.StatusOK, &g)
+
+	batchURL := srv.URL + "/v1/query/batch"
+	mkBody := func(extra string) string {
+		return fmt.Sprintf(`{"graph":%q,"algo":"boruvka","queries":[%s]}`, g.ID, extra)
+	}
+
+	// Before solving: the whole batch 409s.
+	httpJSON(t, client, "POST", batchURL, mkBody(`{"op":"component-count"}`), http.StatusConflict, nil)
+
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve",
+		fmt.Sprintf(`{"graph":%q,"algo":"boruvka","wait":true}`, g.ID), http.StatusOK, nil)
+
+	var resp struct {
+		Graph   string `json:"graph"`
+		Version int    `json:"version"`
+		Count   int    `json:"count"`
+		Results []struct {
+			Same       *bool  `json:"same"`
+			Size       *int   `json:"size"`
+			Components *int   `json:"components"`
+			Err        string `json:"error"`
+		} `json:"results"`
+	}
+	body := mkBody(`{"op":"same-component","u":0,"v":5},` +
+		`{"op":"same-component","u":0,"v":9},` +
+		`{"op":"component-size","u":7},` +
+		`{"op":"component-count"},` +
+		`{"op":"component-size","u":99},` +
+		`{"op":"bogus"}`)
+	httpJSON(t, client, "POST", batchURL, body, http.StatusOK, &resp)
+	if resp.Graph != g.ID || resp.Count != 6 || len(resp.Results) != 6 {
+		t.Fatalf("batch response envelope: %+v", resp)
+	}
+	r := resp.Results
+	if r[0].Same == nil || !*r[0].Same {
+		t.Errorf("same(0,5) = %+v, want true", r[0])
+	}
+	if r[1].Same == nil || *r[1].Same {
+		t.Errorf("same(0,9) = %+v, want false", r[1])
+	}
+	if r[2].Size == nil || *r[2].Size != 4 {
+		t.Errorf("size(7) = %+v, want 4", r[2])
+	}
+	if r[3].Components == nil || *r[3].Components != 2 {
+		t.Errorf("count = %+v, want 2", r[3])
+	}
+	if r[4].Err == "" || r[5].Err == "" {
+		t.Errorf("out-of-range vertex and unknown op must fail per item: %+v %+v", r[4], r[5])
+	}
+
+	// One request, one cache hit, six queries — the amortization the
+	// endpoint exists for.
+	if c := svc.Counters(); c.BatchQueries != 2 || c.Queries < 7 {
+		t.Fatalf("batch counters: %+v", c)
+	}
+
+	// Batch-level failures.
+	httpJSON(t, client, "POST", batchURL, mkBody(``), http.StatusBadRequest, nil)
+	httpJSON(t, client, "POST", batchURL, `{not json`, http.StatusBadRequest, nil)
+	httpJSON(t, client, "POST", batchURL,
+		`{"graph":"g-nope","queries":[{"op":"component-count"}]}`, http.StatusNotFound, nil)
+}
+
+// TestHTTPStatsCacheVisibility checks the operator-facing cache stats:
+// hit ratio and per-shard occupancy, sized by config.
+func TestHTTPStatsCacheVisibility(t *testing.T) {
+	svc := New(Config{JobWorkers: 1, CacheEntries: 8, CacheShards: 4})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	var g struct {
+		ID string `json:"id"`
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs?name=two", twoComponents, http.StatusOK, &g)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve",
+		fmt.Sprintf(`{"graph":%q,"algo":"boruvka","wait":true}`, g.ID), http.StatusOK, nil)
+	for i := 0; i < 3; i++ {
+		httpJSON(t, client, "GET",
+			fmt.Sprintf("%s/v1/query/component-count?graph=%s&algo=boruvka", srv.URL, g.ID),
+			"", http.StatusOK, nil)
+	}
+
+	var stats struct {
+		CacheHitRatio float64 `json:"cacheHitRatio"`
+		Cache         struct {
+			Entries  int   `json:"entries"`
+			Capacity int   `json:"capacity"`
+			Shards   []int `json:"shards"`
+		} `json:"cache"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/v1/stats", "", http.StatusOK, &stats)
+	if stats.CacheHitRatio <= 0 || stats.CacheHitRatio > 1 {
+		t.Errorf("cacheHitRatio = %v, want in (0,1]", stats.CacheHitRatio)
+	}
+	if stats.Cache.Capacity != 8 || len(stats.Cache.Shards) != 4 {
+		t.Errorf("cache stats: %+v", stats.Cache)
+	}
+	sum := 0
+	for _, occ := range stats.Cache.Shards {
+		sum += occ
+	}
+	if sum != stats.Cache.Entries || stats.Cache.Entries != 1 {
+		t.Errorf("shard occupancy %v must sum to entries %d (want 1)", stats.Cache.Shards, stats.Cache.Entries)
+	}
+}
+
 func TestHTTPGenerateAsyncJobAndErrors(t *testing.T) {
 	svc := New(Config{JobWorkers: 1, CacheEntries: 16})
 	defer svc.Close()

@@ -152,7 +152,10 @@ func TestScenarioConcurrentAppendsMatchFullSolve(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	final := sg.Graph()
+	final, err := sg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
 	wantM := base.M() + 50*12
 	if final.M() != wantM {
 		t.Fatalf("final graph has %d edges, want %d", final.M(), wantM)
@@ -177,6 +180,156 @@ func TestScenarioConcurrentAppendsMatchFullSolve(t *testing.T) {
 	}
 	// Not a single re-solve happened during the churn.
 	if c := s.Counters(); c.Solves != 1 || c.EdgeBatches != 50 {
+		t.Fatalf("counters after churn: %+v", c)
+	}
+}
+
+// TestScenarioConcurrentBatchSingleAppend is the sharded-cache stress
+// ISSUE 5 asks for: batch queries, single queries, and appends all in
+// flight at once, at the service level so the race detector sees the
+// cache/window/handle internals directly (make race covers this
+// package). Correctness check at the end: the incrementally maintained
+// labeling equals a fresh solve of the final graph.
+func TestScenarioConcurrentBatchSingleAppend(t *testing.T) {
+	s := New(Config{MaxVersionGap: 256, CacheEntries: 32, CacheShards: 4})
+	defer s.Close()
+
+	base, batches, err := gen.TraceSpec{
+		Base:      gen.Spec{Family: "union", Sizes: []int{40, 24, 16}, D: 6, Seed: 9},
+		Batches:   40,
+		BatchSize: 6,
+		IntraFrac: 0.5,
+		Seed:      17,
+	}.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseText bytes.Buffer
+	if err := graph.WriteEdgeList(&baseText, base); err != nil {
+		t.Fatal(err)
+	}
+	sg, err := s.Load("churn", &baseText)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SolveSpec{GraphID: sg.ID, Version: -1, Algo: "hashtomin"}
+	if _, err := s.Solve(spec); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 3; r++ {
+		readers.Add(1)
+		go func(seed uint64) { // single queries
+			defer readers.Done()
+			rng := rand.New(rand.NewPCG(seed, 1))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				u, v := graph.Vertex(rng.IntN(base.N())), graph.Vertex(rng.IntN(base.N()))
+				if _, err := s.SameComponent(spec, u, v); err != nil {
+					t.Errorf("single query during churn: %v", err)
+					return
+				}
+				if _, err := s.ComponentCount(spec); err != nil {
+					t.Errorf("count query during churn: %v", err)
+					return
+				}
+			}
+		}(uint64(r))
+	}
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func(seed uint64) { // batch queries
+			defer readers.Done()
+			rng := rand.New(rand.NewPCG(seed, 2))
+			qs := make([]BatchQuery, 16)
+			out := make([]BatchResult, 16)
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				for i := range qs {
+					switch i % 3 {
+					case 0:
+						qs[i] = BatchQuery{Op: OpSameComponent, U: graph.Vertex(rng.IntN(base.N())), V: graph.Vertex(rng.IntN(base.N()))}
+					case 1:
+						qs[i] = BatchQuery{Op: OpComponentSize, U: graph.Vertex(rng.IntN(base.N()))}
+					default:
+						qs[i] = BatchQuery{Op: OpComponentCount}
+					}
+				}
+				if _, err := s.Query(spec, qs, out); err != nil {
+					t.Errorf("batch query during churn: %v", err)
+					return
+				}
+				for i := range out {
+					if out[i].Err != "" {
+						t.Errorf("batch item %d failed: %s", i, out[i].Err)
+						return
+					}
+				}
+			}
+		}(uint64(r))
+	}
+
+	var writers sync.WaitGroup
+	batchCh := make(chan []graph.Edge)
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func() {
+			defer writers.Done()
+			for batch := range batchCh {
+				if _, err := s.Append(sg.ID, batch, false); err != nil {
+					t.Errorf("append during churn: %v", err)
+					return
+				}
+			}
+		}()
+	}
+	for _, batch := range batches {
+		batchCh <- batch
+	}
+	close(batchCh)
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	if got := sg.LatestVersion(); got != len(batches) {
+		t.Fatalf("latest version %d, want %d", got, len(batches))
+	}
+	final, err := sg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	incr, ok, err := s.Lookup(spec)
+	if err != nil || !ok {
+		t.Fatalf("final labeling not available: %v %v", err, ok)
+	}
+	res, err := algo.Find("wcc", final, algo.Options{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if incr.Components != res.Components {
+		t.Fatalf("incremental components = %d, full solve = %d", incr.Components, res.Components)
+	}
+	gotCanon := algo.CanonicalForm(incr.labels)
+	wantCanon := algo.CanonicalForm(res.Labels)
+	for v := range wantCanon {
+		if gotCanon[v] != wantCanon[v] {
+			t.Fatalf("labelings diverge at vertex %d: %d vs %d", v, gotCanon[v], wantCanon[v])
+		}
+	}
+	if c := s.Counters(); c.Solves != 1 || c.BatchQueries == 0 {
 		t.Fatalf("counters after churn: %+v", c)
 	}
 }

@@ -1,10 +1,18 @@
 // Package service is the long-lived connectivity query layer on top of the
 // internal/algo registry: a graph store (load edge lists or generate gen
 // families on demand), an async job runner executing Find jobs on a
-// bounded worker pool, and an LRU labeling cache keyed by (graph digest,
-// algorithm, seed, λ, memory) so repeated queries — same-component,
-// component-size, component-count, solve statistics — answer in O(1)
-// without re-running any algorithm.
+// bounded worker pool, and a sharded labeling cache keyed by (graph
+// version digest, algorithm, seed, λ, memory) so repeated queries —
+// same-component, component-size, component-count, solve statistics —
+// answer in O(1) without re-running any algorithm.
+//
+// The cache-hit query path is deliberately allocation-free and takes no
+// global lock: graph handles resolve through a concurrent map, version
+// metadata comes from a per-graph atomic snapshot refreshed on append
+// (no storage-engine round trip), cache keys are fixed-size comparable
+// structs (no formatting), and the cache itself is lock-striped with
+// atomic recency stamps. See the "Performance & tuning" section of
+// README.md and BenchmarkQueryHit.
 //
 // Graph state itself lives behind the internal/store.Store interface:
 // the service holds no edge, version, or digest data of its own, only
@@ -29,6 +37,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -56,6 +65,11 @@ type Config struct {
 	JobWorkers int
 	// CacheEntries is the labeling-cache capacity (default 64).
 	CacheEntries int
+	// CacheShards is the number of lock stripes in the labeling cache,
+	// rounded up to a power of two (default 0 = 4×GOMAXPROCS, max 64).
+	// More shards spread concurrent query traffic; capacity and eviction
+	// stay global, so the setting never changes which entries survive.
+	CacheShards int
 	// SimWorkers is the simulator worker setting applied to solves that do
 	// not specify one (mpc.Config.Workers semantics; default 0 =
 	// sequential). It never affects results, only wall-clock.
@@ -133,8 +147,9 @@ func (c Config) storeConfig() store.Config {
 // StoredGraph is the runtime handle of one stored graph: its immutable
 // identity plus the per-graph incremental engine and append lock. All
 // graph state — base snapshot, appended batches, version lineage — lives
-// in the storage engine; the handle only accelerates appends (the
-// union-find engine would otherwise rebuild per batch) and is recreated
+// in the storage engine; the handle only accelerates the hot paths (the
+// version window snapshot saves queries a store round trip, the
+// union-find engine saves appends a rebuild per batch) and is recreated
 // on demand after a restart or an eviction/reload cycle.
 type StoredGraph struct {
 	// ID is "g-" plus a digest prefix; stable across restarts for the same
@@ -150,8 +165,18 @@ type StoredGraph struct {
 	N, M int
 
 	svc *Service
+	// lastAccess is the service-wide logical time of the most recent
+	// query against this handle. The hot path stamps it instead of
+	// bumping the storage engine's LRU (which would serialize every
+	// query on the store mutex); the service replays the stamps into the
+	// store right before any Put that could evict (see syncRecency).
+	lastAccess atomic.Int64
+	// window is the retained-version snapshot queries resolve against
+	// without touching the store: refreshed on append and built lazily
+	// on first use. See versions.go.
+	window atomic.Pointer[versionWindow]
 	// mu serializes appends per graph and guards eng. Queries answer
-	// from the storage engine and the (immutable) cached labelings and
+	// from the window snapshot and the (immutable) cached labelings and
 	// never take it.
 	mu  sync.Mutex
 	eng *dynamic.Engine
@@ -159,17 +184,27 @@ type StoredGraph struct {
 
 // Graph returns the materialized latest version of the graph (the base
 // snapshot itself while nothing has been appended). The returned graph is
-// immutable and pointer-stable until the next append.
-func (sg *StoredGraph) Graph() *graph.Graph {
-	info, err := sg.resolveVersion(-1)
+// immutable and pointer-stable until the next append. The error reports
+// an evicted graph or a storage-engine failure — callers must not treat
+// the two the same as a nil graph (the old signature silently swallowed
+// both).
+func (sg *StoredGraph) Graph() (*graph.Graph, error) {
+	ref, err := sg.resolveVersion(-1)
 	if err != nil {
-		return nil
+		return nil, err
 	}
-	g, err := sg.svc.st.Materialize(sg.ID, info.Version)
+	g, err := sg.svc.st.Materialize(sg.ID, ref.info.Version)
 	if err != nil {
-		return nil
+		return nil, fmt.Errorf("service: materialize %s@%d: %w", sg.ID, ref.info.Version, err)
 	}
-	return g
+	return g, nil
+}
+
+// touch stamps the handle most recently used (service-wide logical
+// clock). One atomic add plus one atomic store — no lock, no store
+// round trip.
+func (sg *StoredGraph) touch() {
+	sg.lastAccess.Store(sg.svc.accessClock.Add(1))
 }
 
 // Counters are the service-level statistics exposed by /v1/stats. All
@@ -181,6 +216,7 @@ type Counters struct {
 	CacheHits       int64
 	CacheMisses     int64
 	Queries         int64
+	BatchQueries    int64 // batch requests (each counts its members in Queries)
 	JobsSubmitted   int64
 	JobsDone        int64
 	JobsFailed      int64
@@ -193,16 +229,75 @@ type Counters struct {
 	IncrementalMerges int64
 }
 
+// canonEntry memoizes algo.CanonicalOptions for one registered
+// algorithm: which option fields participate in its cache key, plus a
+// dense registry index that stands in for the name inside labelingKey.
+// The table is built once at Open and read-only afterwards, so hot-path
+// lookups are plain map reads — no registry lock, no canonicalization
+// call, no allocation.
+type canonEntry struct {
+	idx        uint32
+	keepSeed   bool
+	keepLambda bool
+	keepMemory bool
+}
+
+// buildCanonTable probes algo.CanonicalOptions with distinctive non-zero
+// options and records which ones survive canonicalization. Deriving the
+// table from the registry (instead of copying its switch) keeps the two
+// in lockstep when algorithms are added — but the memoization is only
+// sound while canonicalization is keep-or-zero per field, so the table
+// is built from two distinct probes and panics at Open if any algorithm
+// ever maps an option to a third value (that algorithm would need a real
+// canonicalization call per key, not a boolean mask).
+func buildCanonTable() map[string]canonEntry {
+	probes := [2]algo.Options{
+		{Lambda: 0.5, Seed: 3, Memory: 7},
+		{Lambda: 0.25, Seed: 11, Memory: 13},
+	}
+	names := algo.Names()
+	tab := make(map[string]canonEntry, len(names))
+	for i, name := range names {
+		var keep [2]canonEntry
+		for j, probe := range probes {
+			c := algo.CanonicalOptions(name, probe)
+			if (c.Seed != probe.Seed && c.Seed != 0) ||
+				(c.Lambda != probe.Lambda && c.Lambda != 0) ||
+				(c.Memory != probe.Memory && c.Memory != 0) {
+				panic(fmt.Sprintf("service: CanonicalOptions(%q) is not keep-or-zero (%+v -> %+v); the memoized key table cannot represent it", name, probe, c))
+			}
+			keep[j] = canonEntry{
+				keepSeed:   c.Seed == probe.Seed,
+				keepLambda: c.Lambda == probe.Lambda,
+				keepMemory: c.Memory == probe.Memory,
+			}
+		}
+		if keep[0] != keep[1] {
+			panic(fmt.Sprintf("service: CanonicalOptions(%q) keeps different fields for different values (%+v vs %+v)", name, keep[0], keep[1]))
+		}
+		keep[0].idx = uint32(i)
+		tab[name] = keep[0]
+	}
+	return tab
+}
+
 // Service is the connectivity query service. Create with New (in-memory)
 // or Open (honors Config.DataDir); Close drains the job workers and
 // closes the storage engine.
 type Service struct {
-	cfg Config
-	st  store.Store
+	cfg   Config
+	st    store.Store
+	canon map[string]canonEntry // read-only after Open
+
+	// handles maps graph ID → *StoredGraph. Reads are lock-free
+	// (sync.Map), which is what keeps s.mu off the query path; creation
+	// and eviction sweeps serialize on s.mu so a handle for an evicted
+	// graph is never left behind.
+	handles     sync.Map
+	accessClock atomic.Int64
 
 	mu      sync.RWMutex
-	handles map[string]*StoredGraph
-	cache   *lru
+	cache   *cache
 	jobs    map[string]*Job
 	jobHist []string // completed job IDs, oldest first
 	jobSeq  int64
@@ -217,7 +312,7 @@ type Service struct {
 		graphsLoaded, graphsGenerated    atomic.Int64
 		solves, cacheHits, cacheMisses   atomic.Int64
 		queries, jobsSubmitted, jobsDone atomic.Int64
-		jobsFailed                       atomic.Int64
+		jobsFailed, batchQueries         atomic.Int64
 		edgeBatches, edgesAppended       atomic.Int64
 		incrementalMerges                atomic.Int64
 	}
@@ -242,8 +337,8 @@ func Open(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:      cfg,
 		st:       st,
-		handles:  make(map[string]*StoredGraph),
-		cache:    newLRU(cfg.CacheEntries),
+		canon:    buildCanonTable(),
+		cache:    newCache(cfg.CacheEntries, cfg.CacheShards),
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		draining: make(chan struct{}),
@@ -299,6 +394,7 @@ func (s *Service) Counters() Counters {
 		CacheHits:         s.counters.cacheHits.Load(),
 		CacheMisses:       s.counters.cacheMisses.Load(),
 		Queries:           s.counters.queries.Load(),
+		BatchQueries:      s.counters.batchQueries.Load(),
 		JobsSubmitted:     s.counters.jobsSubmitted.Load(),
 		JobsDone:          s.counters.jobsDone.Load(),
 		JobsFailed:        s.counters.jobsFailed.Load(),
@@ -311,6 +407,13 @@ func (s *Service) Counters() Counters {
 // CachedLabelings returns the number of labelings currently cached.
 func (s *Service) CachedLabelings() int {
 	return s.cache.len()
+}
+
+// CacheShardOccupancy returns the per-shard entry counts of the labeling
+// cache, in shard order — surfaced by /v1/stats so operators can see
+// whether the key mix spreads across the stripes.
+func (s *Service) CacheShardOccupancy() []int {
+	return s.cache.occupancy()
 }
 
 // Config returns the service's effective (defaulted) configuration —
@@ -369,28 +472,29 @@ func (s *Service) Generate(name string, spec gen.Spec) (*StoredGraph, error) {
 	return sg, nil
 }
 
-// Graph returns a stored graph's runtime handle by ID. The lookup goes
-// through the storage engine (bumping the graph's LRU recency); handles
-// are created on demand, so graphs recovered from a data directory are
+// Graph returns a stored graph's runtime handle by ID. The fast path is
+// one lock-free map read plus a recency stamp — no storage-engine round
+// trip, which is what lets a cache-hit query proceed without any global
+// lock. Handles are created on demand (through the store, which bumps
+// the graph's LRU), so graphs recovered from a data directory are
 // addressable without any warm-up.
 func (s *Service) Graph(id string) (*StoredGraph, error) {
+	if v, ok := s.handles.Load(id); ok {
+		sg := v.(*StoredGraph)
+		sg.touch()
+		return sg, nil
+	}
 	meta, ok := s.st.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
 	}
-	// Fast path: queries share the handle under the read lock.
-	s.mu.RLock()
-	sg, have := s.handles[id]
-	s.mu.RUnlock()
-	if have {
-		return sg, nil
-	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	sg, ok = s.handleLocked(meta)
+	sg, ok := s.handleLocked(meta)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
 	}
+	sg.touch()
 	return sg, nil
 }
 
@@ -400,14 +504,15 @@ func (s *Service) Graph(id string) (*StoredGraph, error) {
 // so a handle for a concurrently evicted graph can never be left behind
 // in the map. Callers hold s.mu; ok=false means the graph is gone.
 func (s *Service) handleLocked(meta store.Meta) (*StoredGraph, bool) {
-	if sg, ok := s.handles[meta.ID]; ok {
-		return sg, true
+	if v, ok := s.handles.Load(meta.ID); ok {
+		return v.(*StoredGraph), true
 	}
 	if _, ok := s.st.Get(meta.ID); !ok {
 		return nil, false
 	}
 	sg := &StoredGraph{ID: meta.ID, Name: meta.Name, Digest: meta.Digest, N: meta.N, M: meta.M, svc: s}
-	s.handles[meta.ID] = sg
+	sg.lastAccess.Store(s.accessClock.Add(1))
+	s.handles.Store(meta.ID, sg)
 	return sg, true
 }
 
@@ -430,6 +535,31 @@ func (s *Service) GraphCount() int {
 	return s.st.Len()
 }
 
+// syncRecency replays the handles' access stamps into the storage
+// engine's LRU, oldest first, so the store's eviction order matches what
+// queries actually touched. Queries stamp handles instead of calling
+// st.Get (a mutex per query); this reconciliation runs only right before
+// a Put that may evict — loads are rare, so an O(G log G) sort over at
+// most MaxGraphs handles is free.
+func (s *Service) syncRecency() {
+	if s.cfg.MaxGraphs < 0 || s.st.Len() < s.cfg.MaxGraphs {
+		return // no eviction possible; skip the replay
+	}
+	type stamped struct {
+		id    string
+		stamp int64
+	}
+	var hs []stamped
+	s.handles.Range(func(k, v any) bool {
+		hs = append(hs, stamped{k.(string), v.(*StoredGraph).lastAccess.Load()})
+		return true
+	})
+	sort.Slice(hs, func(i, j int) bool { return hs[i].stamp < hs[j].stamp })
+	for _, h := range hs {
+		s.st.Get(h.id)
+	}
+}
+
 func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 	digest := store.DigestGraph(g)
 	id := "g-" + digest[:12]
@@ -443,6 +573,7 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 	eng := dynamic.FromGraph(g)
 	meta := store.Meta{ID: id, Name: name, Digest: digest, N: g.N(), M: g.M()}
 	v0 := store.Version{Version: 0, Digest: digest, N: g.N(), M: g.M(), Components: eng.Components()}
+	s.syncRecency()
 	evicted, err := s.st.Put(meta, g, v0)
 	if err != nil {
 		if sg, ok, derr := s.dedupe(id, digest); ok || derr != nil {
@@ -453,7 +584,7 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, eid := range evicted {
-		delete(s.handles, eid)
+		s.handles.Delete(eid)
 	}
 	sg, ok := s.handleLocked(meta)
 	if !ok {
@@ -516,44 +647,78 @@ type SolveSpec struct {
 	Workers int
 }
 
-// cacheKey canonicalizes the spec first: options the algorithm ignores
-// (the baselines' seed, wcc's memory, sublinear's λ, everyone's workers)
-// are zeroed so equivalent requests share one labeling instead of
-// re-running the solve and splitting LRU slots. The digest is a VERSION
-// digest, never a bare graph ID: two versions of the same graph chain
-// different digests, so a stale labeling can never answer a query for a
-// newer version — there is simply no key collision to exploit.
-func (s *Service) cacheKey(digest string, spec SolveSpec) string {
-	o := algo.CanonicalOptions(spec.Algo, algo.Options{
-		Lambda: spec.Lambda, Seed: spec.Seed, Memory: spec.Memory,
-	})
-	return fmt.Sprintf("%s|%s|seed=%d|lambda=%g|mem=%d", digest, spec.Algo, o.Seed, o.Lambda, o.Memory)
+// cacheKey canonicalizes the spec into the fixed-size key form: options
+// the algorithm ignores (the baselines' seed, wcc's memory, sublinear's
+// λ, everyone's workers) are zeroed — via the memoized canonicalization
+// table, not a registry call — so equivalent requests share one labeling
+// instead of re-running the solve and splitting LRU slots. The digest is
+// a VERSION digest, never a bare graph ID: two versions of the same
+// graph chain different digests, so a stale labeling can never answer a
+// query for a newer version — there is simply no key collision to
+// exploit. ok=false means the algorithm is not registered.
+func (s *Service) cacheKey(digest [sha256Len]byte, spec SolveSpec) (labelingKey, bool) {
+	ce, ok := s.canon[spec.Algo]
+	if !ok {
+		return labelingKey{}, false
+	}
+	k := labelingKey{digest: digest, algo: ce.idx}
+	if ce.keepSeed {
+		k.seed = spec.Seed
+	}
+	if ce.keepLambda {
+		k.lambda = spec.Lambda
+	}
+	if ce.keepMemory {
+		k.memory = spec.Memory
+	}
+	return k, true
 }
 
 // Lookup returns the labeling for spec without running any algorithm.
 // The bool reports whether one was available: cached directly, or
 // derivable by fast-forwarding a cached labeling of an earlier retained
 // version across the appended batches (an incremental merge, not a
-// solve).
+// solve). The hit path allocates nothing.
 func (s *Service) Lookup(spec SolveSpec) (*Labeling, bool, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, false, err
+	}
 	sg, err := s.Graph(spec.GraphID)
 	if err != nil {
 		return nil, false, err
 	}
-	if _, err := algo.Get(spec.Algo); err != nil {
-		return nil, false, err
+	for {
+		ref, err := sg.resolveVersion(spec.Version)
+		if err != nil {
+			return nil, false, err
+		}
+		key, ok := s.cacheKey(ref.key, spec)
+		if !ok {
+			_, err := algo.Get(spec.Algo) // canonical unknown-algorithm error
+			return nil, false, err
+		}
+		if l, ok := s.cache.get(key); ok {
+			return l, true, nil
+		}
+		if l, ok := s.fastForward(sg, ref, spec); ok {
+			return l, true, nil
+		}
+		if spec.Version >= 0 {
+			return nil, false, nil
+		}
+		// A latest-version query can lose a race with a burst of appends:
+		// by the time the cache was probed, eviction pressure from the
+		// newer versions' forwarded labelings may have dropped every
+		// labeling at or below the version this lookup resolved. The
+		// append path caches a version's labelings before publishing its
+		// window, so retrying against the advanced latest finds them;
+		// versions only grow, so the loop terminates as soon as the
+		// window stops moving.
+		cur, err := sg.resolveVersion(-1)
+		if err != nil || cur.info.Version == ref.info.Version {
+			return nil, false, nil
+		}
 	}
-	info, err := sg.resolveVersion(spec.Version)
-	if err != nil {
-		return nil, false, err
-	}
-	if l, ok := s.cache.get(s.cacheKey(info.Digest, spec)); ok {
-		return l, true, nil
-	}
-	if l, ok := s.fastForward(sg, info, spec); ok {
-		return l, true, nil
-	}
-	return nil, false, nil
 }
 
 // Solve returns the labeling for spec, running the algorithm only on a
@@ -565,9 +730,25 @@ func (s *Service) Solve(spec SolveSpec) (*Labeling, error) {
 	return l, err
 }
 
+// validateSpec rejects option values that would poison the cache: a NaN
+// lambda compares unequal to itself, so a labeling keyed under it could
+// never be looked up again — and, worse, never deleted, which would turn
+// the eviction scan into a livelock once it became the oldest entry.
+// JSON cannot carry NaN, but query parameters (strconv.ParseFloat
+// accepts "NaN") and library callers can.
+func validateSpec(spec SolveSpec) error {
+	if spec.Lambda != spec.Lambda {
+		return fmt.Errorf("service: lambda must not be NaN")
+	}
+	return nil
+}
+
 // solve also reports whether the labeling came from the cache (directly
 // or by incremental fast-forward — either way no algorithm ran).
 func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
+	if err := validateSpec(spec); err != nil {
+		return nil, false, err
+	}
 	sg, err := s.Graph(spec.GraphID)
 	if err != nil {
 		return nil, false, err
@@ -576,16 +757,19 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	info, err := sg.resolveVersion(spec.Version)
+	ref, err := sg.resolveVersion(spec.Version)
 	if err != nil {
 		return nil, false, err
 	}
-	key := s.cacheKey(info.Digest, spec)
+	key, ok := s.cacheKey(ref.key, spec)
+	if !ok {
+		return nil, false, fmt.Errorf("service: algorithm %q not in canonicalization table", spec.Algo)
+	}
 	if l, ok := s.cache.get(key); ok {
 		s.counters.cacheHits.Add(1)
 		return l, true, nil
 	}
-	if l, ok := s.fastForward(sg, info, spec); ok {
+	if l, ok := s.fastForward(sg, ref, spec); ok {
 		s.counters.cacheHits.Add(1)
 		return l, true, nil
 	}
@@ -595,9 +779,9 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	if workers == 0 {
 		workers = s.cfg.SimWorkers
 	}
-	snapshot := sg.Snapshot(info.Version)
+	snapshot := sg.Snapshot(ref.info.Version)
 	if snapshot == nil {
-		return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, info.Version, ErrNotFound)
+		return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, ref.info.Version, ErrNotFound)
 	}
 	res, err := a.Find(snapshot, algo.Options{
 		Lambda: spec.Lambda, Seed: spec.Seed, Workers: workers, Memory: spec.Memory,
@@ -615,9 +799,8 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	})
 	sizes := graph.ComponentSizes(res.Labels, res.Components)
 	l := &Labeling{
-		Key:        key,
 		GraphID:    sg.ID,
-		Version:    info.Version,
+		Version:    ref.info.Version,
 		Algo:       spec.Algo,
 		Seed:       canon.Seed,
 		Lambda:     canon.Lambda,
@@ -625,6 +808,7 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 		Components: res.Components,
 		Rounds:     res.Rounds,
 		PeakEdges:  res.PeakEdges,
+		key:        key,
 		labels:     res.Labels,
 		sizes:      sizes,
 		hist:       graph.SizeHistogramOf(sizes),
@@ -663,7 +847,9 @@ func (s *Service) cached(spec SolveSpec) (*Labeling, error) {
 }
 
 // SameComponent answers from the labeling cache in O(1); it never runs an
-// algorithm (IsNotSolved errors ask the caller to solve first).
+// algorithm (IsNotSolved errors ask the caller to solve first). The hit
+// path performs zero heap allocations — guarded by
+// TestQueryHitPathZeroAllocs.
 func (s *Service) SameComponent(spec SolveSpec, u, v graph.Vertex) (bool, error) {
 	l, err := s.cached(spec)
 	if err != nil {
@@ -698,4 +884,79 @@ func (s *Service) ComponentSizes(spec SolveSpec) ([][2]int, error) {
 		return nil, err
 	}
 	return l.hist, nil
+}
+
+// Batch query operations (POST /v1/query/batch). Op names mirror the
+// single-query endpoints.
+const (
+	OpSameComponent  = "same-component"
+	OpComponentSize  = "component-size"
+	OpComponentCount = "component-count"
+)
+
+// BatchQuery is one operation inside a batch request. U and V are
+// interpreted per Op (component-count ignores both; component-size reads
+// only U); omitted vertices default to 0 and are range-checked like any
+// other.
+type BatchQuery struct {
+	Op string       `json:"op"`
+	U  graph.Vertex `json:"u"`
+	V  graph.Vertex `json:"v"`
+}
+
+// BatchResult answers one BatchQuery. Err is a per-item failure (bad
+// vertex, unknown op) — item failures do not abort the batch, so one
+// stray vertex in a 1000-query batch costs one error string, not a
+// resend.
+type BatchResult struct {
+	Same       bool
+	Size       int
+	Components int
+	Err        string
+}
+
+// Query answers a batch of queries against ONE labeling lookup: the
+// graph handle, version resolution, and cache probe are paid once, then
+// every operation is an array read. out must have at least len(qs)
+// results; the slice is caller-owned so the HTTP layer can pool it. A
+// batch against an unsolved configuration fails as a whole with the
+// usual not-solved error (there is nothing per-item about it). On
+// success the answering labeling is returned so callers can report the
+// resolved version. The hit path allocates only for per-item error
+// strings.
+func (s *Service) Query(spec SolveSpec, qs []BatchQuery, out []BatchResult) (*Labeling, error) {
+	if len(out) < len(qs) {
+		return nil, fmt.Errorf("service: batch result buffer too small (%d < %d)", len(out), len(qs))
+	}
+	s.counters.queries.Add(int64(len(qs)))
+	s.counters.batchQueries.Add(1)
+	l, ok, err := s.Lookup(spec)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		s.counters.cacheMisses.Add(1)
+		return nil, errNotSolved{spec: spec}
+	}
+	s.counters.cacheHits.Add(1)
+	for i := range qs {
+		q := &qs[i]
+		r := &out[i]
+		*r = BatchResult{}
+		var qerr error
+		switch q.Op {
+		case OpSameComponent:
+			r.Same, qerr = l.SameComponent(q.U, q.V)
+		case OpComponentSize:
+			r.Size, qerr = l.ComponentSize(q.U)
+		case OpComponentCount:
+			r.Components = l.Components
+		default:
+			qerr = fmt.Errorf("unknown op %q (want %s|%s|%s)", q.Op, OpSameComponent, OpComponentSize, OpComponentCount)
+		}
+		if qerr != nil {
+			r.Err = qerr.Error()
+		}
+	}
+	return l, nil
 }

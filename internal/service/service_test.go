@@ -5,6 +5,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
@@ -432,6 +433,28 @@ func TestGraphStoreEvictionIsLRU(t *testing.T) {
 	}
 	if _, err := s.Graph(cold.ID); err == nil {
 		t.Error("least recently used graph survived eviction")
+	}
+}
+
+// TestNaNLambdaRejected guards the struct cache keys: NaN compares
+// unequal to itself, so a labeling keyed under it could never be found
+// again — or evicted, which would livelock the eviction scan. Both
+// entry points must refuse it before any key is built.
+func TestNaNLambdaRejected(t *testing.T) {
+	s := newTestService(t)
+	sg, err := s.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := SolveSpec{GraphID: sg.ID, Algo: "wcc", Lambda: math.NaN(), Seed: 1}
+	if _, err := s.Solve(spec); err == nil {
+		t.Error("Solve with NaN lambda must error")
+	}
+	if _, _, err := s.Lookup(spec); err == nil {
+		t.Error("Lookup with NaN lambda must error")
+	}
+	if got := s.CachedLabelings(); got != 0 {
+		t.Fatalf("NaN spec left %d cache entries behind", got)
 	}
 }
 

@@ -16,6 +16,72 @@ import (
 // the window and its chained digests, the service only interprets them.
 type VersionInfo = store.Version
 
+// versionRef pairs a retained version's metadata with the decoded form
+// of its digest — exactly the bytes labelingKey wants — so the query
+// path never re-decodes hex per request.
+type versionRef struct {
+	info VersionInfo
+	key  [sha256Len]byte
+}
+
+// versionWindow is an immutable snapshot of a graph's retained version
+// window, oldest first. One lives behind each handle's atomic pointer:
+// queries resolve versions against it with a single pointer load instead
+// of a storage-engine round trip per request (the store mutex was one of
+// the global serialization points on the old read path). It is refreshed
+// under the append lock whenever the lineage changes, and built lazily
+// from the store the first time a fresh handle (post-restart, post-
+// eviction-reload) needs it.
+type versionWindow struct {
+	refs []versionRef
+}
+
+func newVersionWindow(vers []VersionInfo) *versionWindow {
+	w := &versionWindow{refs: make([]versionRef, len(vers))}
+	for i, info := range vers {
+		w.refs[i] = versionRef{info: info, key: decodeDigest(info.Digest)}
+	}
+	return w
+}
+
+// latest returns the newest ref; ok=false for an empty window.
+func (w *versionWindow) latest() (versionRef, bool) {
+	if w == nil || len(w.refs) == 0 {
+		return versionRef{}, false
+	}
+	return w.refs[len(w.refs)-1], true
+}
+
+// loadWindow returns the handle's version snapshot, fetching it from the
+// store on first use. The fetch can race with an append publishing a
+// newer window; publishWindow resolves that monotonically.
+func (sg *StoredGraph) loadWindow() *versionWindow {
+	if w := sg.window.Load(); w != nil {
+		return w
+	}
+	vers, err := sg.svc.st.Versions(sg.ID)
+	if err != nil || len(vers) == 0 {
+		return nil
+	}
+	return sg.publishWindow(newVersionWindow(vers))
+}
+
+// publishWindow installs w unless a newer window (higher latest version)
+// is already visible — a lazy store fetch must never roll back a window
+// a concurrent append just published. Returns the window that won.
+func (sg *StoredGraph) publishWindow(w *versionWindow) *versionWindow {
+	for {
+		old := sg.window.Load()
+		if old != nil && len(old.refs) > 0 && len(w.refs) > 0 &&
+			old.refs[len(old.refs)-1].info.Version >= w.refs[len(w.refs)-1].info.Version {
+			return old
+		}
+		if sg.window.CompareAndSwap(old, w) {
+			return w
+		}
+	}
+}
+
 // LatestVersion returns the newest version number.
 func (sg *StoredGraph) LatestVersion() int {
 	return sg.Latest().Version
@@ -24,42 +90,48 @@ func (sg *StoredGraph) LatestVersion() int {
 // Latest returns the newest version's metadata (the zero VersionInfo if
 // the graph was evicted from the store underneath this handle).
 func (sg *StoredGraph) Latest() VersionInfo {
-	vers := sg.Versions()
-	if len(vers) == 0 {
+	ref, ok := sg.loadWindow().latest()
+	if !ok {
 		return VersionInfo{}
 	}
-	return vers[len(vers)-1]
+	return ref.info
 }
 
 // Versions returns the retained version window, oldest first. Older
 // versions have been dropped (bounded retention); their labelings may
 // still sit in the cache but can no longer be fast-forwarded or re-solved.
 func (sg *StoredGraph) Versions() []VersionInfo {
-	vers, err := sg.svc.st.Versions(sg.ID)
-	if err != nil {
+	w := sg.loadWindow()
+	if w == nil {
 		return nil
 	}
-	return vers
+	out := make([]VersionInfo, len(w.refs))
+	for i, ref := range w.refs {
+		out[i] = ref.info
+	}
+	return out
 }
 
 // resolveVersion maps a SolveSpec.Version (negative = latest) to retained
-// version metadata. Unknown or no-longer-retained versions are
-// ErrNotFound: the service cannot answer for state it no longer holds.
-func (sg *StoredGraph) resolveVersion(version int) (VersionInfo, error) {
-	vers := sg.Versions()
-	if len(vers) == 0 {
-		return VersionInfo{}, fmt.Errorf("service: unknown graph %q: %w", sg.ID, ErrNotFound)
+// version metadata, answered entirely from the handle's window snapshot —
+// no store call, no allocation. Unknown or no-longer-retained versions
+// are ErrNotFound: the service cannot answer for state it no longer
+// holds.
+func (sg *StoredGraph) resolveVersion(version int) (versionRef, error) {
+	w := sg.loadWindow()
+	if w == nil || len(w.refs) == 0 {
+		return versionRef{}, fmt.Errorf("service: unknown graph %q: %w", sg.ID, ErrNotFound)
 	}
 	if version < 0 {
-		return vers[len(vers)-1], nil
+		return w.refs[len(w.refs)-1], nil
 	}
-	for _, info := range vers {
-		if info.Version == version {
-			return info, nil
+	for i := range w.refs {
+		if w.refs[i].info.Version == version {
+			return w.refs[i], nil
 		}
 	}
-	return VersionInfo{}, fmt.Errorf("service: graph %s version %d not retained (window %d..%d): %w",
-		sg.ID, version, vers[0].Version, vers[len(vers)-1].Version, ErrNotFound)
+	return versionRef{}, fmt.Errorf("service: graph %s version %d not retained (window %d..%d): %w",
+		sg.ID, version, w.refs[0].info.Version, w.refs[len(w.refs)-1].info.Version, ErrNotFound)
 }
 
 // Snapshot materializes the CSR graph of a retained version, or nil if
@@ -97,9 +169,12 @@ func (sg *StoredGraph) ensureEngineLocked(latest VersionInfo) error {
 // the batch and its chained version metadata are handed to the storage
 // engine (the durable backend fsyncs before acknowledging) before the
 // in-memory engine advances, so a storage failure never leaves the
-// engine ahead of durable state. Cached labelings of the previous latest
-// version are fast-forwarded to the new version in place (an incremental
-// merge), so the O(1) query path keeps answering without a re-solve.
+// engine ahead of durable state. The handle's version window is
+// republished before the append lock releases, so queries resolve the
+// new version without a store round trip. Cached labelings of the
+// previous latest version are fast-forwarded to the new version in
+// place (an incremental merge), so the O(1) query path keeps answering
+// without a re-solve.
 func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo, error) {
 	sg, err := s.Graph(id)
 	if err != nil {
@@ -161,18 +236,31 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		sg.mu.Unlock()
 		return VersionInfo{}, err
 	}
-	sg.mu.Unlock()
-
 	// Eagerly fast-forward the previous version's cached labelings so
-	// queries stay O(1) across the append. A labeling evicted between
-	// here and the next query is still recoverable lazily (fastForward in
-	// Lookup/solve) as long as its version stays within the window.
+	// queries stay O(1) across the append — BEFORE the new window is
+	// published, and still under the append lock. The ordering is what
+	// keeps latest-version queries hit-path-only under churn: once a
+	// query can resolve the new version, its labeling is already cached
+	// (eviction permitting); and because appends serialize here, the next
+	// append always sees this version's labelings when it sweeps
+	// withDigestPrefix. Queries never take sg.mu, so the longer critical
+	// section delays only sibling appends, which serialize anyway.
+	targetKey := decodeDigest(info.Digest)
 	for _, l := range s.cache.withDigestPrefix(prev.Digest) {
-		if fwd, err := s.forwardLabeling(l, info, batch); err == nil {
+		if fwd, err := s.forwardLabeling(l, info, targetKey, batch); err == nil {
 			s.cache.put(fwd)
 			s.counters.incrementalMerges.Add(1)
 		}
 	}
+	// Republish the window snapshot with the same retention the store
+	// applies, so queries see the new version (and stop seeing trimmed
+	// ones) without a store call.
+	vers = append(vers, info)
+	if keep := s.cfg.MaxVersionGap + 1; len(vers) > keep {
+		vers = vers[len(vers)-keep:]
+	}
+	sg.publishWindow(newVersionWindow(vers))
+	sg.mu.Unlock()
 
 	s.counters.edgeBatches.Add(1)
 	s.counters.edgesAppended.Add(int64(len(batch)))
@@ -180,16 +268,20 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 }
 
 // forwardLabeling fast-forwards one immutable cached labeling across a
-// single appended batch, producing the labeling of the target version.
-func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, batch []graph.Edge) (*Labeling, error) {
+// single appended batch, producing the labeling of the target version
+// (whose decoded digest the caller supplies for the new cache key).
+func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, targetKey [sha256Len]byte, batch []graph.Edge) (*Labeling, error) {
 	labels, count, err := dynamic.MergeLabels(l.labels, l.Components, batch, target.N)
 	if err != nil {
 		return nil, err
 	}
 	sizes := graph.ComponentSizes(labels, count)
 	spec := SolveSpec{Algo: l.Algo, Lambda: l.Lambda, Seed: l.Seed, Memory: l.Memory}
+	key, ok := s.cacheKey(targetKey, spec)
+	if !ok {
+		return nil, fmt.Errorf("service: algorithm %q vanished from the registry", l.Algo)
+	}
 	return &Labeling{
-		Key:        s.cacheKey(target.Digest, spec),
 		GraphID:    l.GraphID,
 		Version:    target.Version,
 		Algo:       l.Algo,
@@ -200,6 +292,7 @@ func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, batch []graph
 		Rounds:     l.Rounds, // cost of the original solve; the merge charged none
 		PeakEdges:  l.PeakEdges,
 		Forwarded:  true,
+		key:        key,
 		labels:     labels,
 		sizes:      sizes,
 		hist:       graph.SizeHistogramOf(sizes),
@@ -215,25 +308,32 @@ func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, batch []graph
 // cached inside the retention window) means the caller re-solves through
 // the registry — exactly the version-gap fallback the config threshold
 // describes.
-func (s *Service) fastForward(sg *StoredGraph, target VersionInfo, spec SolveSpec) (*Labeling, bool) {
-	vers := sg.Versions()
-	for i := len(vers) - 1; i >= 0; i-- {
-		v := vers[i]
-		if v.Version >= target.Version {
+func (s *Service) fastForward(sg *StoredGraph, target versionRef, spec SolveSpec) (*Labeling, bool) {
+	w := sg.loadWindow()
+	if w == nil {
+		return nil, false
+	}
+	for i := len(w.refs) - 1; i >= 0; i-- {
+		v := w.refs[i]
+		if v.info.Version >= target.info.Version {
 			continue
 		}
-		if target.Version-v.Version > s.cfg.MaxVersionGap {
+		if target.info.Version-v.info.Version > s.cfg.MaxVersionGap {
 			break
 		}
-		l, ok := s.cache.get(s.cacheKey(v.Digest, spec))
+		key, ok := s.cacheKey(v.key, spec)
+		if !ok {
+			return nil, false
+		}
+		l, ok := s.cache.get(key)
 		if !ok {
 			continue
 		}
-		delta, err := s.st.Delta(sg.ID, v.Version, target.Version)
+		delta, err := s.st.Delta(sg.ID, v.info.Version, target.info.Version)
 		if err != nil {
 			continue
 		}
-		fwd, err := s.forwardLabeling(l, target, delta)
+		fwd, err := s.forwardLabeling(l, target.info, target.key, delta)
 		if err != nil {
 			continue
 		}

@@ -303,7 +303,15 @@ func TestSnapshotMaterializesRetainedVersions(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Graph() is the latest materialization, cached across calls.
-	if got := sg.Graph(); got != sg.Graph() {
+	got1, err := sg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := sg.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got1 != got2 {
 		t.Fatal("latest snapshot not cached")
 	}
 }
