@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke bench-smoke bench
+.PHONY: build test vet race fuzz-smoke chaos-smoke bench-smoke bench
 
 build:
 	$(GO) build ./...
@@ -14,11 +14,25 @@ test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
 
 # Seed-corpus pass over every fuzz target (edge-list parser, binary CSR
-# codec, edge-batch wire format, append endpoint, WAL replay): the
-# recorded crash/error cases run as plain tests in seconds. `go test
-# -fuzz` explores further; this target is the regression gate CI runs.
+# codec, edge-batch wire format, append endpoint, WAL replay, crash
+# recovery): the recorded crash/error cases run as plain tests in
+# seconds, and the crash-point sweep kills the store at every injected
+# filesystem fault site. `go test -fuzz` explores further; this target
+# is the regression gate CI runs.
 fuzz-smoke:
-	$(GO) test -run='^Fuzz' ./internal/graph/ ./internal/service/ ./internal/store/
+	$(GO) test -run='^Fuzz|^TestCrashPointSweep$$' ./internal/graph/ ./internal/service/ ./internal/store/
+
+# The chaos gate: the store-level crash-point sweep (every filesystem
+# operation in the put/append/compaction workload killed once, recovery
+# digest-verified) plus the service-level failure tests (admission
+# overload, panic containment, degraded read-only mode, drain deadline),
+# all under the race detector. CI sets CHAOSFLAGS=-v to capture the
+# per-crash-point fault logs as an artifact.
+CHAOSFLAGS ?=
+chaos-smoke:
+	$(GO) test $(CHAOSFLAGS) -race -run='^TestCrash|^TestAppendRollback' ./internal/store/
+	$(GO) test $(CHAOSFLAGS) -race -run='^TestAdmission|^TestPanic|^TestDegraded|^TestCloseTimeout' ./internal/service/
+	$(GO) test $(CHAOSFLAGS) -race ./internal/fault/ ./internal/retry/
 
 # Race-checked run of the packages with executor-level concurrency.
 race:

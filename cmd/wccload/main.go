@@ -41,7 +41,10 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/retry"
 )
 
 func main() {
@@ -63,15 +66,20 @@ func run() error {
 		conc    = flag.Int("c", 8, "concurrent client workers")
 		dur     = flag.Duration("duration", 10*time.Second, "storm duration")
 		batch   = flag.Int("batch", 0, "queries per request: 0 = single GETs, k>0 = POST /v1/query/batch with k queries")
+		retries = flag.Int("retries", 3, "retries per request for connection errors and 429/5xx responses (jittered backoff, honors Retry-After)")
 	)
 	flag.Parse()
 	if *addr == "" {
 		return fmt.Errorf("-addr is required")
 	}
-	if *conc <= 0 || *batch < 0 {
-		return fmt.Errorf("-c must be positive and -batch non-negative")
+	if *conc <= 0 || *batch < 0 || *retries < 0 {
+		return fmt.Errorf("-c must be positive, -batch and -retries non-negative")
 	}
-	c := &client{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: time.Minute}}
+	c := &client{
+		base:   strings.TrimRight(*addr, "/"),
+		http:   &http.Client{Timeout: time.Minute},
+		policy: retry.New(*retries+1, 10*time.Millisecond, time.Second, *seed),
+	}
 
 	// Prepare: resolve or generate the graph, then solve once so the
 	// storm below is all cache hits — the path under test.
@@ -126,7 +134,7 @@ func run() error {
 				if *batch > 0 {
 					body.Reset()
 					buildBatchBody(&body, id, *algo, *batch, rng, vertices)
-					err = c.postBatch(&body)
+					err = c.postBatch(body.Bytes())
 					qs += int64(*batch)
 				} else {
 					urlBuf = urlBuf[:0]
@@ -165,9 +173,9 @@ func run() error {
 	}
 
 	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	fmt.Printf("sustained: %.0f requests/sec, %.0f queries/sec over %v (%d errors)\n",
+	fmt.Printf("sustained: %.0f requests/sec, %.0f queries/sec over %v (%d errors, %d retries)\n",
 		float64(requests)/elapsed.Seconds(), float64(queries)/elapsed.Seconds(),
-		elapsed.Round(time.Millisecond), errors)
+		elapsed.Round(time.Millisecond), errors, c.retries.Load())
 	if len(all) > 0 {
 		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
 			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1])
@@ -212,69 +220,85 @@ func buildBatchBody(w *bytes.Buffer, id, algo string, k int, rng *rand.Rand, n i
 }
 
 type client struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	policy  *retry.Policy
+	retries atomic.Int64
 }
 
-func (c *client) do(req *http.Request, out any) error {
+// do issues one logical request, replaying the byte-slice body on each
+// attempt. Connection-level errors and shed/transient statuses
+// (429/502/503/504) are retried with jittered backoff, honoring a
+// server-supplied Retry-After floor — so a storm that briefly saturates
+// the admission controller degrades into throughput, not into a wall of
+// client errors. Retries are counted for the final summary.
+func (c *client) do(method, url, contentType string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		retryable, floor, err := c.try(method, url, contentType, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt+1 >= c.policy.Attempts {
+			return err
+		}
+		c.retries.Add(1)
+		time.Sleep(c.policy.Delay(attempt, floor))
+	}
+}
+
+func (c *client) try(method, url, contentType string, body []byte, out any) (retryable bool, floor time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, url, rd)
+	if err != nil {
+		return false, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
 	resp, err := c.http.Do(req)
 	if err != nil {
-		return err
+		return true, 0, err // connection refused/reset: transient by nature
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode >= 300 {
 		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return fmt.Errorf("%s %s: %d %s", req.Method, req.URL.Path, resp.StatusCode, bytes.TrimSpace(data))
+		return retry.RetryStatus(resp.StatusCode), retry.RetryAfter(resp.Header),
+			fmt.Errorf("%s %s: %d %s", req.Method, req.URL.Path, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	if out != nil {
-		return json.NewDecoder(resp.Body).Decode(out)
+		return false, 0, json.NewDecoder(resp.Body).Decode(out)
 	}
 	_, err = io.Copy(io.Discard, resp.Body)
-	return err
+	return false, 0, err
 }
 
 func (c *client) getJSON(path string, out any) error {
-	req, err := http.NewRequest("GET", c.base+path, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, out)
+	return c.do("GET", c.base+path, "", nil, out)
 }
 
 // getOK fetches url and discards the body — the storm only needs the
 // status; parsing every response would measure the client, not the
 // server.
 func (c *client) getOK(url string) error {
-	req, err := http.NewRequest("GET", url, nil)
-	if err != nil {
-		return err
-	}
-	return c.do(req, nil)
+	return c.do("GET", url, "", nil, nil)
 }
 
-func (c *client) postBatch(body io.Reader) error {
-	req, err := http.NewRequest("POST", c.base+"/v1/query/batch", body)
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, nil)
+func (c *client) postBatch(body []byte) error {
+	return c.do("POST", c.base+"/v1/query/batch", "application/json", body, nil)
 }
 
 func (c *client) generate(family string, n, d int, seed uint64) (string, int, error) {
 	body, _ := json.Marshal(map[string]any{
 		"name": "wccload", "family": family, "n": n, "d": d, "seed": seed,
 	})
-	req, err := http.NewRequest("POST", c.base+"/v1/graphs/generate", bytes.NewReader(body))
-	if err != nil {
-		return "", 0, err
-	}
-	req.Header.Set("Content-Type", "application/json")
 	var out struct {
 		ID string `json:"id"`
 		N  int    `json:"n"`
 	}
-	if err := c.do(req, &out); err != nil {
+	if err := c.do("POST", c.base+"/v1/graphs/generate", "application/json", body, &out); err != nil {
 		return "", 0, err
 	}
 	return out.ID, out.N, nil
@@ -292,12 +316,7 @@ func (c *client) lookup(id string) (int, error) {
 
 func (c *client) solve(id, algo string) error {
 	body, _ := json.Marshal(map[string]any{"graph": id, "algo": algo, "wait": true})
-	req, err := http.NewRequest("POST", c.base+"/v1/solve", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	req.Header.Set("Content-Type", "application/json")
-	return c.do(req, nil)
+	return c.do("POST", c.base+"/v1/solve", "application/json", body, nil)
 }
 
 type statsSnap struct {

@@ -40,8 +40,21 @@
 // http://localhost:6060/debug/pprof/profile while wccload drives traffic.
 //
 // The process shuts down gracefully on SIGINT/SIGTERM: the listener stops,
-// in-flight requests get a drain window, and the solve workers finish
-// their current jobs before exit.
+// in-flight requests get a drain window (-drain), and the solve workers
+// get -drain-timeout to finish their current jobs; jobs still running
+// after that are abandoned and logged rather than allowed to block exit.
+//
+// The service degrades instead of dying under pressure: admission
+// control (-max-inflight/-admission-queue) sheds overload with 429 +
+// Retry-After, per-request deadlines (-request-timeout) bound handler
+// time, transient store failures are retried (-append-retries), and a
+// persistently failing store latches read-only mode (503 for writes,
+// /readyz not-ready) until a background probe sees the disk heal. See
+// internal/service/README.md, "Operating under failure".
+//
+// -fault-spec arms deterministic fault injection inside the durable
+// store's filesystem layer (internal/fault) — a chaos-testing hook for
+// rehearsing crash recovery and degraded mode; never set in production.
 package main
 
 import (
@@ -58,6 +71,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/service"
 )
 
@@ -82,26 +96,57 @@ func run() error {
 		maxGraphs   = flag.Int("max-graphs", 0, "graph-store capacity, least recently accessed evicted first (0 = default 64, negative = unlimited)")
 		maxVerGap   = flag.Int("max-version-gap", 0, "retained versions per graph and the largest append gap a cached labeling is fast-forwarded across before a full re-solve is required (0 = default 64)")
 		drain       = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		drainSolve  = flag.Duration("drain-timeout", 10*time.Second, "graceful-shutdown wait for in-flight solve jobs; jobs still running after it are abandoned and logged (0 = wait forever)")
 		pprofAddr   = flag.String("pprof", "", "expose net/http/pprof on this separate listener (e.g. localhost:6060); empty = disabled")
+		maxInflight = flag.Int("max-inflight", 0, "admission control: concurrent request cap (0 = default 256, negative = unlimited)")
+		admitQueue  = flag.Int("admission-queue", 0, "requests allowed to wait for an admission slot before shedding with 429 (0 = default max-inflight, negative = shed immediately)")
+		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 30s, negative = disabled)")
+		appendRetry = flag.Int("append-retries", 0, "retries with jittered backoff for transient store failures on the append path (0 = default 2, negative = none)")
+		faultSpec   = flag.String("fault-spec", "", "fault-injection spec for the storage filesystem, e.g. 'sync:wal.log#3=crash,write:snapshot.bin~0.01=eio' (testing only; requires -data-dir)")
+		faultSeed   = flag.Uint64("fault-seed", 1, "seed for probabilistic fault-injection rules")
 	)
 	flag.Parse()
 
+	var fs fault.FS
+	if *faultSpec != "" {
+		if *dataDir == "" {
+			return fmt.Errorf("-fault-spec requires -data-dir (faults are injected into the durable store)")
+		}
+		reg, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		if err != nil {
+			return fmt.Errorf("bad -fault-spec: %w", err)
+		}
+		reg.Logf = log.Printf
+		fs = fault.Inject(fault.OS{}, reg)
+		log.Printf("wccserve: FAULT INJECTION ARMED: %s (seed %d) — not for production", *faultSpec, *faultSeed)
+	}
+
 	svc, err := service.Open(service.Config{
-		JobWorkers:    *jobWorkers,
-		CacheEntries:  *cacheSize,
-		CacheShards:   *cacheShards,
-		JobHistory:    *jobHistory,
-		SimWorkers:    *simWorkers,
-		MaxVertices:   *maxVerts,
-		MaxEdges:      *maxEdges,
-		MaxGraphs:     *maxGraphs,
-		MaxVersionGap: *maxVerGap,
-		DataDir:       *dataDir,
+		JobWorkers:     *jobWorkers,
+		CacheEntries:   *cacheSize,
+		CacheShards:    *cacheShards,
+		JobHistory:     *jobHistory,
+		SimWorkers:     *simWorkers,
+		MaxVertices:    *maxVerts,
+		MaxEdges:       *maxEdges,
+		MaxGraphs:      *maxGraphs,
+		MaxVersionGap:  *maxVerGap,
+		DataDir:        *dataDir,
+		FS:             fs,
+		MaxInflight:    *maxInflight,
+		AdmissionQueue: *admitQueue,
+		RequestTimeout: *reqTimeout,
+		AppendRetries:  *appendRetry,
 	})
 	if err != nil {
 		return fmt.Errorf("open store: %w", err)
 	}
-	defer svc.Close()
+	closed := false
+	defer func() {
+		if !closed {
+			svc.Close()
+		}
+	}()
 	if *dataDir != "" {
 		log.Printf("wccserve: data dir %s: recovered %d graphs", *dataDir, svc.GraphCount())
 	}
@@ -161,6 +206,14 @@ func run() error {
 	}
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
+	}
+	// The listener is down; give in-flight solve jobs their own bounded
+	// window before closing the store. Whatever is still running after it
+	// is abandoned (its partial work discarded) so a wedged solve cannot
+	// hold the process hostage.
+	closed = true
+	if abandoned := svc.CloseTimeout(*drainSolve); len(abandoned) > 0 {
+		log.Printf("wccserve: abandoned %d unfinished solve jobs at shutdown: %v", len(abandoned), abandoned)
 	}
 	return nil
 }

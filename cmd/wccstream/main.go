@@ -46,6 +46,7 @@ import (
 
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/retry"
 )
 
 func main() {
@@ -80,6 +81,7 @@ func run() error {
 		grow    = flag.Bool("grow", false, "append with ?grow=1 (endpoints may extend the vertex set)")
 		pace    = flag.Bool("pace", false, "honor trace timestamps instead of replaying full speed")
 		verify  = flag.Bool("verify", false, "cross-check the final labeling against a fresh full solve")
+		retries = flag.Int("retries", 3, "retries per request for connection errors and 429/5xx responses (jittered backoff, honors Retry-After)")
 	)
 	flag.Parse()
 
@@ -109,7 +111,14 @@ func run() error {
 	if *addr == "" {
 		return fmt.Errorf("-addr is required (or -write-trace to record without a server)")
 	}
-	client := &streamClient{base: strings.TrimRight(*addr, "/"), http: &http.Client{Timeout: 5 * time.Minute}}
+	if *retries < 0 {
+		return fmt.Errorf("-retries must be non-negative")
+	}
+	client := &streamClient{
+		base:   strings.TrimRight(*addr, "/"),
+		http:   &http.Client{Timeout: 5 * time.Minute},
+		policy: retry.New(*retries+1, 10*time.Millisecond, time.Second, *traceSeed),
+	}
 
 	// Load the base graph and solve it once; every later answer is
 	// incremental maintenance of this labeling.
@@ -152,8 +161,8 @@ func run() error {
 		return err
 	}
 	fmt.Printf("streamed %d batches (%d edges) in %v\n", len(batchList), edgesSent, elapsed.Round(time.Millisecond))
-	fmt.Printf("sustained: %.1f batches/sec, %.0f edges/sec, %d interleaved queries\n",
-		float64(len(batchList))/elapsed.Seconds(), float64(edgesSent)/elapsed.Seconds(), queriesSent)
+	fmt.Printf("sustained: %.1f batches/sec, %.0f edges/sec, %d interleaved queries, %d retries\n",
+		float64(len(batchList))/elapsed.Seconds(), float64(edgesSent)/elapsed.Seconds(), queriesSent, client.retries)
 	fmt.Printf("final: version=%d n=%d m=%d components=%d\n", final.Version, final.N, final.M, final.Components)
 
 	if *verify {
@@ -335,38 +344,67 @@ func readTraceFile(path string, maxVertex int) ([][]graph.Edge, []time.Duration,
 }
 
 // streamClient is the minimal wccserve HTTP client the replay needs.
+// Byte-slice bodies (rather than io.Reader) are what make its retry
+// loop possible: every attempt replays the same bytes.
 type streamClient struct {
-	base string
-	http *http.Client
+	base    string
+	http    *http.Client
+	policy  *retry.Policy
+	retries int
 }
 
-func (c *streamClient) post(path, contentType string, body io.Reader, out any) error {
-	resp, err := c.http.Post(c.base+path, contentType, body)
+// do issues one logical request, retrying connection errors and
+// shed/transient statuses (429/502/503/504) with jittered backoff and a
+// Retry-After floor. A stream replayed through a briefly saturated or
+// degraded server waits out the pressure instead of dying mid-trace.
+func (c *streamClient) do(method, path, contentType string, body []byte, out any) error {
+	for attempt := 0; ; attempt++ {
+		retryable, floor, err := c.try(method, path, contentType, body, out)
+		if err == nil {
+			return nil
+		}
+		if !retryable || attempt+1 >= c.policy.Attempts {
+			return err
+		}
+		c.retries++
+		time.Sleep(c.policy.Delay(attempt, floor))
+	}
+}
+
+func (c *streamClient) try(method, path, contentType string, body []byte, out any) (retryable bool, floor time.Duration, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequest(method, c.base+path, rd)
 	if err != nil {
-		return err
+		return false, 0, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return true, 0, err // connection refused/reset: transient by nature
 	}
 	defer resp.Body.Close()
 	data, _ := io.ReadAll(resp.Body)
 	if resp.StatusCode >= 300 {
-		return fmt.Errorf("POST %s: %d %s", path, resp.StatusCode, bytes.TrimSpace(data))
+		return retry.RetryStatus(resp.StatusCode), retry.RetryAfter(resp.Header),
+			fmt.Errorf("%s %s: %d %s", method, path, resp.StatusCode, bytes.TrimSpace(data))
 	}
 	if out != nil {
-		return json.Unmarshal(data, out)
+		return false, 0, json.Unmarshal(data, out)
 	}
-	return nil
+	return false, 0, nil
+}
+
+func (c *streamClient) post(path, contentType string, body []byte, out any) error {
+	return c.do("POST", path, contentType, body, out)
 }
 
 func (c *streamClient) get(path string, out any) error {
-	resp, err := c.http.Get(c.base + path)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, _ := io.ReadAll(resp.Body)
-	if resp.StatusCode >= 300 {
-		return fmt.Errorf("GET %s: %d %s", path, resp.StatusCode, bytes.TrimSpace(data))
-	}
-	return json.Unmarshal(data, out)
+	return c.do("GET", path, "", nil, out)
 }
 
 func (c *streamClient) load(g *graph.Graph) (string, error) {
@@ -377,7 +415,7 @@ func (c *streamClient) load(g *graph.Graph) (string, error) {
 	var out struct {
 		ID string `json:"id"`
 	}
-	if err := c.post("/v1/graphs?name=wccstream", "text/plain", &buf, &out); err != nil {
+	if err := c.post("/v1/graphs?name=wccstream", "text/plain", buf.Bytes(), &out); err != nil {
 		return "", err
 	}
 	return out.ID, nil
@@ -392,7 +430,7 @@ func (c *streamClient) solve(id, algo string, version int) (components int, err 
 	var out struct {
 		Components int `json:"components"`
 	}
-	if err := c.post("/v1/solve", "application/json", bytes.NewReader(body), &out); err != nil {
+	if err := c.post("/v1/solve", "application/json", body, &out); err != nil {
 		return 0, err
 	}
 	return out.Components, nil
@@ -407,7 +445,7 @@ func (c *streamClient) append(id string, batch []graph.Edge, grow bool) error {
 	if grow {
 		path += "?grow=1"
 	}
-	return c.post(path, "text/plain", &buf, nil)
+	return c.post(path, "text/plain", buf.Bytes(), nil)
 }
 
 func (c *streamClient) sameComponent(id, algo string, u, v int) (bool, error) {

@@ -1,0 +1,166 @@
+package fault
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"syscall"
+	"testing"
+)
+
+func TestParseSpec(t *testing.T) {
+	reg, err := ParseSpec("sync:wal.log#3=enospc, write:wal.log~0.5=torn ,rename:snapshot.bin=crash", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(reg.rules); got != 3 {
+		t.Fatalf("parsed %d sites, want 3", got)
+	}
+	// The hit-indexed ENOSPC rule fires exactly on the third hit.
+	for i := 1; i <= 2; i++ {
+		if err := reg.Check("sync:wal.log"); err != nil {
+			t.Fatalf("hit %d: unexpected %v", i, err)
+		}
+	}
+	err = reg.Check("sync:wal.log")
+	if !errors.Is(err, ErrInjected) || !errors.Is(err, syscall.ENOSPC) {
+		t.Fatalf("hit 3: got %v, want injected ENOSPC", err)
+	}
+	if err := reg.Check("sync:wal.log"); err != nil {
+		t.Fatalf("hit 4: unexpected %v", err)
+	}
+
+	for _, bad := range []string{"noequals", "x#0=eio", "x~2=eio", "x=explode", "=eio"} {
+		if _, err := ParseSpec(bad, 1); err == nil {
+			t.Errorf("ParseSpec(%q) accepted", bad)
+		}
+	}
+}
+
+func TestCrashLatch(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.Add(Rule{Site: "rename:snapshot.bin", Kind: KindCrash})
+	if err := reg.Check("sync:wal.log"); err != nil {
+		t.Fatalf("pre-crash op failed: %v", err)
+	}
+	if err := reg.Check("rename:snapshot.bin"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("crash site: got %v", err)
+	}
+	// Everything after the crash fails, any site.
+	if err := reg.Check("sync:wal.log"); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-crash op: got %v", err)
+	}
+	if !reg.Crashed() {
+		t.Fatal("Crashed() = false after crash")
+	}
+	reg.Clear()
+	if err := reg.Check("sync:wal.log"); err != nil {
+		t.Fatalf("post-Clear op: %v", err)
+	}
+}
+
+func TestTornWrite(t *testing.T) {
+	reg := NewRegistry(1)
+	reg.Add(Rule{Site: "write:wal.log", Hit: 2, Kind: KindTorn})
+	dir := t.TempDir()
+	fs := Inject(OS{}, reg)
+	f, err := fs.OpenFile(filepath.Join(dir, "wal.log"), os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte("headerbyte")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := f.Write([]byte("0123456789"))
+	if !errors.Is(err, ErrCrash) {
+		t.Fatalf("torn write: got err=%v", err)
+	}
+	if n != 5 {
+		t.Fatalf("torn write landed %d bytes, want 5", n)
+	}
+	data, rerr := os.ReadFile(filepath.Join(dir, "wal.log"))
+	if rerr != nil {
+		t.Fatal(rerr)
+	}
+	if string(data) != "headerbyte01234" {
+		t.Fatalf("on-disk contents %q", data)
+	}
+}
+
+func TestDeterministicProbability(t *testing.T) {
+	fire := func(seed uint64) []bool {
+		reg := NewRegistry(seed)
+		reg.Add(Rule{Site: "s", Prob: 0.5, Kind: KindErr})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = reg.Check("s") != nil
+		}
+		return out
+	}
+	a, b := fire(7), fire(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	c := fire(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+}
+
+func TestEnumeration(t *testing.T) {
+	reg := NewRegistry(1)
+	for _, s := range []string{"a", "b", "a", "c", "b", "a"} {
+		reg.Check(s)
+	}
+	sites := reg.Sites()
+	if len(sites) != 3 || sites[0] != "a" || sites[1] != "b" || sites[2] != "c" {
+		t.Fatalf("Sites() = %v, want [a b c] in first-hit order", sites)
+	}
+	hits := reg.Hits()
+	if hits["a"] != 3 || hits["b"] != 2 || hits["c"] != 1 {
+		t.Fatalf("Hits() = %v", hits)
+	}
+}
+
+// TestInjectFSSites pins the site naming contract the store's crash
+// sweep enumerates: op:basename, create vs open by O_CREATE, renames
+// named by destination.
+func TestInjectFSSites(t *testing.T) {
+	reg := NewRegistry(1)
+	fsys := Inject(OS{}, reg)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_CREATE, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Write([]byte("x"))
+	f.Sync()
+	f.Close()
+	if _, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := fsys.Rename(path, filepath.Join(dir, "snapshot.bin")); err != nil {
+		t.Fatal(err)
+	}
+	fsys.SyncDir(dir)
+	want := []string{"create:wal.log", "write:wal.log", "sync:wal.log", "close:wal.log", "open:wal.log", "rename:snapshot.bin", "syncdir"}
+	got := reg.Sites()
+	if len(got) != len(want) {
+		t.Fatalf("Sites() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sites()[%d] = %q, want %q", i, got[i], want[i])
+		}
+	}
+}

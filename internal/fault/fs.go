@@ -1,0 +1,183 @@
+package fault
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// File is the writable-file surface the storage engine needs. os.File
+// satisfies it directly.
+type File interface {
+	Write(p []byte) (int, error)
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam internal/store.Disk runs on: exactly the
+// operations the snapshot+WAL layout performs, no more. OS is the
+// production implementation; Inject wraps any FS with failpoints.
+type FS interface {
+	MkdirAll(path string, perm fs.FileMode) error
+	ReadDir(path string) ([]os.DirEntry, error)
+	ReadFile(path string) ([]byte, error)
+	OpenFile(path string, flag int, perm fs.FileMode) (File, error)
+	Rename(oldpath, newpath string) error
+	Truncate(path string, size int64) error
+	Remove(path string) error
+	RemoveAll(path string) error
+	// SyncDir flushes directory metadata (renames, creates);
+	// best-effort on platforms where directories cannot be fsync'd.
+	SyncDir(path string) error
+}
+
+// OS is the passthrough FS over package os.
+type OS struct{}
+
+func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
+func (OS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
+func (OS) ReadFile(path string) ([]byte, error)         { return os.ReadFile(path) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Truncate(path string, size int64) error       { return os.Truncate(path, size) }
+func (OS) Remove(path string) error                     { return os.Remove(path) }
+func (OS) RemoveAll(path string) error                  { return os.RemoveAll(path) }
+
+func (OS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	return os.OpenFile(path, flag, perm)
+}
+
+func (OS) SyncDir(path string) error {
+	d, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// Inject wraps base so that every operation first consults reg under a
+// site named "<op>:<base filename>" — open/create/write/sync/close/
+// rename/truncate/remove/removeall/mkdir/readfile/readdir, plus the
+// literal site "syncdir" (directory names carry per-graph IDs, which
+// would make sweep enumeration nondeterministic). Creating opens
+// (O_CREATE set) report as "create:"; reopens as "open:". Renames are
+// named by their destination — the file whose identity the rename
+// commits.
+func Inject(base FS, reg *Registry) FS {
+	return &injectFS{base: base, reg: reg}
+}
+
+type injectFS struct {
+	base FS
+	reg  *Registry
+}
+
+func site(op, path string) string { return op + ":" + filepath.Base(path) }
+
+func (f *injectFS) MkdirAll(path string, perm fs.FileMode) error {
+	if err := f.reg.Check(site("mkdir", path)); err != nil {
+		return err
+	}
+	return f.base.MkdirAll(path, perm)
+}
+
+func (f *injectFS) ReadDir(path string) ([]os.DirEntry, error) {
+	if err := f.reg.Check(site("readdir", path)); err != nil {
+		return nil, err
+	}
+	return f.base.ReadDir(path)
+}
+
+func (f *injectFS) ReadFile(path string) ([]byte, error) {
+	if err := f.reg.Check(site("readfile", path)); err != nil {
+		return nil, err
+	}
+	return f.base.ReadFile(path)
+}
+
+func (f *injectFS) OpenFile(path string, flag int, perm fs.FileMode) (File, error) {
+	op := "open"
+	if flag&os.O_CREATE != 0 {
+		op = "create"
+	}
+	if err := f.reg.Check(site(op, path)); err != nil {
+		return nil, err
+	}
+	file, err := f.base.OpenFile(path, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &injectFile{file: file, reg: f.reg, name: filepath.Base(path)}, nil
+}
+
+func (f *injectFS) Rename(oldpath, newpath string) error {
+	if err := f.reg.Check(site("rename", newpath)); err != nil {
+		return err
+	}
+	return f.base.Rename(oldpath, newpath)
+}
+
+func (f *injectFS) Truncate(path string, size int64) error {
+	if err := f.reg.Check(site("truncate", path)); err != nil {
+		return err
+	}
+	return f.base.Truncate(path, size)
+}
+
+func (f *injectFS) Remove(path string) error {
+	if err := f.reg.Check(site("remove", path)); err != nil {
+		return err
+	}
+	return f.base.Remove(path)
+}
+
+func (f *injectFS) RemoveAll(path string) error {
+	if err := f.reg.Check(site("removeall", path)); err != nil {
+		return err
+	}
+	return f.base.RemoveAll(path)
+}
+
+func (f *injectFS) SyncDir(path string) error {
+	if err := f.reg.Check("syncdir"); err != nil {
+		return err
+	}
+	return f.base.SyncDir(path)
+}
+
+// injectFile threads write/sync/close through the registry. A torn
+// write really lands its prefix in the underlying file before the
+// error surfaces — recovery code sees exactly what a crashed process
+// would have left behind.
+type injectFile struct {
+	file File
+	reg  *Registry
+	name string
+}
+
+func (f *injectFile) Write(p []byte) (int, error) {
+	allow, ferr := f.reg.CheckWrite("write:"+f.name, len(p))
+	if allow == 0 && ferr != nil {
+		return 0, ferr
+	}
+	n, err := f.file.Write(p[:allow])
+	if err != nil {
+		return n, err
+	}
+	return n, ferr
+}
+
+func (f *injectFile) Sync() error {
+	if err := f.reg.Check("sync:" + f.name); err != nil {
+		return err
+	}
+	return f.file.Sync()
+}
+
+func (f *injectFile) Close() error {
+	if err := f.reg.Check("close:" + f.name); err != nil {
+		f.file.Close() // release the descriptor either way
+		return err
+	}
+	return f.file.Close()
+}

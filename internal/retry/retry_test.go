@@ -1,0 +1,82 @@
+package retry
+
+import (
+	"errors"
+	"net/http"
+	"testing"
+	"time"
+)
+
+func TestDelayBoundsAndDeterminism(t *testing.T) {
+	p := New(5, 2*time.Millisecond, 50*time.Millisecond, 7)
+	q := New(5, 2*time.Millisecond, 50*time.Millisecond, 7)
+	for i := 0; i < 20; i++ {
+		d, e := p.Delay(i, 0), q.Delay(i, 0)
+		if d != e {
+			t.Fatalf("same seed diverged at attempt %d: %v vs %v", i, d, e)
+		}
+		ceil := 2 * time.Millisecond << uint(i)
+		if ceil > 50*time.Millisecond || ceil <= 0 {
+			ceil = 50 * time.Millisecond
+		}
+		if d < 0 || d > ceil {
+			t.Fatalf("Delay(%d) = %v outside [0,%v]", i, d, ceil)
+		}
+	}
+	if d := p.Delay(0, time.Second); d != time.Second {
+		t.Fatalf("Retry-After floor not honored: %v", d)
+	}
+}
+
+func TestDo(t *testing.T) {
+	p := New(3, time.Microsecond, time.Microsecond, 1)
+	calls := 0
+	retries, err := p.Do(func() error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	}, nil)
+	if err != nil || retries != 2 || calls != 3 {
+		t.Fatalf("Do: retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	perm := errors.New("permanent")
+	calls = 0
+	retries, err = p.Do(func() error { calls++; return perm }, func(err error) bool { return false })
+	if !errors.Is(err, perm) || retries != 0 || calls != 1 {
+		t.Fatalf("non-transient retried: retries=%d calls=%d err=%v", retries, calls, err)
+	}
+
+	calls = 0
+	_, err = p.Do(func() error { calls++; return perm }, nil)
+	if !errors.Is(err, perm) || calls != 3 {
+		t.Fatalf("attempts not exhausted: calls=%d err=%v", calls, err)
+	}
+}
+
+func TestHTTPHelpers(t *testing.T) {
+	for _, code := range []int{429, 502, 503, 504} {
+		if !RetryStatus(code) {
+			t.Errorf("RetryStatus(%d) = false", code)
+		}
+	}
+	for _, code := range []int{200, 400, 404, 409, 500} {
+		if RetryStatus(code) {
+			t.Errorf("RetryStatus(%d) = true", code)
+		}
+	}
+	h := http.Header{}
+	if RetryAfter(h) != 0 {
+		t.Error("absent header should be 0")
+	}
+	h.Set("Retry-After", "2")
+	if RetryAfter(h) != 2*time.Second {
+		t.Error("delta-seconds not parsed")
+	}
+	h.Set("Retry-After", "garbage")
+	if RetryAfter(h) != 0 {
+		t.Error("malformed header should be 0")
+	}
+}

@@ -19,7 +19,8 @@ import (
 // NewHandler exposes a Service over HTTP+JSON. Routes (all responses are
 // JSON objects; errors are {"error": "..."} with a 4xx/5xx status):
 //
-//	GET  /healthz                     liveness probe
+//	GET  /healthz                     liveness probe (200 while the process serves)
+//	GET  /readyz                      readiness probe (503 while degraded or draining)
 //	POST /v1/graphs?name=N            body = edge-list text; stores the graph
 //	POST /v1/graphs/generate          {"family","n","d","sizes","seed","name"}
 //	GET  /v1/graphs                   list stored graphs
@@ -50,11 +51,15 @@ import (
 // The single-query and batch endpoints encode their responses with
 // pooled buffers and direct byte appends (no reflection, no per-request
 // encoder), and every response carries Content-Length.
+//
+// Every /v1 request passes through the failure boundary in
+// middleware.go: panic recovery (a handler panic is a logged 500, never
+// a dropped connection), admission control (MaxInflight concurrent
+// requests, a bounded wait queue, 429 + Retry-After beyond it), and a
+// per-request deadline. The health probes sit outside admission so
+// orchestrators get answers even from a saturated server.
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{"ok": true})
-	})
 	mux.HandleFunc("POST /v1/graphs", s.handleLoad)
 	mux.HandleFunc("POST /v1/graphs/generate", s.handleGenerate)
 	mux.HandleFunc("GET /v1/graphs", s.handleListGraphs)
@@ -72,7 +77,13 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, map[string]any{"algorithms": algo.Names()})
 	})
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
-	return mux
+
+	api := s.admit(s.withDeadline(mux))
+	outer := http.NewServeMux()
+	outer.HandleFunc("GET /healthz", s.handleHealthz)
+	outer.HandleFunc("GET /readyz", s.handleReadyz)
+	outer.Handle("/", api)
+	return s.recoverPanics(outer)
 }
 
 // bufPool recycles response buffers across requests so the hot query
@@ -121,6 +132,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	// Every shed or unavailable response carries Retry-After, so polite
+	// clients (wccload, wccstream, anything honoring RFC 9110 §10.2.3)
+	// back off instead of hammering an overloaded or degraded server.
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", "1")
+	}
 	writeJSON(w, status, map[string]any{"error": err.Error()})
 }
 
@@ -186,7 +203,7 @@ func (s *Service) handleLoad(w http.ResponseWriter, r *http.Request) {
 	// "request body too large" instead of a misleading parse error.
 	sg, err := s.Load(r.URL.Query().Get("name"), http.MaxBytesReader(w, r.Body, 256<<20))
 	if err != nil {
-		status := http.StatusBadRequest
+		status := statusFor(err) // 503 while degraded, 400 otherwise
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			status = http.StatusRequestEntityTooLarge
@@ -692,6 +709,11 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		hitRatio = float64(c.CacheHits) / float64(looked)
 	}
 	cachedLabelings := s.CachedLabelings()
+	degraded, degradedCause := s.Degraded()
+	inflight := 0
+	if s.slots != nil {
+		inflight = len(s.slots)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"graphsLoaded":      c.GraphsLoaded,
 		"graphsGenerated":   c.GraphsGenerated,
@@ -717,17 +739,35 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			"capacity": s.cache.capacity(),
 			"shards":   s.CacheShardOccupancy(),
 		},
+		// The failure model's runtime state: whether the service is in
+		// degraded read-only mode (and why), plus the resilience counters
+		// — recovered panics, shed requests, retried store writes — and
+		// the live admission occupancy.
+		"failure": map[string]any{
+			"degraded":          degraded,
+			"degradedCause":     degradedCause,
+			"degradedEvents":    c.DegradedEvents,
+			"panicsRecovered":   c.PanicsRecovered,
+			"admissionRejected": c.AdmissionRejected,
+			"storeRetries":      c.StoreRetries,
+			"inflight":          inflight,
+			"queued":            s.queued.Load(),
+		},
 		// The active limits (post-default), so operators can read the
 		// effective policy off a running server instead of its flags.
 		"limits": map[string]any{
-			"maxVertices":   cfg.MaxVertices,
-			"maxEdges":      cfg.MaxEdges,
-			"maxGraphs":     cfg.MaxGraphs,
-			"cacheEntries":  s.cache.capacity(),
-			"jobHistory":    cfg.JobHistory,
-			"maxVersionGap": cfg.MaxVersionGap,
-			"queueDepth":    cfg.QueueDepth,
-			"jobWorkers":    cfg.JobWorkers,
+			"maxVertices":    cfg.MaxVertices,
+			"maxEdges":       cfg.MaxEdges,
+			"maxGraphs":      cfg.MaxGraphs,
+			"cacheEntries":   s.cache.capacity(),
+			"jobHistory":     cfg.JobHistory,
+			"maxVersionGap":  cfg.MaxVersionGap,
+			"queueDepth":     cfg.QueueDepth,
+			"jobWorkers":     cfg.JobWorkers,
+			"maxInflight":    cfg.MaxInflight,
+			"admissionQueue": cfg.AdmissionQueue,
+			"requestTimeout": cfg.RequestTimeout.String(),
+			"appendRetries":  cfg.AppendRetries,
 		},
 		"durable": cfg.DataDir != "",
 	})

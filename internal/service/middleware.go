@@ -1,0 +1,155 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime/debug"
+	"time"
+)
+
+// This file is the failure boundary of the HTTP layer: every request
+// passes through panic recovery, admission control, and a deadline
+// before reaching a handler. The ordering (recovery outermost, then the
+// health probes, then admission, then the deadline) is deliberate —
+// /healthz and /readyz must answer even when the service is saturated,
+// and a panic anywhere below must never escape to net/http's
+// connection-killing default.
+
+// statusRecorder tracks whether a handler already started its response,
+// so the panic-recovery middleware knows whether a clean 500 can still
+// be written or the connection is beyond saving.
+type statusRecorder struct {
+	http.ResponseWriter
+	wrote bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.wrote = true
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Write(b []byte) (int, error) {
+	r.wrote = true
+	return r.ResponseWriter.Write(b)
+}
+
+// recoverPanics converts a handler panic into a logged 500 instead of
+// letting net/http tear down the connection (and, under some servers,
+// the error-log spam that hides the actual stack). http.ErrAbortHandler
+// passes through — it is the sanctioned way to abort a response and
+// recovering it would break reverse proxies relying on the abort.
+func (s *Service) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w}
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.counters.panicsRecovered.Add(1)
+			s.cfg.Logf("service: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, v, debug.Stack())
+			if !rec.wrote {
+				writeError(rec, http.StatusInternalServerError, fmt.Errorf("internal error (panic recovered; see server log)"))
+			}
+		}()
+		next.ServeHTTP(rec, r)
+	})
+}
+
+// admit is the admission controller: at most MaxInflight requests
+// execute handlers concurrently, at most AdmissionQueue more wait (up
+// to QueueWait) for a slot, and everything beyond that is shed
+// immediately with 429 + Retry-After. The two bounds are what keep an
+// overload storm from translating into unbounded concurrent handler
+// work: excess requests spend their goroutine on one channel select and
+// a tiny error write, never on parsing, solving, or locking.
+func (s *Service) admit(next http.Handler) http.Handler {
+	if s.slots == nil {
+		return next // MaxInflight < 0: admission disabled
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.slots <- struct{}{}:
+		default:
+			// Saturated: join the bounded wait queue or shed. The counter
+			// is incremented optimistically and rolled back on rejection,
+			// so the queue bound holds under concurrent arrivals.
+			if int64(s.cfg.AdmissionQueue) < s.queued.Add(1) {
+				s.queued.Add(-1)
+				s.reject(w)
+				return
+			}
+			t := time.NewTimer(s.cfg.QueueWait)
+			select {
+			case s.slots <- struct{}{}:
+				t.Stop()
+				s.queued.Add(-1)
+			case <-t.C:
+				s.queued.Add(-1)
+				s.reject(w)
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				s.queued.Add(-1)
+				return // client gone; nothing to answer
+			}
+		}
+		defer func() { <-s.slots }()
+		next.ServeHTTP(w, r)
+	})
+}
+
+// reject sheds one request with 429 + Retry-After (set by writeError).
+func (s *Service) reject(w http.ResponseWriter) {
+	s.counters.admissionRejected.Add(1)
+	writeError(w, http.StatusTooManyRequests,
+		fmt.Errorf("service: %d requests in flight and %d queued; retry after backoff", s.cfg.MaxInflight, s.cfg.AdmissionQueue))
+}
+
+// withDeadline bounds each admitted request with a context deadline.
+// Handlers that wait on jobs (solve with wait=true) honor it through
+// r.Context(); a solve already running is not cancelable — the deadline
+// releases the handler and its admission slot, and the job stays
+// pollable via /v1/jobs/{id}.
+func (s *Service) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		next.ServeHTTP(w, r.WithContext(ctx))
+	})
+}
+
+// handleHealthz is the liveness probe: the process is up and serving.
+// It stays 200 while draining or degraded — restarting a process that
+// is shedding load correctly would make the overload worse.
+func (s *Service) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"ok": true})
+}
+
+// handleReadyz is the readiness probe: 200 only when the service
+// accepts the full API, 503 while degraded (read-only) or draining, so
+// load balancers steer writes elsewhere until recovery completes.
+func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if deg, cause := s.Degraded(); deg {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "degraded": true, "cause": cause,
+		})
+		return
+	}
+	select {
+	case <-s.draining:
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+			"ready": false, "draining": true,
+		})
+		return
+	default:
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
+}

@@ -37,14 +37,18 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/algo"
 	"repro/internal/dynamic"
+	"repro/internal/fault"
 	"repro/internal/gen"
 	"repro/internal/graph"
+	"repro/internal/retry"
 	"repro/internal/store"
 )
 
@@ -58,6 +62,16 @@ var ErrNotFound = errors.New("not found")
 // queue or a shutdown in progress. The HTTP layer maps it to 503 so
 // clients retry instead of treating overload as a permanent 4xx.
 var ErrUnavailable = errors.New("service unavailable")
+
+// ErrDegraded marks mutations rejected while the service is in degraded
+// read-only mode: the storage engine reported a persistent write
+// failure, so appends and loads are refused while the query path keeps
+// answering from cache. It wraps ErrUnavailable, so the HTTP layer's
+// 503 mapping (and clients' retry logic) applies unchanged; /readyz and
+// /v1/stats surface the cause. The background probe loop (or an
+// explicit TryRecover) lifts the mode once the store accepts durable
+// writes again.
+var ErrDegraded = fmt.Errorf("%w: store degraded (read-only)", ErrUnavailable)
 
 // Config sizes a Service. The zero value selects the defaults.
 type Config struct {
@@ -106,6 +120,39 @@ type Config struct {
 	// digest-verified and replayed on Open (see internal/store). Empty
 	// selects the in-memory backend — nothing survives a restart.
 	DataDir string
+	// FS is the filesystem seam handed to the durable store (nil = the
+	// real filesystem). wccserve -fault-spec and the chaos tests pass a
+	// fault.Inject-wrapped one; see internal/fault.
+	FS fault.FS
+	// RequestTimeout bounds each HTTP request's handler time via a
+	// context deadline (default 30s; negative disables). Handlers that
+	// wait (solve with wait=true) honor it; a running solve itself is
+	// not cancelable — the deadline releases the handler, the job stays
+	// pollable.
+	RequestTimeout time.Duration
+	// MaxInflight bounds concurrently admitted HTTP requests (default
+	// 256; negative = unlimited). Requests beyond it join a bounded wait
+	// queue instead of piling onto the handlers.
+	MaxInflight int
+	// AdmissionQueue bounds how many requests may wait for an admission
+	// slot; past it requests are shed immediately with 429 + Retry-After
+	// (default: MaxInflight; negative = no waiting, shed on saturation).
+	AdmissionQueue int
+	// QueueWait is how long a queued request waits for a slot before
+	// being shed with 429 (default 100ms).
+	QueueWait time.Duration
+	// AppendRetries is how many times the append path retries a
+	// transient storage failure (with jittered backoff) before giving up
+	// and entering degraded read-only mode (default 2; negative = no
+	// retries).
+	AppendRetries int
+	// ProbeInterval is how often the background loop probes a degraded
+	// store for recovery (default 1s; negative disables the loop — tests
+	// drive recovery via TryRecover).
+	ProbeInterval time.Duration
+	// Logf sinks operational log lines — panics recovered, degraded-mode
+	// transitions, drain-deadline abandonments (default log.Printf).
+	Logf func(format string, args ...any)
 }
 
 func (c Config) withDefaults() Config {
@@ -133,6 +180,27 @@ func (c Config) withDefaults() Config {
 	if c.MaxVersionGap <= 0 {
 		c.MaxVersionGap = 64
 	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 256
+	}
+	if c.AdmissionQueue == 0 {
+		c.AdmissionQueue = c.MaxInflight
+	}
+	if c.QueueWait <= 0 {
+		c.QueueWait = 100 * time.Millisecond
+	}
+	if c.AppendRetries == 0 {
+		c.AppendRetries = 2
+	}
+	if c.ProbeInterval == 0 {
+		c.ProbeInterval = time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = log.Printf
+	}
 	return c
 }
 
@@ -141,6 +209,7 @@ func (c Config) storeConfig() store.Config {
 	return store.Config{
 		MaxGraphs:      c.MaxGraphs,
 		RetainVersions: c.MaxVersionGap + 1,
+		FS:             c.FS,
 	}
 }
 
@@ -227,6 +296,14 @@ type Counters struct {
 	EdgeBatches       int64
 	EdgesAppended     int64
 	IncrementalMerges int64
+	// PanicsRecovered counts handler panics the recovery middleware
+	// turned into 500s; AdmissionRejected counts requests shed with 429;
+	// StoreRetries counts transient storage failures the append path
+	// retried; DegradedEvents counts entries into read-only mode.
+	PanicsRecovered   int64
+	AdmissionRejected int64
+	StoreRetries      int64
+	DegradedEvents    int64
 }
 
 // canonEntry memoizes algo.CanonicalOptions for one registered
@@ -308,6 +385,23 @@ type Service struct {
 	draining  chan struct{}
 	drainOnce sync.Once
 
+	// appendRetry is the shared backoff policy for transient storage
+	// failures on the append path (Config.AppendRetries).
+	appendRetry *retry.Policy
+	// slots is the admission semaphore: one token per concurrently
+	// admitted HTTP request, nil when MaxInflight < 0. queued counts
+	// requests waiting for a token (bounded by Config.AdmissionQueue).
+	slots  chan struct{}
+	queued atomic.Int64
+	// degraded is the read-only latch: set by a persistent storage write
+	// failure, cleared when a store probe succeeds. degradedCause (under
+	// degradedMu) is the operator-facing reason.
+	degraded      atomic.Bool
+	degradedMu    sync.Mutex
+	degradedCause string
+	probeDone     chan struct{}
+	probeWG       sync.WaitGroup
+
 	counters struct {
 		graphsLoaded, graphsGenerated    atomic.Int64
 		solves, cacheHits, cacheMisses   atomic.Int64
@@ -315,6 +409,9 @@ type Service struct {
 		jobsFailed, batchQueries         atomic.Int64
 		edgeBatches, edgesAppended       atomic.Int64
 		incrementalMerges                atomic.Int64
+		panicsRecovered, storeRetries    atomic.Int64
+		admissionRejected                atomic.Int64
+		degradedEvents                   atomic.Int64
 	}
 }
 
@@ -342,12 +439,40 @@ func Open(cfg Config) (*Service, error) {
 		jobs:     make(map[string]*Job),
 		queue:    make(chan *Job, cfg.QueueDepth),
 		draining: make(chan struct{}),
+		// Seeded, so a test run's retry timing is reproducible; the exact
+		// delays only matter under injected faults anyway.
+		appendRetry: retry.New(cfg.AppendRetries+1, 5*time.Millisecond, 250*time.Millisecond, 0x5eed),
+		probeDone:   make(chan struct{}),
+	}
+	if cfg.MaxInflight > 0 {
+		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
 	for i := 0; i < cfg.JobWorkers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if cfg.ProbeInterval > 0 {
+		s.probeWG.Add(1)
+		go s.probeLoop()
+	}
 	return s, nil
+}
+
+// probeLoop polls the store while the service is degraded so read-only
+// mode lifts itself once the underlying failure clears — no operator
+// intervention, no restart. When healthy each tick is one atomic load.
+func (s *Service) probeLoop() {
+	defer s.probeWG.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.TryRecover()
+		case <-s.probeDone:
+			return
+		}
+	}
 }
 
 // New is Open for the in-memory backend, which cannot fail. It panics if
@@ -365,15 +490,113 @@ func New(cfg Config) *Service {
 // concurrently with Submit (Submit synchronizes on the same mutex before
 // touching the queue).
 func (s *Service) Close() {
+	s.CloseTimeout(0)
+}
+
+// CloseTimeout is Close with a drain deadline: it stops accepting jobs,
+// waits up to d for the in-flight solve jobs to finish (d <= 0 waits
+// indefinitely), and returns the IDs of jobs still unfinished when the
+// deadline passed, oldest first. Abandoned jobs keep running on their
+// worker goroutines against a store that is closing underneath them —
+// they terminate promptly as failed jobs rather than blocking shutdown,
+// which is the contract wccserve's -drain-timeout wants: a wedged solve
+// must not hold the process hostage, and the operator hears exactly
+// which jobs were cut loose.
+func (s *Service) CloseTimeout(d time.Duration) []string {
 	s.StartDrain()
 	if s.closed.Swap(true) {
-		return
+		return nil
 	}
 	s.mu.Lock()
 	close(s.queue)
 	s.mu.Unlock()
-	s.wg.Wait()
+	close(s.probeDone)
+	s.probeWG.Wait()
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	var abandoned []string
+	if d <= 0 {
+		<-workersDone
+	} else {
+		select {
+		case <-workersDone:
+		case <-time.After(d):
+			abandoned = s.unfinishedJobs()
+			s.cfg.Logf("service: drain deadline %v passed with %d jobs unfinished: %v", d, len(abandoned), abandoned)
+		}
+	}
 	s.st.Close()
+	return abandoned
+}
+
+// unfinishedJobs lists jobs not yet in a terminal state, oldest first.
+func (s *Service) unfinishedJobs() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var ids []string
+	for id, j := range s.jobs {
+		if snap := j.Snapshot(); snap.Status == JobQueued || snap.Status == JobRunning {
+			ids = append(ids, id)
+		}
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// enterDegraded latches the service into degraded read-only mode after
+// a persistent storage write failure: mutating operations fail fast
+// with ErrDegraded (a 503 over HTTP) while the zero-allocation query
+// path keeps answering from cache. The probe loop lifts the latch once
+// the store accepts durable writes again.
+func (s *Service) enterDegraded(cause error) {
+	s.degradedMu.Lock()
+	s.degradedCause = cause.Error()
+	s.degradedMu.Unlock()
+	if !s.degraded.Swap(true) {
+		s.counters.degradedEvents.Add(1)
+		s.cfg.Logf("service: entering degraded read-only mode: %v", cause)
+	}
+}
+
+// Degraded reports whether the service is in degraded read-only mode,
+// and the failure that latched it.
+func (s *Service) Degraded() (bool, string) {
+	if !s.degraded.Load() {
+		return false, ""
+	}
+	s.degradedMu.Lock()
+	defer s.degradedMu.Unlock()
+	return true, s.degradedCause
+}
+
+// TryRecover probes the store and lifts degraded mode if the probe
+// succeeds, reporting whether the service accepts mutations afterwards.
+// The background probe loop calls it every ProbeInterval; tests call it
+// directly for deterministic recovery.
+func (s *Service) TryRecover() bool {
+	if !s.degraded.Load() {
+		return true
+	}
+	if err := s.st.Probe(); err != nil {
+		return false
+	}
+	s.degraded.Store(false)
+	s.cfg.Logf("service: store probe succeeded; leaving degraded read-only mode")
+	return true
+}
+
+// writable gates mutating operations on the degraded latch.
+func (s *Service) writable() error {
+	if s.degraded.Load() {
+		s.degradedMu.Lock()
+		cause := s.degradedCause
+		s.degradedMu.Unlock()
+		return fmt.Errorf("%w (cause: %s)", ErrDegraded, cause)
+	}
+	return nil
 }
 
 // StartDrain signals shutdown intent without stopping the workers:
@@ -401,6 +624,10 @@ func (s *Service) Counters() Counters {
 		EdgeBatches:       s.counters.edgeBatches.Load(),
 		EdgesAppended:     s.counters.edgesAppended.Load(),
 		IncrementalMerges: s.counters.incrementalMerges.Load(),
+		PanicsRecovered:   s.counters.panicsRecovered.Load(),
+		AdmissionRejected: s.counters.admissionRejected.Load(),
+		StoreRetries:      s.counters.storeRetries.Load(),
+		DegradedEvents:    s.counters.degradedEvents.Load(),
 	}
 }
 
@@ -566,6 +793,12 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 	if sg, ok, err := s.dedupe(id, digest); ok || err != nil {
 		return sg, err
 	}
+	// The degraded gate sits after dedupe: re-loading a graph the store
+	// already holds performs no write, so it stays allowed in read-only
+	// mode (idempotent loads are how clients re-resolve IDs).
+	if err := s.writable(); err != nil {
+		return nil, err
+	}
 	// The Put — a snapshot write plus fsyncs on the durable backend —
 	// runs outside s.mu so concurrent queries never stall behind a load.
 	// Two racing loads of the same content are resolved below: the loser
@@ -579,7 +812,11 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 		if sg, ok, derr := s.dedupe(id, digest); ok || derr != nil {
 			return sg, derr // a concurrent load won the Put race
 		}
-		return nil, err
+		// Not a lost race: the storage engine failed a durable write.
+		// Latch read-only mode so subsequent mutations fail fast; the
+		// probe loop lifts it once the store writes again.
+		s.enterDegraded(fmt.Errorf("store put %s: %w", id, err))
+		return nil, fmt.Errorf("%w: %w", ErrDegraded, err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/dynamic"
@@ -176,6 +177,9 @@ func (sg *StoredGraph) ensureEngineLocked(latest VersionInfo) error {
 // place (an incremental merge), so the O(1) query path keeps answering
 // without a re-solve.
 func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo, error) {
+	if err := s.writable(); err != nil {
+		return VersionInfo{}, err
+	}
 	sg, err := s.Graph(id)
 	if err != nil {
 		return VersionInfo{}, err
@@ -229,11 +233,33 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		Merges:     merges,
 		Components: sg.eng.Components(),
 	}
-	if err := s.st.Append(id, batch, info); err != nil {
+	// Transient storage failures (a flaky fsync, a momentary ENOSPC) are
+	// retried with jittered backoff before the append is failed: the
+	// store rolls a failed record back to the last verified WAL length,
+	// which is what makes the retry safe — the record can never land
+	// behind its own torn first attempt. A missing graph is not
+	// transient; retrying it would only stall the 404.
+	retries, err := s.appendRetry.Do(
+		func() error { return s.st.Append(id, batch, info) },
+		func(err error) bool { return !errors.Is(err, store.ErrNotFound) },
+	)
+	if retries > 0 {
+		s.counters.storeRetries.Add(int64(retries))
+	}
+	if err != nil {
 		// The engine ran ahead of the (not-)stored batch; drop it so the
 		// next append reseeds from the store's actual state.
 		sg.eng = nil
 		sg.mu.Unlock()
+		if !errors.Is(err, store.ErrNotFound) {
+			// Retries exhausted on a write failure: the store cannot
+			// currently persist, so stop accepting mutations instead of
+			// burning every future request through the same retry storm.
+			// The triggering request reports the same 503 every later
+			// write will see, not a misleading client error.
+			s.enterDegraded(fmt.Errorf("store append %s: %w", id, err))
+			return VersionInfo{}, fmt.Errorf("%w: %w", ErrDegraded, err)
+		}
 		return VersionInfo{}, err
 	}
 	// Eagerly fast-forward the previous version's cached labelings so

@@ -5,6 +5,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"log"
 	"os"
@@ -12,6 +13,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -33,7 +35,23 @@ const (
 	walMagic  = "WCCWAL1\n"
 	snapFile  = "snapshot.bin"
 	walFile   = "wal.log"
+	probeFile = ".probe"
 )
+
+// walState pairs a graph's open WAL handle with the byte length of its
+// verified prefix. The length is what makes a failed Append safe to
+// retry: the record is rolled back (truncate to size) before the error
+// surfaces, so a retried append can never land behind a torn record —
+// which replay would otherwise truncate away, losing an acknowledged
+// write.
+type walState struct {
+	f    fault.File
+	size int64
+	// dirty marks a WAL whose failed append could not be rolled back
+	// (the truncate itself failed): its on-disk tail is unknown, so
+	// further appends are refused until a reopen re-verifies the file.
+	dirty bool
+}
 
 // snapMeta is the JSON metadata block of a snapshot file.
 type snapMeta struct {
@@ -49,10 +67,15 @@ type snapMeta struct {
 type Disk struct {
 	dir string
 	cfg Config
+	// fs is the filesystem seam every durable operation goes through
+	// (Config.FS; the real OS by default). Chaos tests and wccserve
+	// -fault-spec swap in a fault-injected one — the failure model in
+	// README.md is proven against the sites this seam names.
+	fs fault.FS
 
 	mu     sync.Mutex
 	t      *table
-	wals   map[string]*os.File
+	wals   map[string]*walState
 	seq    int64
 	closed bool
 
@@ -67,18 +90,20 @@ type Disk struct {
 // mismatch is a hard error — the store refuses to serve state it
 // cannot vouch for.
 func Open(dir string, cfg Config) (*Disk, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, err
-	}
+	cfg = cfg.withDefaults()
 	s := &Disk{
 		dir:       dir,
-		cfg:       cfg.withDefaults(),
+		cfg:       cfg,
+		fs:        cfg.FS,
 		t:         newTable(),
-		wals:      make(map[string]*os.File),
+		wals:      make(map[string]*walState),
 		compactCh: make(chan string, 64),
 		done:      make(chan struct{}),
 	}
-	entries, err := os.ReadDir(dir)
+	if err := s.fs.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	entries, err := s.fs.ReadDir(dir)
 	if err != nil {
 		return nil, err
 	}
@@ -89,6 +114,15 @@ func Open(dir string, cfg Config) (*Disk, error) {
 		}
 		rec, wal, err := s.load(ent.Name())
 		if err != nil {
+			if errors.Is(err, os.ErrNotExist) {
+				// A crash between graph-directory creation and the
+				// snapshot rename leaves a directory with no snapshot:
+				// nothing in it was ever acknowledged (Put acks only after
+				// the rename), so sweep the husk instead of refusing to
+				// open the whole store. TestCrashPointSweep hits this.
+				s.fs.RemoveAll(filepath.Join(dir, ent.Name()))
+				continue
+			}
 			return nil, fmt.Errorf("store: graph %s: %w", ent.Name(), err)
 		}
 		recs = append(recs, rec)
@@ -114,9 +148,9 @@ func Open(dir string, cfg Config) (*Disk, error) {
 }
 
 // load reads one graph directory: snapshot, then WAL replay.
-func (s *Disk) load(id string) (*record, *os.File, error) {
+func (s *Disk) load(id string) (*record, *walState, error) {
 	gdir := filepath.Join(s.dir, id)
-	data, err := os.ReadFile(filepath.Join(gdir, snapFile))
+	data, err := s.fs.ReadFile(filepath.Join(gdir, snapFile))
 	if err != nil {
 		return nil, nil, fmt.Errorf("snapshot: %w", err)
 	}
@@ -165,10 +199,10 @@ func (s *Disk) load(id string) (*record, *os.File, error) {
 }
 
 // replayWAL reads the graph's WAL into rec, truncating a torn tail, and
-// returns the file reopened for appending.
-func (s *Disk) replayWAL(gdir string, rec *record) (*os.File, error) {
+// returns the file reopened for appending along with its verified length.
+func (s *Disk) replayWAL(gdir string, rec *record) (*walState, error) {
 	path := filepath.Join(gdir, walFile)
-	data, err := os.ReadFile(path)
+	data, err := s.fs.ReadFile(path)
 	if os.IsNotExist(err) {
 		// Crash between snapshot write and WAL creation in Put: the
 		// graph exists with no appends yet.
@@ -217,24 +251,25 @@ func (s *Disk) replayWAL(gdir string, rec *record) (*os.File, error) {
 		if err := s.writeWALHeader(path); err != nil {
 			return nil, err
 		}
+		good = len(walMagic)
 	} else if good < len(data) {
-		if err := os.Truncate(path, int64(good)); err != nil {
+		if err := s.fs.Truncate(path, int64(good)); err != nil {
 			return nil, fmt.Errorf("wal truncate: %w", err)
 		}
 	}
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal reopen: %w", err)
 	}
-	return f, nil
+	return &walState{f: f, size: int64(good)}, nil
 }
 
 func (s *Disk) writeWALHeader(path string) error {
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
-	if _, err := f.WriteString(walMagic); err != nil {
+	if _, err := f.Write([]byte(walMagic)); err != nil {
 		f.Close()
 		return err
 	}
@@ -351,36 +386,35 @@ func encodeWALRecord(v Version, batch []graph.Edge) ([]byte, error) {
 }
 
 // writeFileAtomic writes data to path via a temp file + fsync + rename.
-func writeFileAtomic(path string, data []byte) error {
+// The leftover .tmp of a failed attempt is removed best-effort — load
+// never reads it, so a crash between write and cleanup costs only disk.
+func (s *Disk) writeFileAtomic(path string, data []byte) error {
 	tmp := path + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
 	if err != nil {
 		return err
 	}
 	if _, err := f.Write(data); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(tmp)
+		s.fs.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	return s.fs.Rename(tmp, path)
 }
 
 // syncDir flushes directory metadata (renames, creates); best-effort on
 // platforms where directories cannot be fsync'd.
-func syncDir(dir string) {
-	if d, err := os.Open(dir); err == nil {
-		d.Sync()
-		d.Close()
-	}
+func (s *Disk) syncDir(dir string) {
+	s.fs.SyncDir(dir)
 }
 
 func (s *Disk) Put(meta Meta, base *graph.Graph, v0 Version) ([]string, error) {
@@ -393,7 +427,7 @@ func (s *Disk) Put(meta Meta, base *graph.Graph, v0 Version) ([]string, error) {
 		return nil, fmt.Errorf("store: graph %s already present", meta.ID)
 	}
 	gdir := filepath.Join(s.dir, meta.ID)
-	if err := os.MkdirAll(gdir, 0o755); err != nil {
+	if err := s.fs.MkdirAll(gdir, 0o755); err != nil {
 		return nil, err
 	}
 	rec := &record{meta: meta, seq: s.seq, snap: base, snapVer: v0}
@@ -402,21 +436,21 @@ func (s *Disk) Put(meta Meta, base *graph.Graph, v0 Version) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
 		return nil, err
 	}
 	walPath := filepath.Join(gdir, walFile)
 	if err := s.writeWALHeader(walPath); err != nil {
 		return nil, err
 	}
-	syncDir(gdir)
-	syncDir(s.dir)
-	wal, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
+	s.syncDir(gdir)
+	s.syncDir(s.dir)
+	wal, err := s.fs.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
 	s.t.insert(rec)
-	s.wals[meta.ID] = wal
+	s.wals[meta.ID] = &walState{f: wal, size: int64(len(walMagic))}
 	var evicted []string
 	for s.cfg.MaxGraphs > 0 && len(s.t.recs) > s.cfg.MaxGraphs {
 		id, ok := s.t.lruVictim()
@@ -452,20 +486,20 @@ func (s *Disk) Len() int {
 	return len(s.t.recs)
 }
 
-// rec looks a record (and its WAL handle) up and bumps recency.
-func (s *Disk) rec(id string) (*record, *os.File, error) {
+// rec looks a record up and bumps recency.
+func (s *Disk) rec(id string) (*record, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	r, ok := s.t.recs[id]
 	if !ok {
-		return nil, nil, fmt.Errorf("%w: graph %s", ErrNotFound, id)
+		return nil, fmt.Errorf("%w: graph %s", ErrNotFound, id)
 	}
 	s.t.touch(r)
-	return r, s.wals[id], nil
+	return r, nil
 }
 
 func (s *Disk) Append(id string, batch []graph.Edge, v Version) error {
-	r, _, err := s.rec(id)
+	r, err := s.rec(id)
 	if err != nil {
 		return err
 	}
@@ -473,28 +507,53 @@ func (s *Disk) Append(id string, batch []graph.Edge, v Version) error {
 	if err != nil {
 		return err
 	}
-	// The WAL handle is re-read under the record lock: a concurrent
-	// compaction swaps it (and closes the old one) while holding r.mu.
+	// The WAL state is re-read under the record lock: a concurrent
+	// compaction swaps it (and closes the old handle) while holding r.mu,
+	// so ws's fields are stable for the rest of this critical section.
 	r.mu.Lock()
 	s.mu.Lock()
-	wal := s.wals[id]
+	ws := s.wals[id]
 	s.mu.Unlock()
-	if wal == nil {
+	if ws == nil {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: graph %s", ErrNotFound, id)
 	}
-	if _, err := wal.Write(data); err != nil {
+	if ws.dirty {
+		r.mu.Unlock()
+		return fmt.Errorf("store: wal for %s in unknown state after a failed rollback; reopen the store to re-verify it", id)
+	}
+	if _, err := ws.f.Write(data); err != nil {
+		s.rollbackWAL(id, ws)
 		r.mu.Unlock()
 		return fmt.Errorf("store: wal append: %w", err)
 	}
-	if err := wal.Sync(); err != nil {
+	if err := ws.f.Sync(); err != nil {
+		s.rollbackWAL(id, ws)
 		r.mu.Unlock()
 		return fmt.Errorf("store: wal fsync: %w", err)
 	}
+	ws.size += int64(len(data))
 	r.appendLocked(batch, v)
 	r.mu.Unlock()
 	s.maybeCompact(id, r)
 	return nil
+}
+
+// rollbackWAL restores the WAL to its last verified length after a
+// failed append, so the caller may retry: without the truncate, the
+// retried record would land behind the torn bytes of the failed one,
+// and replay would cut both away — silently losing a write the retry
+// acknowledged. The handle is O_APPEND, so after the truncate the next
+// write lands at the restored end; no reopen is needed. If the rollback
+// itself fails, the WAL tail is unknown and the state is marked dirty:
+// every further append is refused until a store reopen re-verifies the
+// file record by record. Callers hold r.mu.
+func (s *Disk) rollbackWAL(id string, ws *walState) {
+	path := filepath.Join(s.dir, id, walFile)
+	if err := s.fs.Truncate(path, ws.size); err != nil {
+		ws.dirty = true
+		log.Printf("store: wal rollback for %s to %d bytes failed: %v (appends disabled until reopen)", id, ws.size, err)
+	}
 }
 
 // maybeCompact schedules (or, with SyncCompaction, runs) a compaction
@@ -549,7 +608,7 @@ func (s *Disk) compactor() {
 func (s *Disk) compact(id string) error {
 	s.mu.Lock()
 	r, ok := s.t.recs[id]
-	wal := s.wals[id]
+	ws := s.wals[id]
 	s.mu.Unlock()
 	if !ok {
 		return nil // evicted while queued
@@ -570,7 +629,7 @@ func (s *Disk) compact(id string) error {
 	if err != nil {
 		return fmt.Errorf("encode snapshot: %w", err)
 	}
-	if err := writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
 		return fmt.Errorf("write snapshot: %w", err)
 	}
 	// Rewrite the WAL with the batches the new snapshot does not cover.
@@ -592,11 +651,11 @@ func (s *Disk) compact(id string) error {
 		}
 		prevOff = b.off
 	}
-	if err := writeFileAtomic(filepath.Join(gdir, walFile), walData); err != nil {
+	if err := s.writeFileAtomic(filepath.Join(gdir, walFile), walData); err != nil {
 		return fmt.Errorf("write wal: %w", err)
 	}
-	syncDir(gdir)
-	newWal, err := os.OpenFile(filepath.Join(gdir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
+	s.syncDir(gdir)
+	newWal, err := s.fs.OpenFile(filepath.Join(gdir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return fmt.Errorf("reopen wal: %w", err)
 	}
@@ -607,9 +666,9 @@ func (s *Disk) compact(id string) error {
 	r.appended = append([]graph.Edge(nil), r.appended[targetOff:]...)
 	r.batches = kept
 	s.mu.Lock()
-	if s.wals[id] == wal {
-		s.wals[id] = newWal
-		wal.Close()
+	if s.wals[id] == ws {
+		s.wals[id] = &walState{f: newWal, size: int64(len(walData))}
+		ws.f.Close()
 	} else {
 		newWal.Close() // record was evicted/replaced mid-compaction
 	}
@@ -618,7 +677,7 @@ func (s *Disk) compact(id string) error {
 }
 
 func (s *Disk) Versions(id string) ([]Version, error) {
-	r, _, err := s.rec(id)
+	r, err := s.rec(id)
 	if err != nil {
 		return nil, err
 	}
@@ -628,7 +687,7 @@ func (s *Disk) Versions(id string) ([]Version, error) {
 }
 
 func (s *Disk) Delta(id string, from, to int) ([]graph.Edge, error) {
-	r, _, err := s.rec(id)
+	r, err := s.rec(id)
 	if err != nil {
 		return nil, err
 	}
@@ -638,7 +697,7 @@ func (s *Disk) Delta(id string, from, to int) ([]graph.Edge, error) {
 }
 
 func (s *Disk) Materialize(id string, version int) (*graph.Graph, error) {
-	r, _, err := s.rec(id)
+	r, err := s.rec(id)
 	if err != nil {
 		return nil, err
 	}
@@ -662,11 +721,46 @@ func (s *Disk) Evict(id string) bool {
 // directory. Callers hold s.mu.
 func (s *Disk) evictLocked(id string) {
 	s.t.remove(id)
-	if wal, ok := s.wals[id]; ok {
-		wal.Close()
+	if ws, ok := s.wals[id]; ok {
+		ws.f.Close()
 		delete(s.wals, id)
 	}
-	os.RemoveAll(filepath.Join(s.dir, id))
+	s.fs.RemoveAll(filepath.Join(s.dir, id))
+}
+
+// Probe checks whether the backing filesystem accepts durable writes
+// again: create, write, fsync, and remove a scratch file under the data
+// directory through the same seam every real write uses. The service's
+// degraded mode calls it to decide when a store that reported
+// persistent write failure is safe to reopen for mutations.
+func (s *Disk) Probe() error {
+	s.mu.Lock()
+	closed := s.closed
+	s.mu.Unlock()
+	if closed {
+		return fmt.Errorf("store: closed")
+	}
+	path := filepath.Join(s.dir, probeFile)
+	f, err := s.fs.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: probe create: %w", err)
+	}
+	if _, err := f.Write([]byte("ok\n")); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return fmt.Errorf("store: probe write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(path)
+		return fmt.Errorf("store: probe fsync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(path)
+		return fmt.Errorf("store: probe close: %w", err)
+	}
+	s.fs.Remove(path)
+	return nil
 }
 
 // Close stops the compaction worker and closes every WAL handle. All
@@ -684,8 +778,8 @@ func (s *Disk) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var firstErr error
-	for id, wal := range s.wals {
-		if err := wal.Close(); err != nil && firstErr == nil {
+	for id, ws := range s.wals {
+		if err := ws.f.Close(); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		delete(s.wals, id)

@@ -129,4 +129,7 @@ func (s *Memory) Evict(id string) bool {
 	return ok
 }
 
+// Probe trivially succeeds: memory writes cannot fail persistently.
+func (s *Memory) Probe() error { return nil }
+
 func (s *Memory) Close() error { return nil }

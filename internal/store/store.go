@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"strconv"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -78,11 +79,20 @@ type Config struct {
 	// Append instead of on the background goroutine — deterministic
 	// for tests; ignored by the memory backend.
 	SyncCompaction bool
+	// FS is the filesystem seam the disk backend performs every
+	// operation through. Nil selects the real filesystem (fault.OS);
+	// chaos tests and wccserve -fault-spec pass a fault.Inject-wrapped
+	// one to exercise failure paths deterministically. Ignored by the
+	// memory backend.
+	FS fault.FS
 }
 
 func (c Config) withDefaults() Config {
 	if c.RetainVersions <= 0 {
 		c.RetainVersions = 65
+	}
+	if c.FS == nil {
+		c.FS = fault.OS{}
 	}
 	return c
 }
@@ -119,6 +129,12 @@ type Store interface {
 	// Evict removes one graph (and, for the durable backend, its
 	// files), reporting whether it was present.
 	Evict(id string) bool
+	// Probe reports whether the backend can currently complete a
+	// durable write (create + write + fsync of a scratch file for the
+	// disk backend; trivially nil for the memory one). The service's
+	// degraded read-only mode polls it to decide when mutations are
+	// safe to accept again.
+	Probe() error
 	// Close releases resources; the durable backend stops its
 	// compaction worker and closes its WAL handles.
 	Close() error
