@@ -1,14 +1,30 @@
-# Developer entry points. CI runs `make test`; perf smoke is one command.
+# Developer entry points. CI runs `make test`; perf smoke is one
+# command; `make lint` is the static-analysis gate (vet + wcclint, plus
+# staticcheck when installed).
 
 GO ?= go
 
-.PHONY: build test vet race fuzz-smoke chaos-smoke bench-smoke bench
+.PHONY: build test vet lint race fuzz-smoke chaos-smoke bench-smoke bench-json bench
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis gate: go vet, then the repo's own invariant checkers
+# (cmd/wcclint: determinism, faultseam, hotpath, durability — see
+# internal/lint/README.md), then staticcheck if it is on PATH (CI
+# installs a pinned version; the dev container may not have it, so it
+# is optional here rather than a hard dependency).
+lint:
+	$(GO) vet ./...
+	$(GO) run ./cmd/wcclint ./...
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		echo "staticcheck ./internal/..."; staticcheck ./internal/...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it pinned)"; \
+	fi
 
 test:
 	$(GO) build ./... && $(GO) vet ./... && $(GO) test ./...
@@ -48,6 +64,18 @@ bench-smoke:
 		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec' .
 	$(GO) test -run='ZeroAllocs' -benchtime=1x -benchmem \
 		-bench='QueryHit|QueryBatch|HTTPQuery' ./internal/service/
+
+# bench-smoke with the output captured and parsed into a JSON snapshot
+# ({bench, ns_op, allocs_op} per benchmark). The snapshot for this PR
+# is committed as BENCH_7.json and CI uploads the regenerated copy as
+# an artifact, so the perf trajectory is a diffable series of files.
+# (Write to the file first, cat after: `| tee` would eat a bench
+# failure's exit status under shells without pipefail.)
+BENCHOUT ?= BENCH_7.json
+bench-json:
+	$(MAKE) bench-smoke >bench-smoke.txt 2>&1; st=$$?; cat bench-smoke.txt; test $$st -eq 0
+	$(GO) run ./cmd/wccbench -parse-bench bench-smoke.txt -json-out $(BENCHOUT)
+	@echo "wrote $(BENCHOUT)"
 
 # Full benchmark sweep (slow).
 bench:

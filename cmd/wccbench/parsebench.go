@@ -1,0 +1,94 @@
+// The -parse-bench mode turns `go test -bench -benchmem` text output
+// into a small JSON snapshot ({bench, ns_op, allocs_op} per benchmark).
+// CI runs it over the bench-smoke output and commits/uploads the result
+// as BENCH_<n>.json, so the ROADMAP's perf trajectory is a diffable
+// series of files instead of a pile of free-form logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// benchResult is one parsed benchmark line. ns_op keeps the fractional
+// precision go test prints for sub-microsecond benchmarks; allocs_op is
+// -1 when the line carries no allocs/op column (benchmem disabled).
+type benchResult struct {
+	Bench    string  `json:"bench"`
+	NsOp     float64 `json:"ns_op"`
+	AllocsOp int64   `json:"allocs_op"`
+}
+
+func parseBenchOutput(inPath, outPath string) error {
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+
+	var results []benchResult
+	sc := bufio.NewScanner(in)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		r, ok := parseBenchLine(sc.Text())
+		if ok {
+			results = append(results, r)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("%s: no benchmark result lines found (expected `go test -bench` output)", inPath)
+	}
+
+	buf, err := json.MarshalIndent(results, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if outPath == "" {
+		_, err = os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(outPath, buf, 0o644)
+}
+
+// parseBenchLine parses one `go test -bench` result line, e.g.
+//
+//	BenchmarkQueryHit-8   1000000   102.5 ns/op   0 B/op   0 allocs/op
+//
+// Lines that are not benchmark results (goos/pkg headers, PASS, ok)
+// return ok=false.
+func parseBenchLine(line string) (benchResult, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return benchResult{}, false
+	}
+	r := benchResult{Bench: fields[0], NsOp: -1, AllocsOp: -1}
+	// fields[1] is the iteration count; the rest are value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		switch fields[i+1] {
+		case "ns/op":
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return benchResult{}, false
+			}
+			r.NsOp = v
+		case "allocs/op":
+			v, err := strconv.ParseInt(fields[i], 10, 64)
+			if err != nil {
+				return benchResult{}, false
+			}
+			r.AllocsOp = v
+		}
+	}
+	if r.NsOp < 0 {
+		return benchResult{}, false
+	}
+	return r, true
+}

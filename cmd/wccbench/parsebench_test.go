@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestParseBenchLine(t *testing.T) {
+	cases := []struct {
+		line string
+		want benchResult
+		ok   bool
+	}{
+		{
+			line: "BenchmarkQueryHit-8   1000000   102.5 ns/op   0 B/op   0 allocs/op",
+			want: benchResult{Bench: "BenchmarkQueryHit-8", NsOp: 102.5, AllocsOp: 0},
+			ok:   true,
+		},
+		{
+			line: "BenchmarkPipeline-4 1 24871342 ns/op 8123456 B/op 10234 allocs/op",
+			want: benchResult{Bench: "BenchmarkPipeline-4", NsOp: 24871342, AllocsOp: 10234},
+			ok:   true,
+		},
+		{
+			// No -benchmem: allocs_op records -1, not 0.
+			line: "BenchmarkMPCSort-2 10 1500000 ns/op",
+			want: benchResult{Bench: "BenchmarkMPCSort-2", NsOp: 1500000, AllocsOp: -1},
+			ok:   true,
+		},
+		{line: "goos: linux", ok: false},
+		{line: "pkg: repro", ok: false},
+		{line: "PASS", ok: false},
+		{line: "ok  \trepro\t12.3s", ok: false},
+		{line: "", ok: false},
+		{line: "Benchmark", ok: false},
+	}
+	for _, c := range cases {
+		got, ok := parseBenchLine(c.line)
+		if ok != c.ok {
+			t.Errorf("parseBenchLine(%q) ok = %v, want %v", c.line, ok, c.ok)
+			continue
+		}
+		if ok && got != c.want {
+			t.Errorf("parseBenchLine(%q) = %+v, want %+v", c.line, got, c.want)
+		}
+	}
+}
+
+func TestParseBenchOutputJSON(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "bench-smoke.txt")
+	out := filepath.Join(dir, "bench.json")
+	src := `goos: linux
+goarch: amd64
+pkg: repro
+BenchmarkPipeline-8        1   24871342 ns/op   8123456 B/op   10234 allocs/op
+BenchmarkQueryHit-8  1000000      102.5 ns/op         0 B/op       0 allocs/op
+PASS
+ok  	repro	3.2s
+`
+	if err := os.WriteFile(in, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseBenchOutput(in, out); err != nil {
+		t.Fatal(err)
+	}
+	buf, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []benchResult
+	if err := json.Unmarshal(buf, &got); err != nil {
+		t.Fatalf("output is not valid JSON: %v\n%s", err, buf)
+	}
+	want := []benchResult{
+		{Bench: "BenchmarkPipeline-8", NsOp: 24871342, AllocsOp: 10234},
+		{Bench: "BenchmarkQueryHit-8", NsOp: 102.5, AllocsOp: 0},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d results, want %d: %+v", len(got), len(want), got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("result[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestParseBenchOutputEmptyInputFails(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "empty.txt")
+	if err := os.WriteFile(in, []byte("PASS\nok\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := parseBenchOutput(in, ""); err == nil {
+		t.Fatal("want error for input with no benchmark lines, got nil")
+	}
+}

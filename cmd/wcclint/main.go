@@ -1,0 +1,136 @@
+// wcclint is the repository's invariant checker: a multichecker over
+// the custom analyzers in internal/lint (determinism, faultseam,
+// hotpath, durability). It loads and type-checks packages with only the
+// standard library (see internal/lint), so it runs anywhere the repo
+// builds — no external tooling required.
+//
+// Usage:
+//
+//	wcclint [flags] [packages]
+//
+// Packages are directories relative to the module root; a trailing
+// "/..." walks the subtree. The default is "./...". Exit status is 1
+// when any unsuppressed diagnostic is found, 2 on load failure.
+//
+// Flags:
+//
+//	-analyzers a,b   run only the named analyzers (default: all)
+//	-list            print the analyzers and their docs, then exit
+//	-tests=false     skip _test.go files
+//	-show-suppressed print each suppressed diagnostic with its reason
+//
+// Suppressions (//wcclint:ignore <analyzer> <reason>) are always
+// counted and summarized so the ignore inventory stays visible.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		analyzersFlag  = flag.String("analyzers", "", "comma-separated analyzer names to run (default: all)")
+		listFlag       = flag.Bool("list", false, "list analyzers and exit")
+		testsFlag      = flag.Bool("tests", true, "analyze _test.go files too")
+		showSuppressed = flag.Bool("show-suppressed", false, "print each suppressed diagnostic with its reason")
+	)
+	flag.Parse()
+
+	analyzers, err := lint.ByName(*analyzersFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcclint:", err)
+		return 2
+	}
+	if *listFlag {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcclint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcclint:", err)
+		return 2
+	}
+	loader.IncludeTests = *testsFlag
+
+	pkgs, err := loader.LoadAll(flag.Args()...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wcclint:", err)
+		return 2
+	}
+
+	var (
+		total      int
+		suppressed []lint.Diagnostic
+		typeErrs   int
+	)
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			typeErrs++
+			fmt.Fprintf(os.Stderr, "wcclint: %s: type error: %v\n", pkg.Path, terr)
+		}
+		res, err := lint.Run(pkg, analyzers, false)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wcclint:", err)
+			return 2
+		}
+		for _, d := range res.Diags {
+			fmt.Println(rel(root, d))
+			total++
+		}
+		suppressed = append(suppressed, res.Suppressed...)
+	}
+
+	if *showSuppressed {
+		for _, d := range suppressed {
+			fmt.Printf("%s [suppressed: %s]\n", rel(root, d), d.Reason)
+		}
+	}
+	if len(suppressed) > 0 || total > 0 {
+		byAnalyzer := map[string]int{}
+		for _, d := range suppressed {
+			byAnalyzer[d.Analyzer]++
+		}
+		var parts []string
+		for _, a := range analyzers {
+			if n := byAnalyzer[a.Name]; n > 0 {
+				parts = append(parts, fmt.Sprintf("%s=%d", a.Name, n))
+			}
+		}
+		summary := fmt.Sprintf("wcclint: %d diagnostic(s), %d suppression(s)", total, len(suppressed))
+		if len(parts) > 0 {
+			summary += " (" + strings.Join(parts, ", ") + ")"
+		}
+		fmt.Fprintln(os.Stderr, summary)
+	}
+	if typeErrs > 0 {
+		fmt.Fprintf(os.Stderr, "wcclint: %d type error(s) — results may be incomplete\n", typeErrs)
+	}
+	if total > 0 {
+		return 1
+	}
+	return 0
+}
+
+// rel shortens diagnostic paths to be module-relative for readable,
+// stable output.
+func rel(root string, d lint.Diagnostic) string {
+	s := d.String()
+	return strings.TrimPrefix(s, root+string(os.PathSeparator))
+}

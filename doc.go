@@ -94,4 +94,20 @@
 // output is bit-identical regardless of worker count or schedule; see
 // internal/mpc/README.md for the executor model and the seed-derivation
 // scheme.
+//
+// # Static analysis
+//
+// The invariants above are enforced statically, not just by tests:
+// cmd/wcclint (run by `make lint` and CI) carries four repo-specific
+// analyzers built on internal/lint's stdlib-only framework. determinism
+// forbids wall-clock reads, global math/rand draws, and map-iteration
+// order leaking into outputs inside the nineteen seed-deterministic
+// algorithm/simulator packages; faultseam keeps internal/store behind
+// the internal/fault filesystem seam so the crash-point sweep sees
+// every I/O; hotpath proves the //wcc:hotpath-annotated query surface
+// (the functions TestQueryHitPathZeroAllocs measures) transitively free
+// of heap allocations; durability checks the write→Sync→Rename ordering
+// and that Sync errors are never discarded. Violations need a reasoned
+// //wcclint:ignore to land. See internal/lint/README.md for the rules,
+// markers, and how to extend the suite.
 package repro

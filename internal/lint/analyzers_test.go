@@ -1,0 +1,65 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against three fixture packages: bad (every
+// construct it flags, asserted line-by-line with // want comments), good
+// (blessed patterns that must stay silent), and suppressed (the
+// //wcclint:ignore escape hatch with reasons).
+
+func TestDeterminismBad(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism/bad")
+}
+
+func TestDeterminismGood(t *testing.T) {
+	linttest.Run(t, lint.Determinism, "testdata/determinism/good")
+}
+
+func TestDeterminismSuppressed(t *testing.T) {
+	res := linttest.Run(t, lint.Determinism, "testdata/determinism/suppressed")
+	linttest.MustSuppress(t, res, "determinism", 2)
+}
+
+func TestFaultSeamBad(t *testing.T) {
+	linttest.Run(t, lint.FaultSeam, "testdata/faultseam/bad")
+}
+
+func TestFaultSeamGood(t *testing.T) {
+	linttest.Run(t, lint.FaultSeam, "testdata/faultseam/good")
+}
+
+func TestFaultSeamSuppressed(t *testing.T) {
+	res := linttest.Run(t, lint.FaultSeam, "testdata/faultseam/suppressed")
+	linttest.MustSuppress(t, res, "faultseam", 2)
+}
+
+func TestHotPathBad(t *testing.T) {
+	linttest.Run(t, lint.HotPath, "testdata/hotpath/bad")
+}
+
+func TestHotPathGood(t *testing.T) {
+	linttest.Run(t, lint.HotPath, "testdata/hotpath/good")
+}
+
+func TestHotPathSuppressed(t *testing.T) {
+	res := linttest.Run(t, lint.HotPath, "testdata/hotpath/suppressed")
+	linttest.MustSuppress(t, res, "hotpath", 1)
+}
+
+func TestDurabilityBad(t *testing.T) {
+	linttest.Run(t, lint.Durability, "testdata/durability/bad")
+}
+
+func TestDurabilityGood(t *testing.T) {
+	linttest.Run(t, lint.Durability, "testdata/durability/good")
+}
+
+func TestDurabilitySuppressed(t *testing.T) {
+	res := linttest.Run(t, lint.Durability, "testdata/durability/suppressed")
+	linttest.MustSuppress(t, res, "durability", 1)
+}

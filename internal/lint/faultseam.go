@@ -1,0 +1,75 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// FaultSeam enforces the rule PR 6 introduced with internal/fault: the
+// storage engine may only touch the filesystem through the fault.FS
+// seam. Every operation routed through the seam is automatically a
+// crash point in the chaos sweep (TestCrashPointSweep kills the store
+// at each injected site and digest-verifies recovery); a direct os.*
+// call is a filesystem mutation the sweep can never see, i.e. a crash
+// window with no recovery coverage.
+//
+// The check applies to _test.go files too: test helpers that bypass the
+// seam on purpose (deliberate corruption of on-disk bytes) must carry a
+// //wcclint:ignore faultseam <reason> so the bypass inventory stays
+// auditable.
+var FaultSeam = &Analyzer{
+	Name:  "faultseam",
+	Doc:   "internal/store must reach the filesystem only through the fault.FS seam",
+	Scope: func(pkg *Package) bool { return pkg.RelDir == "internal/store" },
+	Run:   runFaultSeam,
+}
+
+// osFSFuncs are the package os entry points that read or mutate the
+// filesystem. Pure value helpers (IsNotExist, Getenv, constants, error
+// sentinels, types) are not listed and stay allowed.
+var osFSFuncs = map[string]bool{
+	"Chmod": true, "Chown": true, "Chtimes": true, "Create": true,
+	"CreateTemp": true, "Link": true, "Lstat": true, "Mkdir": true,
+	"MkdirAll": true, "MkdirTemp": true, "NewFile": true, "Open": true,
+	"OpenFile": true, "OpenRoot": true, "Pipe": true, "ReadDir": true,
+	"ReadFile": true, "Readlink": true, "Remove": true, "RemoveAll": true,
+	"Rename": true, "Stat": true, "Symlink": true, "Truncate": true,
+	"WriteFile": true,
+}
+
+func runFaultSeam(pass *Pass) error {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, fn, ok := pkgFuncCall(info, call)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgPath == "os" && osFSFuncs[fn]:
+				pass.Reportf(call.Pos(),
+					"direct filesystem call os.%s bypasses the fault.FS seam; route it through the store's fs field so the crash-point sweep covers it", fn)
+			case pkgPath == "io/ioutil":
+				pass.Reportf(call.Pos(),
+					"ioutil.%s bypasses the fault.FS seam (and io/ioutil is deprecated); route the operation through the store's fs field", fn)
+			case pkgPath == "syscall" && strings.HasPrefix(fn, "O_") == false && syscallFSFuncs[fn]:
+				pass.Reportf(call.Pos(),
+					"raw syscall.%s bypasses the fault.FS seam; route the operation through the store's fs field", fn)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// syscallFSFuncs: the raw-syscall spellings of the same operations.
+var syscallFSFuncs = map[string]bool{
+	"Open": true, "Openat": true, "Creat": true, "Unlink": true,
+	"Unlinkat": true, "Rename": true, "Renameat": true, "Mkdir": true,
+	"Mkdirat": true, "Rmdir": true, "Truncate": true, "Ftruncate": true,
+	"Fsync": true, "Fdatasync": true, "Write": true, "Pwrite": true,
+}

@@ -1,0 +1,122 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall resolves call as a package-level function call through an
+// imported package name ("rand.IntN(…)", "os.Rename(…)"). It returns
+// the imported package's path and the function name, or ok=false for
+// method calls, locals, conversions, and builtins.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (pkgPath, fn string, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return "", "", false
+	}
+	id, isID := sel.X.(*ast.Ident)
+	if !isID {
+		return "", "", false
+	}
+	pn, isPkg := info.Uses[id].(*types.PkgName)
+	if !isPkg {
+		return "", "", false
+	}
+	return pn.Imported().Path(), sel.Sel.Name, true
+}
+
+// calleeOf resolves the static callee of call: a *types.Func for
+// package-level functions and concrete methods, nil for builtins,
+// conversions, func values, and interface method calls (which have a
+// *types.Func too — the caller distinguishes via recvIsInterface).
+func calleeOf(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}
+
+// recvIsInterface reports whether call is a method call dispatched
+// through an interface value (statically unresolvable).
+func recvIsInterface(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	return types.IsInterface(s.Recv())
+}
+
+// isErrorType reports whether t is exactly the built-in error interface.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// exprHasErrorType reports whether e's static type is error.
+func exprHasErrorType(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	return isErrorType(tv.Type)
+}
+
+// enclosingFuncs maps every node position range to its innermost
+// enclosing function declaration, for report attribution.
+type funcIndex struct {
+	decls []*ast.FuncDecl
+}
+
+func indexFuncs(files []*ast.File) *funcIndex {
+	fi := &funcIndex{}
+	for _, f := range files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				fi.decls = append(fi.decls, fd)
+			}
+		}
+	}
+	return fi
+}
+
+// declFor returns the *ast.FuncDecl whose object is fn, or nil.
+func declFor(info *types.Info, fi *funcIndex, fn *types.Func) *ast.FuncDecl {
+	for _, fd := range fi.decls {
+		if obj, ok := info.Defs[fd.Name]; ok && obj == fn {
+			return fd
+		}
+	}
+	return nil
+}
+
+// funcDisplayName renders "Recv.Name" or "Name" for diagnostics.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) > 0 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return id.Name + "." + fd.Name.Name
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			if id, ok := idx.X.(*ast.Ident); ok {
+				return id.Name + "." + fd.Name.Name
+			}
+		}
+	}
+	return fd.Name.Name
+}

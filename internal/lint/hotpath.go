@@ -1,0 +1,719 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// HotPath turns the dynamically-measured zero-allocation guarantee of
+// the query hit path (TestQueryHitPathZeroAllocs, PR 5) into a checked
+// property of the whole call graph. Functions annotated
+//
+//	//wcc:hotpath
+//
+// (on a declaration's doc comment, or on the line above a function
+// literal) are checked — transitively through every same-package callee
+// — for constructs that heap-allocate:
+//
+//   - fmt.Sprint/Sprintf/Sprintln and friends
+//   - map, chan and slice makes; map and slice literals; new; &T{}
+//   - append that grows a function-local (non caller-owned) slice
+//   - implicit interface boxing of non-pointer values at call sites
+//   - closures, goroutine launches, non-constant string concatenation
+//   - calls into packages not on the reviewed no-allocation allowlist,
+//     and dynamic calls (interface methods, func values) that cannot be
+//     verified statically
+//
+// Two escape hatches keep the invariant honest rather than performative:
+//
+//   - Error paths are exempt. The dynamic guard measures error-free
+//     runs (any error fails the test before allocations are counted),
+//     so the static property mirrors it: statements that only
+//     materialize an error (all assignees are error-typed), blocks
+//     guarded by an `err != nil` check, and expressions in error-typed
+//     return positions may allocate.
+//   - A callee annotated //wcc:coldpath declares itself off the hit
+//     path (cache-miss, first-use, recovery work); calls to it are
+//     allowed and its body is not checked. The annotation is the
+//     documented hot/cold boundary — moving work into a cold function
+//     does not silence the analyzer so much as force the boundary to be
+//     named and reviewable.
+var HotPath = &Analyzer{
+	Name: "hotpath",
+	Doc:  "functions marked //wcc:hotpath (and their transitive callees) must not allocate on the error-free path",
+	Run:  runHotPath,
+}
+
+const (
+	hotMarker  = "//wcc:hotpath"
+	coldMarker = "//wcc:coldpath"
+)
+
+// hotpathAllowedPkgs are packages whose exported call surface is
+// reviewed non-allocating for the operations this repo performs on hot
+// paths (atomic loads/stores, lock/unlock, fixed-buffer encoding,
+// bit math). Additions need the same review.
+var hotpathAllowedPkgs = map[string]bool{
+	"sync":            true,
+	"sync/atomic":     true,
+	"math":            true,
+	"math/bits":       true,
+	"encoding/binary": true,
+	"encoding/hex":    true,
+	"errors":          true,
+	"runtime":         true,
+	"unsafe":          true,
+}
+
+type hotWork struct {
+	body *ast.BlockStmt
+	sig  *types.Signature
+	name string // function display name
+	root string // annotated root that reached it
+}
+
+func runHotPath(pass *Pass) error {
+	info := pass.Pkg.Info
+	fi := indexFuncs(pass.Pkg.Files)
+
+	cold := map[types.Object]bool{}
+	declOf := map[types.Object]*ast.FuncDecl{}
+	var roots []hotWork
+	for _, fd := range fi.decls {
+		obj := info.Defs[fd.Name]
+		if obj == nil {
+			continue
+		}
+		declOf[obj] = fd
+		if funcDocHas(fd, coldMarker) {
+			cold[obj] = true
+		}
+		if funcDocHas(fd, hotMarker) && fd.Body != nil {
+			sig, _ := obj.Type().(*types.Signature)
+			roots = append(roots, hotWork{body: fd.Body, sig: sig, name: funcDisplayName(fd), root: funcDisplayName(fd)})
+		}
+	}
+	roots = append(roots, annotatedFuncLits(pass, fi)...)
+	if len(roots) == 0 {
+		return nil
+	}
+
+	visited := map[types.Object]bool{}
+	queue := roots
+	for len(queue) > 0 {
+		w := queue[0]
+		queue = queue[1:]
+		hw := &hotWalker{
+			pass: pass, info: info, cur: w,
+			enqueue: func(fn *types.Func, from hotWork) {
+				if cold[fn] || visited[fn] {
+					return
+				}
+				fd := declOf[fn]
+				if fd == nil || fd.Body == nil {
+					return // bodyless decl (assembly stub): nothing to check
+				}
+				visited[fn] = true
+				sig, _ := fn.Type().(*types.Signature)
+				queue = append(queue, hotWork{body: fd.Body, sig: sig, name: funcDisplayName(fd), root: from.root})
+			},
+			cold: cold,
+		}
+		hw.visitStmt(w.body, false)
+	}
+	return nil
+}
+
+// annotatedFuncLits finds function literals with a //wcc:hotpath
+// comment on their own line or the line above (the Route scatter
+// closure pattern).
+func annotatedFuncLits(pass *Pass, fi *funcIndex) []hotWork {
+	var out []hotWork
+	for _, f := range pass.Pkg.Files {
+		var markerLines []int
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, hotMarker) {
+					markerLines = append(markerLines, pass.Pkg.Fset.Position(c.Pos()).Line)
+				}
+			}
+		}
+		if len(markerLines) == 0 {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			lit, ok := n.(*ast.FuncLit)
+			if !ok || lit.Body == nil {
+				return true
+			}
+			line := pass.Pkg.Fset.Position(lit.Pos()).Line
+			for _, ml := range markerLines {
+				if ml == line || ml == line-1 {
+					sig, _ := pass.Pkg.Info.Types[lit].Type.(*types.Signature)
+					name := fmt.Sprintf("func literal at line %d", line)
+					out = append(out, hotWork{body: lit.Body, sig: sig, name: name, root: name})
+					break
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// hotWalker walks one hot function body tracking the error-path
+// exemption context. Expressions are only visited while NOT exempt:
+// everything inside an exempt statement is error-path by construction.
+type hotWalker struct {
+	pass    *Pass
+	info    *types.Info
+	cur     hotWork
+	enqueue func(*types.Func, hotWork)
+	cold    map[types.Object]bool
+}
+
+func (w *hotWalker) reportf(pos token.Pos, format string, args ...any) {
+	prefix := fmt.Sprintf("hot path (root %s", w.cur.root)
+	if w.cur.name != w.cur.root {
+		prefix += ", via " + w.cur.name
+	}
+	prefix += "): "
+	w.pass.Reportf(pos, prefix+format, args...)
+}
+
+func (w *hotWalker) visitStmt(s ast.Stmt, exempt bool) {
+	if s == nil {
+		return
+	}
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		for _, st := range s.List {
+			w.visitStmt(st, exempt)
+		}
+	case *ast.IfStmt:
+		w.visitStmt(s.Init, exempt)
+		w.visitExprIf(s.Cond, exempt)
+		bodyExempt, elseExempt := exempt, exempt
+		switch errCheckKind(w.info, s.Cond) {
+		case errCheckNotNil:
+			bodyExempt = true
+		case errCheckNil:
+			elseExempt = true
+		}
+		w.visitStmt(s.Body, bodyExempt)
+		w.visitStmt(s.Else, elseExempt)
+	case *ast.ForStmt:
+		w.visitStmt(s.Init, exempt)
+		w.visitExprIf(s.Cond, exempt)
+		w.visitStmt(s.Post, exempt)
+		w.visitStmt(s.Body, exempt)
+	case *ast.RangeStmt:
+		w.visitExprIf(s.X, exempt)
+		w.visitStmt(s.Body, exempt)
+	case *ast.SwitchStmt:
+		w.visitStmt(s.Init, exempt)
+		w.visitExprIf(s.Tag, exempt)
+		w.visitStmt(s.Body, exempt)
+	case *ast.TypeSwitchStmt:
+		w.visitStmt(s.Init, exempt)
+		w.visitStmt(s.Assign, exempt)
+		w.visitStmt(s.Body, exempt)
+	case *ast.CaseClause:
+		for _, st := range s.Body {
+			w.visitStmt(st, exempt)
+		}
+	case *ast.SelectStmt:
+		w.visitStmt(s.Body, exempt)
+	case *ast.CommClause:
+		w.visitStmt(s.Comm, exempt)
+		for _, st := range s.Body {
+			w.visitStmt(st, exempt)
+		}
+	case *ast.AssignStmt:
+		// Error materialization: when every assignee is error-typed
+		// (`qerr = fmt.Errorf(…)`), the statement exists only to build
+		// an error and is off the measured path. Mixed assignments
+		// (`v, err := f()`) are hot — f is a hot-path callee.
+		stmtExempt := exempt || allLHSError(w.info, s.Lhs)
+		for _, e := range s.Lhs {
+			w.visitExprIf(e, stmtExempt)
+		}
+		for _, e := range s.Rhs {
+			w.visitExprIf(e, stmtExempt)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				specExempt := exempt || allSpecError(w.info, vs)
+				for _, v := range vs.Values {
+					w.visitExprIf(v, specExempt)
+				}
+			}
+		}
+	case *ast.ReturnStmt:
+		w.visitReturn(s, exempt)
+	case *ast.ExprStmt:
+		w.visitExprIf(s.X, exempt)
+	case *ast.SendStmt:
+		w.visitExprIf(s.Chan, exempt)
+		w.visitExprIf(s.Value, exempt)
+	case *ast.IncDecStmt:
+		w.visitExprIf(s.X, exempt)
+	case *ast.DeferStmt:
+		w.visitExprIf(s.Call, exempt)
+	case *ast.GoStmt:
+		if !exempt {
+			w.reportf(s.Pos(), "go statement spawns a goroutine (allocates its closure and stack)")
+		}
+	case *ast.LabeledStmt:
+		w.visitStmt(s.Stmt, exempt)
+	}
+}
+
+// visitReturn exempts expressions sitting in error-typed result
+// positions: `return nil, fmt.Errorf(…)` materializes the error the
+// function signature promises, which only happens off the happy path.
+func (w *hotWalker) visitReturn(s *ast.ReturnStmt, exempt bool) {
+	var results *types.Tuple
+	if w.cur.sig != nil {
+		results = w.cur.sig.Results()
+	}
+	if results == nil || len(s.Results) != results.Len() {
+		for _, e := range s.Results {
+			w.visitExprIf(e, exempt)
+		}
+		return
+	}
+	for i, e := range s.Results {
+		w.visitExprIf(e, exempt || isErrorType(results.At(i).Type()))
+	}
+}
+
+func (w *hotWalker) visitExprIf(e ast.Expr, exempt bool) {
+	if e == nil || exempt {
+		return
+	}
+	w.visitExpr(e)
+}
+
+func (w *hotWalker) visitExpr(e ast.Expr) {
+	switch e := e.(type) {
+	case *ast.CallExpr:
+		w.visitCall(e)
+	case *ast.CompositeLit:
+		w.visitCompositeLit(e, false)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND {
+			if cl, ok := ast.Unparen(e.X).(*ast.CompositeLit); ok {
+				w.reportf(e.Pos(), "&%s literal escapes to the heap", typeLabel(w.info, cl))
+				w.visitCompositeLit(cl, true)
+				return
+			}
+		}
+		w.visitExpr(e.X)
+	case *ast.FuncLit:
+		w.reportf(e.Pos(), "closure allocates (captured variables escape); hoist it or pass a method value from a pooled object")
+	case *ast.BinaryExpr:
+		if e.Op == token.ADD && isStringExpr(w.info, e) && !isConstExpr(w.info, e) {
+			w.reportf(e.Pos(), "string concatenation allocates; build into a caller-owned buffer")
+		}
+		w.visitExpr(e.X)
+		w.visitExpr(e.Y)
+	case *ast.ParenExpr:
+		w.visitExpr(e.X)
+	case *ast.StarExpr:
+		w.visitExpr(e.X)
+	case *ast.SelectorExpr:
+		w.visitExpr(e.X)
+	case *ast.IndexExpr:
+		w.visitExpr(e.X)
+		w.visitExpr(e.Index)
+	case *ast.IndexListExpr:
+		w.visitExpr(e.X)
+	case *ast.SliceExpr:
+		w.visitExpr(e.X)
+		if e.Low != nil {
+			w.visitExpr(e.Low)
+		}
+		if e.High != nil {
+			w.visitExpr(e.High)
+		}
+		if e.Max != nil {
+			w.visitExpr(e.Max)
+		}
+	case *ast.TypeAssertExpr:
+		w.visitExpr(e.X)
+	case *ast.KeyValueExpr:
+		w.visitExpr(e.Key)
+		w.visitExpr(e.Value)
+	}
+}
+
+func (w *hotWalker) visitCompositeLit(cl *ast.CompositeLit, reported bool) {
+	if !reported {
+		tv, ok := w.info.Types[cl]
+		if ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Map:
+				w.reportf(cl.Pos(), "map literal allocates; hoist the map to a package-level table or a pooled struct")
+			case *types.Slice:
+				w.reportf(cl.Pos(), "slice literal allocates; use a caller-owned or pooled buffer")
+			}
+		}
+	}
+	for _, elt := range cl.Elts {
+		w.visitExpr(elt)
+	}
+}
+
+func (w *hotWalker) visitCall(call *ast.CallExpr) {
+	info := w.info
+	// Conversion?
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if types.IsInterface(tv.Type) {
+			w.checkBox(call.Args[0], tv.Type, call.Pos())
+		}
+		w.visitExpr(call.Args[0])
+		return
+	}
+	// Builtin?
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			w.visitBuiltin(call, b.Name())
+			return
+		}
+	}
+
+	fn := calleeOf(info, call)
+	callReported := true
+	switch {
+	case fn == nil:
+		w.reportf(call.Pos(), "call through a function value cannot be verified allocation-free; call a named function or mark the boundary //wcc:coldpath")
+	case recvIsInterface(info, call):
+		w.reportf(call.Pos(), "dynamic dispatch through interface method %s cannot be verified allocation-free; devirtualize the hot path or mark the boundary //wcc:coldpath", fn.Name())
+	case fn.Pkg() == w.pass.Pkg.Types:
+		w.enqueue(fn, w.cur)
+		callReported = false
+	case fn.Pkg() == nil:
+		// Universe-scope (error.Error reached via recvIsInterface above).
+		callReported = false
+	default:
+		path := fn.Pkg().Path()
+		callReported = !hotpathAllowedPkgs[path]
+		if callReported {
+			if path == "fmt" && strings.HasPrefix(fn.Name(), "Sprint") {
+				w.reportf(call.Pos(), "fmt.%s allocates its result string; format into a caller-owned buffer (strconv.Append*, fmt.Appendf)", fn.Name())
+			} else {
+				w.reportf(call.Pos(), "call into %s.%s: package %q is not on the reviewed no-allocation allowlist for hot paths", fn.Pkg().Name(), fn.Name(), path)
+			}
+		}
+	}
+
+	// Per-argument boxing is only worth reporting for calls that are
+	// themselves fine: a call already flagged above is the finding, and
+	// restating each boxed argument would bury it.
+	if !callReported {
+		w.checkCallBoxing(call)
+	}
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		w.visitExpr(sel.X)
+	}
+	for _, a := range call.Args {
+		w.visitExpr(a)
+	}
+}
+
+func (w *hotWalker) visitBuiltin(call *ast.CallExpr, name string) {
+	switch name {
+	case "append":
+		w.checkFreshAppend(call)
+	case "make":
+		if tv, ok := w.info.Types[call]; ok && tv.Type != nil {
+			switch tv.Type.Underlying().(type) {
+			case *types.Slice:
+				w.reportf(call.Pos(), "make of a slice allocates; use a caller-owned or pooled buffer")
+			case *types.Map:
+				w.reportf(call.Pos(), "make of a map allocates; hoist it out of the hot path")
+			case *types.Chan:
+				w.reportf(call.Pos(), "make of a channel allocates; hoist it out of the hot path")
+			}
+		}
+	case "new":
+		w.reportf(call.Pos(), "new allocates; use a caller-owned or pooled object")
+	case "print", "println":
+		w.reportf(call.Pos(), "%s may allocate and is not for production code", name)
+	case "panic":
+		return // unreachable on the measured path by definition
+	}
+	for _, a := range call.Args {
+		w.visitExpr(a)
+	}
+}
+
+// checkFreshAppend flags append when its base is a slice local to the
+// current function that started empty (declared without a borrowed
+// backing array): growing it must allocate. Appends into parameters,
+// struct fields, or re-sliced pooled buffers are caller-owned and fine.
+func (w *hotWalker) checkFreshAppend(call *ast.CallExpr) {
+	if len(call.Args) == 0 {
+		return
+	}
+	base, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := w.info.Uses[base]
+	if obj == nil {
+		return
+	}
+	if obj.Pos() < w.cur.body.Pos() || obj.Pos() > w.cur.body.End() {
+		return // parameter or outer-scope variable: caller-owned
+	}
+	if init, found := localInit(w.info, w.cur.body, obj); found && !freshSliceInit(w.info, init) {
+		return // derived from a field/param/pool: borrowed backing array
+	}
+	w.reportf(call.Pos(), "append grows function-local slice %s, which escapes this call unamortized; use a caller-provided or pooled buffer", obj.Name())
+}
+
+// localInit finds the initializer expression of obj's declaration
+// inside body (nil for `var s []T` with no value).
+func localInit(info *types.Info, body *ast.BlockStmt, obj types.Object) (init ast.Expr, found bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && info.Defs[id] == obj {
+					found = true
+					if len(n.Rhs) == len(n.Lhs) {
+						init = n.Rhs[i]
+					}
+					return false
+				}
+			}
+		case *ast.ValueSpec:
+			for i, id := range n.Names {
+				if info.Defs[id] == obj {
+					found = true
+					if i < len(n.Values) {
+						init = n.Values[i]
+					}
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return init, found
+}
+
+// freshSliceInit reports whether init creates a new backing array (or
+// none at all): nil, make, a literal, or an append chain.
+func freshSliceInit(info *types.Info, init ast.Expr) bool {
+	switch e := ast.Unparen(init).(type) {
+	case nil:
+		return true
+	case *ast.Ident:
+		return e.Name == "nil"
+	case *ast.CompositeLit:
+		return true
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(e.Fun).(*ast.Ident); ok {
+			if b, ok := info.Uses[id].(*types.Builtin); ok {
+				return b.Name() == "make" || b.Name() == "append"
+			}
+		}
+		return false // result of a function call: assume borrowed
+	default:
+		return false
+	}
+}
+
+// noLeakBoxing lists reviewed callees whose interface parameters are
+// known not to escape (the key is only probed, never retained), so the
+// compiler stack-allocates the boxed argument and the conversion is
+// free — verified against the dynamic zero-alloc guard, which passes
+// over sync.Map.Load(stringKey) on the handle fast path. Store-like
+// methods retain their arguments and stay flagged.
+var noLeakBoxing = map[string]bool{
+	"sync.Load": true, // sync.Map.Load
+}
+
+// checkCallBoxing flags arguments whose concrete non-pointer-shaped
+// values are implicitly converted to interface parameters — each such
+// conversion heap-allocates the value (constants are exempt: small-int
+// and static-data boxing is free).
+func (w *hotWalker) checkCallBoxing(call *ast.CallExpr) {
+	if fn := calleeOf(w.info, call); fn != nil && fn.Pkg() != nil &&
+		noLeakBoxing[fn.Pkg().Path()+"."+fn.Name()] {
+		return
+	}
+	tv, ok := w.info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return
+	}
+	sig, ok := tv.Type.Underlying().(*types.Signature)
+	if !ok {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case i < params.Len()-1 || (!sig.Variadic() && i < params.Len()):
+			pt = params.At(i).Type()
+		case sig.Variadic() && call.Ellipsis == token.NoPos:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		default:
+			continue
+		}
+		if pt == nil || !types.IsInterface(pt) || isErrorType(pt) {
+			continue
+		}
+		w.checkBox(arg, pt, arg.Pos())
+	}
+}
+
+func (w *hotWalker) checkBox(arg ast.Expr, iface types.Type, pos token.Pos) {
+	tv, ok := w.info.Types[arg]
+	if !ok || tv.Type == nil || tv.IsNil() || tv.Value != nil {
+		return
+	}
+	t := tv.Type
+	if types.IsInterface(t) || pointerShaped(t) {
+		return
+	}
+	w.reportf(pos, "%s is boxed into %s here (heap allocation); pass a pointer or restructure the API", t.String(), iface.String())
+}
+
+func pointerShaped(t types.Type) bool {
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return t.Underlying().(*types.Basic).Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+type errCheck int
+
+const (
+	errCheckNone errCheck = iota
+	errCheckNotNil
+	errCheckNil
+)
+
+// errCheckKind classifies an if condition as an error check: any
+// `X != nil` (or `X == nil`) comparison where X is error-typed.
+func errCheckKind(info *types.Info, cond ast.Expr) errCheck {
+	result := errCheckNone
+	ast.Inspect(cond, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok {
+			return true
+		}
+		var operand ast.Expr
+		if isNilIdent(be.Y) {
+			operand = be.X
+		} else if isNilIdent(be.X) {
+			operand = be.Y
+		} else {
+			return true
+		}
+		if !exprHasErrorType(info, operand) {
+			return true
+		}
+		switch be.Op {
+		case token.NEQ:
+			result = errCheckNotNil
+		case token.EQL:
+			if result == errCheckNone {
+				result = errCheckNil
+			}
+		}
+		return true
+	})
+	return result
+}
+
+func isNilIdent(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "nil"
+}
+
+// allLHSError reports whether the assignment binds at least one real
+// error variable and nothing else (blanks aside): `err = f()` and
+// `_, err := f()` are error materialization, `_ = f()` is not — a
+// discarded result says nothing about being off the measured path.
+func allLHSError(info *types.Info, lhs []ast.Expr) bool {
+	sawError := false
+	for _, e := range lhs {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if id.Name == "_" {
+				continue
+			}
+			obj := info.Defs[id]
+			if obj == nil {
+				obj = info.Uses[id]
+			}
+			if obj != nil {
+				if !isErrorType(obj.Type()) {
+					return false
+				}
+				sawError = true
+				continue
+			}
+		}
+		if !exprHasErrorType(info, e) {
+			return false
+		}
+		sawError = true
+	}
+	return sawError
+}
+
+func allSpecError(info *types.Info, vs *ast.ValueSpec) bool {
+	for _, id := range vs.Names {
+		obj := info.Defs[id]
+		if obj == nil || !isErrorType(obj.Type()) {
+			return false
+		}
+	}
+	return len(vs.Names) > 0
+}
+
+func isStringExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isConstExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+func typeLabel(info *types.Info, cl *ast.CompositeLit) string {
+	if tv, ok := info.Types[cl]; ok && tv.Type != nil {
+		return tv.Type.String()
+	}
+	return "composite"
+}

@@ -1,0 +1,115 @@
+package lint_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// TestRepoClean runs the full analyzer suite over the whole module —
+// the same walk, scoping, and suppression matching as `wcclint ./...` —
+// and asserts the repo carries zero unsuppressed diagnostics and that
+// every suppression states a reason. This is the check that keeps the
+// invariants enforced between CI runs of the binary: `go test ./...`
+// alone catches a regression.
+func TestRepoClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("whole-module type-check is seconds of work; skipped in -short")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.LoadAll("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("loaded no packages")
+	}
+
+	analyzers := lint.All()
+	hotRoots := 0
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+		res, err := lint.Run(pkg, analyzers, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, d := range res.Diags {
+			t.Errorf("unsuppressed diagnostic: %s", d)
+		}
+		for _, d := range res.Suppressed {
+			if strings.TrimSpace(d.Reason) == "" {
+				t.Errorf("suppression without a reason: %s", d)
+			}
+		}
+		for _, name := range pkg.Filenames {
+			hotRoots += strings.Count(string(pkg.Src[name]), "//wcc:hotpath")
+		}
+	}
+
+	// The hotpath analyzer is only as strong as its annotations: the
+	// roots guarded dynamically by TestQueryHitPathZeroAllocs (service
+	// query surface + labeling cache) and the Route scatter must stay
+	// marked, or the analyzer silently checks nothing.
+	if hotRoots < 8 {
+		t.Errorf("found %d //wcc:hotpath annotations across the module, want at least 8 (service query surface, cache.get, Route scatter)", hotRoots)
+	}
+}
+
+// TestHotRootsAnnotated pins the exact functions the dynamic zero-alloc
+// guard measures: each must carry //wcc:hotpath so the static and
+// dynamic guards cover the same surface.
+func TestHotRootsAnnotated(t *testing.T) {
+	if testing.Short() {
+		t.Skip("depends on the whole-module load; skipped in -short")
+	}
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loader.IncludeTests = false
+	pkgs, err := loader.LoadAll("./internal/service")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("loaded %d packages for internal/service, want 1", len(pkgs))
+	}
+	src := ""
+	for _, name := range pkgs[0].Filenames {
+		src += string(pkgs[0].Src[name])
+	}
+	for _, fn := range []string{
+		"func (s *Service) SameComponent",
+		"func (s *Service) ComponentSize",
+		"func (s *Service) ComponentCount",
+		"func (s *Service) ComponentSizes",
+		"func (s *Service) Query",
+		"func (s *Service) Lookup",
+		"func (c *cache) get",
+	} {
+		idx := strings.Index(src, fn)
+		if idx < 0 {
+			t.Errorf("%s: declaration not found in internal/service", fn)
+			continue
+		}
+		// The annotation sits in the doc comment directly above the decl.
+		window := src[max(0, idx-400):idx]
+		if !strings.Contains(window, "//wcc:hotpath") {
+			t.Errorf("%s is guarded by TestQueryHitPathZeroAllocs but not annotated //wcc:hotpath", fn)
+		}
+	}
+}

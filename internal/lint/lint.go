@@ -1,0 +1,282 @@
+// Package lint is wcclint: a suite of static analyzers that enforce
+// this repository's core invariants at compile time instead of hoping a
+// test happens to exercise the violating line.
+//
+// The framework deliberately mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Diagnostic,
+// fixture-driven tests with // want comments) but is self-contained on
+// the standard library: the module has no external dependencies and the
+// build environment cannot fetch any, so packages are type-checked with
+// go/types over the stdlib source importer (see load.go) rather than
+// x/tools' loader. Should the module ever grow an x/tools dependency,
+// each analyzer's Run func ports to a real analysis.Analyzer
+// mechanically.
+//
+// Shipped analyzers (see their files for the precise rules):
+//
+//   - determinism: algorithm and simulator packages must stay
+//     bit-identically seed-deterministic — no wall-clock reads, no
+//     global math/rand, no map-iteration order leaking into output.
+//   - faultseam: internal/store may touch the filesystem only through
+//     the fault.FS seam, so every new code path is automatically
+//     covered by the chaos crash-point sweep.
+//   - hotpath: functions annotated //wcc:hotpath (and everything they
+//     transitively call) must not allocate on the error-free path.
+//   - durability: a write that a rename will publish must be fsync'd
+//     first, and fsync errors must not be discarded.
+//
+// # Suppression
+//
+// A diagnostic is suppressed by a directive comment naming the analyzer
+// and a non-empty reason:
+//
+//	//wcclint:ignore <analyzer> <reason...>
+//
+// Placed at the end of a line it suppresses that line; on a line of its
+// own it suppresses the next line. Suppressions without a reason are
+// themselves diagnostics (analyzer name "wcclint"), and every
+// suppression is counted and reported so the ignore inventory stays
+// visible (Result.Suppressed, wcclint's exit summary).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// An Analyzer describes one invariant check. The zero Scope means the
+// analyzer applies to every package; otherwise it is consulted with the
+// package being analyzed (fixture runners bypass it via Force).
+type Analyzer struct {
+	Name string // short lower-case identifier, used in diagnostics and ignore directives
+	Doc  string // one-paragraph description of the invariant
+	// Scope reports whether the analyzer applies to pkg. Nil applies
+	// everywhere. Scoping lives here (not in the driver) so `wcclint
+	// ./...` and the integration test agree by construction.
+	Scope func(pkg *Package) bool
+	Run   func(*Pass) error
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+
+	diags []Diagnostic
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file containing pos is a _test.go
+// file. Analyzers whose invariant only binds production code (e.g.
+// determinism: tests may legitimately measure wall-clock time) use this
+// to skip test files; faultseam deliberately does not.
+func (p *Pass) IsTestFile(pos token.Pos) bool {
+	return strings.HasSuffix(p.Pkg.Fset.Position(pos).Filename, "_test.go")
+}
+
+// A Diagnostic is one reported violation, resolved to a file position.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+	// Suppressed and Reason are filled by the driver when an ignore
+	// directive covers the diagnostic's line.
+	Suppressed bool
+	Reason     string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Result is the outcome of running a set of analyzers over one package.
+type Result struct {
+	Diags      []Diagnostic // unsuppressed, position-sorted
+	Suppressed []Diagnostic // suppressed, with Reason filled
+}
+
+// ignoreDirective is one parsed //wcclint:ignore comment.
+type ignoreDirective struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int // line the directive applies to (its own, or the next)
+	declLine int // line the comment itself sits on, for diagnostics
+	used     bool
+}
+
+var ignoreRe = regexp.MustCompile(`//wcclint:ignore\s+(\S+)\s*(.*)`)
+
+// parseIgnores extracts ignore directives from every file of pkg. A
+// directive that is the only thing on its line applies to the following
+// line (comment-above style); a trailing directive applies to its own
+// line.
+func parseIgnores(pkg *Package) []*ignoreDirective {
+	var out []*ignoreDirective
+	for i, f := range pkg.Files {
+		src := pkg.Src[pkg.Filenames[i]]
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				d := &ignoreDirective{
+					analyzer: m[1],
+					reason:   strings.TrimSpace(m[2]),
+					file:     pos.Filename,
+					line:     pos.Line,
+					declLine: pos.Line,
+				}
+				if standaloneComment(src, pos) {
+					d.line = pos.Line + 1
+				}
+				out = append(out, d)
+			}
+		}
+	}
+	return out
+}
+
+// standaloneComment reports whether the comment at pos has only
+// whitespace before it on its line (and so targets the next line).
+func standaloneComment(src []byte, pos token.Position) bool {
+	if src == nil {
+		return false
+	}
+	start := pos.Offset - (pos.Column - 1)
+	if start < 0 || pos.Offset > len(src) {
+		return false
+	}
+	return len(strings.TrimSpace(string(src[start:pos.Offset]))) == 0
+}
+
+// Run applies analyzers to pkg. force bypasses each analyzer's Scope
+// (fixture tests use it); normal drivers leave it false.
+func Run(pkg *Package, analyzers []*Analyzer, force bool) (Result, error) {
+	var all []Diagnostic
+	for _, a := range analyzers {
+		if !force && a.Scope != nil && !a.Scope(pkg) {
+			continue
+		}
+		pass := &Pass{Analyzer: a, Pkg: pkg}
+		if err := a.Run(pass); err != nil {
+			return Result{}, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+		}
+		all = append(all, pass.diags...)
+	}
+
+	ignores := parseIgnores(pkg)
+	var res Result
+	for _, d := range all {
+		if ig := matchIgnore(ignores, d); ig != nil {
+			d.Suppressed = true
+			d.Reason = ig.reason
+			ig.used = true
+			res.Suppressed = append(res.Suppressed, d)
+			continue
+		}
+		res.Diags = append(res.Diags, d)
+	}
+	// A suppression without a reason defeats the audit trail the
+	// directive exists to provide: surface it as a violation in its own
+	// right (but only when its analyzer actually ran — a reasonless
+	// directive for an analyzer out of scope here is someone else's
+	// finding).
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		if force || a.Scope == nil || a.Scope(pkg) {
+			ran[a.Name] = true
+		}
+	}
+	for _, ig := range ignores {
+		if ig.reason == "" && (ran[ig.analyzer] || ig.analyzer == "wcclint") {
+			res.Diags = append(res.Diags, Diagnostic{
+				Analyzer: "wcclint",
+				Pos:      token.Position{Filename: ig.file, Line: ig.declLine, Column: 1},
+				Message:  fmt.Sprintf("//wcclint:ignore %s directive without a reason — state why the invariant does not apply here", ig.analyzer),
+			})
+		}
+	}
+	sortDiags(res.Diags)
+	sortDiags(res.Suppressed)
+	return res, nil
+}
+
+func matchIgnore(ignores []*ignoreDirective, d Diagnostic) *ignoreDirective {
+	for _, ig := range ignores {
+		if ig.analyzer == d.Analyzer && ig.file == d.Pos.Filename && ig.line == d.Pos.Line && ig.reason != "" {
+			return ig
+		}
+	}
+	return nil
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+}
+
+// All returns the full analyzer suite in reporting order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, FaultSeam, HotPath, Durability}
+}
+
+// ByName resolves a comma-separated analyzer selection.
+func ByName(names string) ([]*Analyzer, error) {
+	if names == "" {
+		return All(), nil
+	}
+	index := map[string]*Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*Analyzer
+	for _, n := range strings.Split(names, ",") {
+		n = strings.TrimSpace(n)
+		a, ok := index[n]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q (have: determinism, faultseam, hotpath, durability)", n)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// funcDocHas reports whether a function declaration's doc comment
+// carries the given //wcc:* annotation.
+func funcDocHas(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,165 @@
+// Package linttest runs lint analyzers over fixture packages and
+// matches their diagnostics against // want comments, the same
+// convention as golang.org/x/tools/go/analysis/analysistest:
+//
+//	rng := rand.Int() // want `global RNG`
+//
+// Each string after // want is a regular expression that must match a
+// diagnostic reported on that line; every diagnostic must be matched by
+// a want and every want must match a diagnostic, or the test fails.
+// Fixtures live under the calling package's testdata directory, one
+// package per case directory, and are loaded with the analyzer's scope
+// bypassed (fixtures test the rules, the integration test exercises the
+// scoping).
+package linttest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// One loader serves every fixture in the test binary: the source
+// importer memoizes type-checked imports, so the stdlib is checked once
+// instead of once per test case.
+var (
+	loaderOnce sync.Once
+	loader     *lint.Loader
+	loaderErr  error
+)
+
+func sharedLoader() (*lint.Loader, error) {
+	loaderOnce.Do(func() {
+		root, err := lint.FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		loader, loaderErr = lint.NewLoader(root)
+	})
+	return loader, loaderErr
+}
+
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:(?:`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\")\\s*)+)")
+var wantArgRe = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads the fixture package at dir (relative to the caller's
+// package directory), applies the analyzer, and asserts diagnostics
+// and // want comments agree. It returns the result for additional
+// assertions (suppression counts, reasons).
+func Run(t *testing.T, a *lint.Analyzer, dir string) lint.Result {
+	t.Helper()
+	loader, err := sharedLoader()
+	if err != nil {
+		t.Fatalf("loader: %v", err)
+	}
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		t.Fatalf("abs %s: %v", dir, err)
+	}
+	units, err := loader.Load(abs)
+	if err != nil {
+		t.Fatalf("load %s: %v", dir, err)
+	}
+	if len(units) == 0 {
+		t.Fatalf("no Go files in fixture %s", dir)
+	}
+
+	var combined lint.Result
+	var wants []*want
+	for _, u := range units {
+		for _, terr := range u.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", dir, terr)
+		}
+		res, err := lint.Run(u, []*lint.Analyzer{a}, true)
+		if err != nil {
+			t.Fatalf("run %s: %v", dir, err)
+		}
+		combined.Diags = append(combined.Diags, res.Diags...)
+		combined.Suppressed = append(combined.Suppressed, res.Suppressed...)
+		wants = append(wants, parseWants(t, u)...)
+	}
+
+	for _, d := range combined.Diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+	return combined
+}
+
+func parseWants(t *testing.T, u *lint.Package) []*want {
+	t.Helper()
+	var out []*want
+	for _, name := range u.Filenames {
+		src := u.Src[name]
+		for i, line := range strings.Split(string(src), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			for _, q := range wantArgRe.FindAllString(m[1], -1) {
+				pat := q[1 : len(q)-1]
+				if q[0] == '"' {
+					pat = strings.ReplaceAll(pat, `\"`, `"`)
+				}
+				re, err := regexp.Compile(pat)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", name, i+1, pat, err)
+				}
+				out = append(out, &want{file: name, line: i + 1, re: re})
+			}
+		}
+	}
+	return out
+}
+
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// MustSuppress asserts the result carries exactly n suppressed
+// diagnostics for analyzer name, each with a non-empty reason.
+func MustSuppress(t *testing.T, res lint.Result, name string, n int) {
+	t.Helper()
+	count := 0
+	for _, d := range res.Suppressed {
+		if d.Analyzer != name {
+			continue
+		}
+		count++
+		if strings.TrimSpace(d.Reason) == "" {
+			t.Errorf("suppressed diagnostic without reason: %s", d)
+		}
+	}
+	if count != n {
+		var lines []string
+		for _, d := range res.Suppressed {
+			lines = append(lines, fmt.Sprintf("  %s (reason: %s)", d, d.Reason))
+		}
+		t.Errorf("got %d suppressed %s diagnostics, want %d\n%s", count, name, n, strings.Join(lines, "\n"))
+	}
+}

@@ -1,0 +1,313 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Package is one type-checked analysis unit: a package's non-test and
+// in-package test files together, or a directory's external _test
+// package as its own unit.
+type Package struct {
+	Dir    string // absolute directory
+	RelDir string // module-relative, slash-separated ("internal/store")
+	Path   string // import path ("repro/internal/store"; external tests get a " [test]" suffix)
+	Name   string // package name
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Filenames []string          // parallel to Files, absolute
+	Src       map[string][]byte // filename -> raw source (directive parsing)
+
+	Types      *types.Package
+	Info       *types.Info
+	TypeErrors []error
+}
+
+// Loader parses and type-checks packages of the enclosing module using
+// only the standard library. Imports are resolved by the go/importer
+// "source" importer, which type-checks dependencies from source; one
+// Loader shares that importer (and its cache) across every Load call,
+// so a whole-repo sweep pays for each dependency once.
+//
+// Cgo is disabled on the global build context: the source importer
+// cannot preprocess cgo files, and with CGO_ENABLED=0 the packages this
+// module touches (net via the pure-Go resolver, os/user, …) all have
+// pure-Go fallbacks.
+type Loader struct {
+	ModuleRoot string
+	ModulePath string
+	// IncludeTests brings _test.go files into the analysis (in-package
+	// test files join the package unit; external test packages become
+	// their own unit). Defaults to true in NewLoader: invariants like
+	// faultseam bind test helpers too.
+	IncludeTests bool
+
+	fset *token.FileSet
+	imp  types.Importer
+}
+
+var disableCgoOnce sync.Once
+
+// NewLoader returns a Loader rooted at the module directory containing
+// moduleRoot's go.mod.
+func NewLoader(moduleRoot string) (*Loader, error) {
+	abs, err := filepath.Abs(moduleRoot)
+	if err != nil {
+		return nil, err
+	}
+	modPath, err := modulePath(filepath.Join(abs, "go.mod"))
+	if err != nil {
+		return nil, err
+	}
+	disableCgoOnce.Do(func() { build.Default.CgoEnabled = false })
+	fset := token.NewFileSet()
+	return &Loader{
+		ModuleRoot:   abs,
+		ModulePath:   modPath,
+		IncludeTests: true,
+		fset:         fset,
+		imp:          importer.ForCompiler(fset, "source", nil),
+	}, nil
+}
+
+var moduleRe = regexp.MustCompile(`(?m)^module\s+(\S+)`)
+
+func modulePath(gomod string) (string, error) {
+	data, err := os.ReadFile(gomod)
+	if err != nil {
+		return "", fmt.Errorf("lint: reading %s: %w", gomod, err)
+	}
+	m := moduleRe.FindSubmatch(data)
+	if m == nil {
+		return "", fmt.Errorf("lint: no module directive in %s", gomod)
+	}
+	return string(m[1]), nil
+}
+
+// FindModuleRoot walks upward from dir to the nearest go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	d, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("lint: no go.mod found above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// Load parses and type-checks the package in dir (absolute or relative
+// to the module root). It returns one unit for the package itself and,
+// when IncludeTests is set and the directory has an external _test
+// package, a second unit for that. Directories with no buildable Go
+// files return no units and no error.
+func (l *Loader) Load(dir string) ([]*Package, error) {
+	if !filepath.IsAbs(dir) {
+		dir = filepath.Join(l.ModuleRoot, dir)
+	}
+	rel, err := filepath.Rel(l.ModuleRoot, dir)
+	if err != nil {
+		return nil, err
+	}
+	rel = filepath.ToSlash(rel)
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	ctx := build.Default
+	var names []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		if !l.IncludeTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if ok, err := ctx.MatchFile(dir, name); err != nil || !ok {
+			continue // build-constrained out (wrong GOOS, ignore tag, …)
+		}
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, nil
+	}
+
+	type parsed struct {
+		file *ast.File
+		name string
+		src  []byte
+	}
+	var files []parsed
+	for _, name := range names {
+		full := filepath.Join(dir, name)
+		src, err := os.ReadFile(full)
+		if err != nil {
+			return nil, err
+		}
+		f, err := parser.ParseFile(l.fset, full, src, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, parsed{file: f, name: full, src: src})
+	}
+
+	// Split into the package unit (non-test + in-package test files)
+	// and the external test package, keyed by package clause.
+	basePkg := ""
+	for _, p := range files {
+		if !strings.HasSuffix(p.name, "_test.go") {
+			basePkg = p.file.Name.Name
+			break
+		}
+	}
+	if basePkg == "" { // test-only directory
+		basePkg = strings.TrimSuffix(files[0].file.Name.Name, "_test")
+	}
+
+	importPath := l.ModulePath
+	if rel != "." {
+		importPath += "/" + rel
+	}
+	var units []*Package
+	base := l.newPackage(dir, rel, importPath, basePkg)
+	ext := l.newPackage(dir, rel, importPath+" [test]", basePkg+"_test")
+	for _, p := range files {
+		switch p.file.Name.Name {
+		case basePkg:
+			base.add(p.file, p.name, p.src)
+		case basePkg + "_test":
+			ext.add(p.file, p.name, p.src)
+		default:
+			return nil, fmt.Errorf("lint: %s: package %s does not match directory package %s", p.name, p.file.Name.Name, basePkg)
+		}
+	}
+	for _, u := range []*Package{base, ext} {
+		if len(u.Files) == 0 {
+			continue
+		}
+		l.check(u)
+		units = append(units, u)
+	}
+	return units, nil
+}
+
+func (l *Loader) newPackage(dir, rel, path, name string) *Package {
+	return &Package{
+		Dir:    dir,
+		RelDir: rel,
+		Path:   path,
+		Name:   name,
+		Fset:   l.fset,
+		Src:    map[string][]byte{},
+	}
+}
+
+func (p *Package) add(f *ast.File, filename string, src []byte) {
+	p.Files = append(p.Files, f)
+	p.Filenames = append(p.Filenames, filename)
+	p.Src[filename] = src
+}
+
+func (l *Loader) check(u *Package) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{
+		Importer: l.imp,
+		Error: func(err error) {
+			if len(u.TypeErrors) < 20 {
+				u.TypeErrors = append(u.TypeErrors, err)
+			}
+		},
+	}
+	// The path handed to Check must be importable-looking but the
+	// external test unit must never collide with the real package.
+	checkPath := strings.TrimSuffix(u.Path, " [test]")
+	if u.Name != filepath.Base(checkPath) && strings.HasSuffix(u.Name, "_test") {
+		checkPath += "_test"
+	}
+	pkg, _ := conf.Check(checkPath, l.fset, u.Files, info)
+	u.Types = pkg
+	u.Info = info
+}
+
+// LoadAll walks the module (or the subtree under each pattern ending in
+// "/...") and loads every package directory, skipping testdata, hidden
+// directories, and vendor trees. Patterns without the /... suffix load
+// a single directory.
+func (l *Loader) LoadAll(patterns ...string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var pkgs []*Package
+	for _, pat := range patterns {
+		recursive := false
+		dir := pat
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			dir = strings.TrimSuffix(pat, "/...")
+			if dir == "." || dir == "" {
+				dir = l.ModuleRoot
+			}
+		}
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(l.ModuleRoot, dir)
+		}
+		if !recursive {
+			units, err := l.Load(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkgs = append(pkgs, units...)
+			continue
+		}
+		err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != dir && (name == "testdata" || name == "vendor" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+				return filepath.SkipDir
+			}
+			units, lerr := l.Load(path)
+			if lerr != nil {
+				return lerr
+			}
+			pkgs = append(pkgs, units...)
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	return pkgs, nil
+}

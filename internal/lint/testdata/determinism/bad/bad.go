@@ -1,0 +1,43 @@
+// Package bad exercises every construct the determinism analyzer flags.
+package bad
+
+import (
+	"math/rand"
+	"time"
+
+	rand2 "math/rand/v2"
+)
+
+// Wall reads the clock three ways; each feeds nondeterminism into the
+// computation.
+func Wall(start time.Time) (time.Time, time.Duration, time.Duration) {
+	now := time.Now()          // want `time.Now reads the wall clock`
+	since := time.Since(start) // want `time.Since reads the wall clock`
+	until := time.Until(start) // want `time.Until reads the wall clock`
+	return now, since, until
+}
+
+// GlobalRand draws from the shared package-level RNGs of both rand
+// generations.
+func GlobalRand(n int) int {
+	x := rand.Intn(n)      // want `rand.Intn draws from the shared global RNG`
+	y := rand2.IntN(n)     // want `rand.IntN draws from the shared global RNG`
+	f := rand.Float64()    // want `rand.Float64 draws from the shared global RNG`
+	return x + y + int(f*float64(n))
+}
+
+// CollectValues publishes map iteration order through an output slice.
+func CollectValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v) // want `append to out inside range over a map`
+	}
+	return out
+}
+
+// StreamKeys publishes map iteration order through a channel.
+func StreamKeys(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `sending on a channel while ranging over a map`
+	}
+}

@@ -1,0 +1,62 @@
+// Package good holds the blessed patterns the determinism analyzer must
+// accept without a diagnostic.
+package good
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+
+	rand2 "math/rand/v2"
+)
+
+// Seeded draws flow through a caller-provided seed: same seed, same
+// stream. Constructors on the global package are allowed; only the
+// shared-state draws are not.
+func Seeded(seed int64, n int) int {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Intn(n)
+}
+
+// SeededV2 is the math/rand/v2 spelling of the same pattern.
+func SeededV2(seed uint64, n int) int {
+	rng := rand2.New(rand2.NewPCG(seed, seed^0x9e3779b9))
+	return rng.IntN(n)
+}
+
+// Backoff stalls, but reads no clock value into any output.
+func Backoff(d time.Duration) {
+	time.Sleep(d)
+}
+
+// SortedValues collects in arbitrary order and then sorts, removing the
+// iteration-order dependence before anything observes the slice.
+func SortedValues(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Histogram writes into fixed indices; no ordering escapes.
+func Histogram(m map[string]int, counts []int) {
+	for _, v := range m {
+		counts[v%len(counts)]++
+	}
+}
+
+// LocalCollect appends to a slice declared inside the loop body; it dies
+// each iteration, so no cross-iteration order is observable.
+func LocalCollect(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var doubled []int
+		for _, v := range vs {
+			doubled = append(doubled, 2*v)
+		}
+		total += len(doubled)
+	}
+	return total
+}

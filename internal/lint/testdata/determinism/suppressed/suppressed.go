@@ -1,0 +1,24 @@
+// Package suppressed exercises the //wcclint:ignore directive: trailing
+// and standalone placement, and the reasonless-directive diagnostic.
+package suppressed
+
+import "time"
+
+// Stamp returns display-only metadata that is never fed back into any
+// labeling computation; the trailing directive suppresses its own line.
+func Stamp() time.Time {
+	return time.Now() //wcclint:ignore determinism display-only timestamp, never part of the labeling computation
+}
+
+// StampAbove shows the standalone form: the directive suppresses the
+// following line.
+func StampAbove() time.Time {
+	//wcclint:ignore determinism display-only timestamp, never part of the labeling computation
+	return time.Now()
+}
+
+// Reasonless shows that a directive without a reason suppresses nothing
+// and is a diagnostic itself.
+func Reasonless() time.Time {
+	return time.Now() // want `time.Now reads the wall clock` `directive without a reason` //wcclint:ignore determinism
+}

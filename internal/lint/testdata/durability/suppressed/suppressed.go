@@ -1,0 +1,15 @@
+// Package suppressed accepts one inventoried ordering exception with a
+// written reason.
+package suppressed
+
+import "repro/internal/fault"
+
+// Rotate writes a scratch sidecar and renames a DIFFERENT, pre-existing
+// file; the flow-insensitive analysis cannot see the two paths are
+// unrelated, so the exception is recorded where it happens.
+func Rotate(fsys fault.FS, scratch fault.File, cur, old string) error {
+	if _, err := scratch.Write([]byte("rotation note")); err != nil {
+		return err
+	}
+	return fsys.Rename(cur, old) //wcclint:ignore durability the rename targets a pre-existing log, not the scratch sidecar written above
+}

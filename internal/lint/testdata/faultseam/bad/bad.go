@@ -1,0 +1,35 @@
+// Package bad exercises the filesystem entry points the faultseam
+// analyzer must flag: direct os.*, deprecated io/ioutil, raw syscalls.
+package bad
+
+import (
+	"io/ioutil"
+	"os"
+	"syscall"
+)
+
+func Raw(path string) ([]byte, error) {
+	if err := os.MkdirAll(path, 0o755); err != nil { // want `direct filesystem call os.MkdirAll bypasses the fault.FS seam`
+		return nil, err
+	}
+	if err := os.WriteFile(path, nil, 0o644); err != nil { // want `direct filesystem call os.WriteFile bypasses the fault.FS seam`
+		return nil, err
+	}
+	if err := os.Rename(path, path+".bak"); err != nil { // want `direct filesystem call os.Rename bypasses the fault.FS seam`
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDONLY, 0) // want `direct filesystem call os.OpenFile bypasses the fault.FS seam`
+	if err != nil {
+		return nil, err
+	}
+	f.Close()
+	legacy, err := ioutil.ReadFile(path) // want `ioutil.ReadFile bypasses the fault.FS seam`
+	if err != nil {
+		return nil, err
+	}
+	if err := syscall.Unlink(path); err != nil { // want `raw syscall.Unlink bypasses the fault.FS seam`
+		return nil, err
+	}
+	data, err := os.ReadFile(path) // want `direct filesystem call os.ReadFile bypasses the fault.FS seam`
+	return append(legacy, data...), err
+}

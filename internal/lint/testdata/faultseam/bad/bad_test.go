@@ -1,0 +1,14 @@
+package bad
+
+import (
+	"os"
+	"testing"
+)
+
+// Test files are NOT exempt from the seam rule: a deliberate bypass in a
+// test must carry a reasoned ignore, so the inventory stays auditable.
+func TestRaw(t *testing.T) {
+	if err := os.WriteFile(t.TempDir()+"/x", nil, 0o644); err != nil { // want `direct filesystem call os.WriteFile bypasses the fault.FS seam`
+		t.Fatal(err)
+	}
+}

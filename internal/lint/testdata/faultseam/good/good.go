@@ -1,0 +1,38 @@
+// Package good shows seam-routed filesystem access and the pure value
+// helpers from package os that remain allowed.
+package good
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+
+	"repro/internal/fault"
+)
+
+// Load routes every filesystem operation through the seam; os only
+// contributes constants and error predicates, which touch nothing.
+func Load(fsys fault.FS, dir string) ([]byte, error) {
+	data, err := fsys.ReadFile(filepath.Join(dir, "snap"))
+	if errors.Is(err, os.ErrNotExist) || os.IsNotExist(err) {
+		return nil, nil
+	}
+	return data, err
+}
+
+// AppendRecord opens through the seam with os flag constants.
+func AppendRecord(fsys fault.FS, path string, rec []byte) error {
+	f, err := fsys.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(rec); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

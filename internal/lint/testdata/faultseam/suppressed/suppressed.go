@@ -1,0 +1,18 @@
+// Package suppressed holds a sanctioned seam bypass: raw access with a
+// written reason, the pattern internal/store's rawfs_test.go helpers use.
+package suppressed
+
+import "os"
+
+// CorruptTail simulates a torn write by planting bytes no seam
+// operation could produce.
+func CorruptTail(path string, keep int) error {
+	data, err := os.ReadFile(path) //wcclint:ignore faultseam corruption helper must capture the exact on-disk bytes behind the seam
+	if err != nil {
+		return err
+	}
+	if keep > len(data) {
+		keep = len(data)
+	}
+	return os.WriteFile(path, data[:keep], 0o644) //wcclint:ignore faultseam corruption helper plants torn bytes behind the seam
+}

@@ -1,0 +1,86 @@
+// Package bad exercises every construct the hotpath analyzer flags
+// inside //wcc:hotpath roots and their transitive callees.
+package bad
+
+import (
+	"fmt"
+	"strconv"
+)
+
+type counter struct{ n int }
+
+type shape interface{ area() int }
+
+//wcc:hotpath
+func Allocs(n int) int {
+	s := fmt.Sprintf("n=%d", n)       // want `fmt.Sprintf allocates its result string`
+	buf := make([]byte, n)            // want `make of a slice allocates`
+	m := make(map[string]int)         // want `make of a map allocates`
+	ch := make(chan int, 1)           // want `make of a channel allocates`
+	c := new(counter)                 // want `new allocates`
+	p := &counter{n: n}               // want `literal escapes to the heap`
+	lit := []int{1, 2, 3}             // want `slice literal allocates`
+	table := map[int]string{n: "one"} // want `map literal allocates`
+	ch <- len(s) + len(buf)
+	return m[""] + c.n + p.n + lit[0] + len(table) + <-ch
+}
+
+//wcc:hotpath
+func Spawns(f func() int) int {
+	go f()                        // want `go statement spawns a goroutine`
+	cl := func() int { return 1 } // want `closure allocates`
+	return cl() + f()             // want `call through a function value` `call through a function value`
+}
+
+//wcc:hotpath
+func Dyn(s shape) int {
+	return s.area() // want `dynamic dispatch through interface method area`
+}
+
+//wcc:hotpath
+func Concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//wcc:hotpath
+func Fresh(n int) int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `append grows function-local slice out`
+	}
+	return len(out)
+}
+
+func sink(v any) int { return 0 }
+
+//wcc:hotpath
+func Boxes(x int) int {
+	return sink(x) // want `int is boxed into any`
+}
+
+// Root is clean itself; the allocation sits one call down and is
+// attributed to the root through the transitive walk.
+//
+//wcc:hotpath
+func Root(n int) []byte {
+	return helper(n)
+}
+
+func helper(n int) []byte {
+	return make([]byte, n) // want `root Root, via helper.*make of a slice allocates`
+}
+
+//wcc:hotpath
+func Calls(n int) string {
+	return strconv.Itoa(n) // want `package "strconv" is not on the reviewed no-allocation allowlist`
+}
+
+// The annotation also attaches to function literals (the Route scatter
+// pattern): a marker on the line above the literal.
+func RunsLit(run func(func(int) int)) {
+	//wcc:hotpath
+	run(func(i int) int {
+		s := fmt.Sprintf("%d", i) // want `fmt.Sprintf allocates its result string`
+		return len(s)
+	})
+}

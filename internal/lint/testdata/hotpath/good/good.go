@@ -1,0 +1,126 @@
+// Package good holds hit-path shapes the hotpath analyzer must accept:
+// locks and atomics, error materialization, cold boundaries,
+// caller-owned buffers, stack values, and constant boxing.
+package good
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+var errOverflow = errors.New("overflow")
+
+type state struct {
+	mu    sync.RWMutex
+	table map[uint64]int
+	hits  atomic.Int64
+}
+
+// Lookup is the canonical hit path: shared lock, map probe, one atomic.
+//
+//wcc:hotpath
+func (s *state) Lookup(k uint64) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.table[k]
+	s.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	}
+	return v, ok
+}
+
+// Validated materializes errors three ways; all are off the measured
+// path, exactly like the dynamic zero-alloc guard that only counts
+// error-free runs.
+//
+//wcc:hotpath
+func Validated(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("negative: %d", n)
+	}
+	v, err := step(n)
+	if err != nil {
+		return 0, fmt.Errorf("step: %w", err)
+	}
+	err = check(v)
+	if err != nil {
+		return 0, err
+	}
+	return v, nil
+}
+
+func step(n int) (int, error) { return n + 1, nil }
+
+func check(n int) error {
+	if n > 1<<30 {
+		return errOverflow
+	}
+	return nil
+}
+
+// WithMiss calls across a declared cold boundary; the callee's
+// allocations are its own business.
+//
+//wcc:hotpath
+func WithMiss(s *state, k uint64) int {
+	if v, ok := s.Lookup(k); ok {
+		return v
+	}
+	return miss(s, k)
+}
+
+// miss rebuilds the entry — first-use work, off the hit path.
+//
+//wcc:coldpath
+func miss(s *state, k uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.table == nil {
+		s.table = make(map[uint64]int)
+	}
+	s.table[k] = int(k)
+	return int(k)
+}
+
+// Fill appends into a caller-owned buffer: growth is amortized by the
+// caller, not charged per call.
+//
+//wcc:hotpath
+func Fill(dst []byte, b byte, n int) []byte {
+	for i := 0; i < n; i++ {
+		dst = append(dst, b)
+	}
+	return dst
+}
+
+type pair struct{ a, b int }
+
+// Value builds a struct VALUE; it lives on the stack.
+//
+//wcc:hotpath
+func Value(n int) int {
+	p := pair{a: n, b: n + 1}
+	return p.a + p.b
+}
+
+func record(args ...any) int { return len(args) }
+
+// ConstBox boxes only constants, which point at static data.
+//
+//wcc:hotpath
+func ConstBox() int {
+	return record(42, "static")
+}
+
+// Guard panics on a precondition violation; panic arguments are
+// unreachable on the measured path by definition.
+//
+//wcc:hotpath
+func Guard(n int) int {
+	if n < 0 {
+		panic(fmt.Sprintf("negative %d", n))
+	}
+	return n
+}

@@ -1,0 +1,14 @@
+// Package suppressed accepts one inventoried hot-path allocation with a
+// written reason.
+package suppressed
+
+import "fmt"
+
+// Label is on the hot path, but its one formatting allocation happens
+// once per admission and is amortized across the run; the suppression
+// records that trade-off.
+//
+//wcc:hotpath
+func Label(n int) string {
+	return fmt.Sprintf("g-%08d", n) //wcclint:ignore hotpath label is built once per admission and amortized across the run
+}

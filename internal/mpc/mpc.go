@@ -451,6 +451,9 @@ func Route[T, U any](s *Sim, in *Sharded[T], emit func(machine int, items []T, s
 	}
 	// Scatter: sources write disjoint index ranges of each receiver shard,
 	// so they can run concurrently; the offset row doubles as the cursor.
+	// Every message of the round funnels through this loop, so it must
+	// stay pure index arithmetic — all buffers were sized above.
+	//wcc:hotpath
 	s.parallelOver(nm, func(src int) {
 		rs := scratch[src]
 		base := src * nm

@@ -16,6 +16,7 @@ package regularize
 import (
 	"fmt"
 	"math/rand/v2"
+	"slices"
 
 	"repro/internal/expander"
 	"repro/internal/graph"
@@ -104,6 +105,10 @@ func Regularize(sim *mpc.Sim, g *graph.Graph, params Params, rng *rand.Rand) (*R
 	for d := range distinct {
 		sizes = append(sizes, d)
 	}
+	// Ascending degree order, not map order: ConstructMPC consumes rng
+	// per size, so the iteration order would otherwise leak into which
+	// random bits each cloud gets — same seed, different expanders.
+	slices.Sort(sizes)
 	built, err := expander.ConstructMPC(sim, sizes, params.CloudDegree, params.GapTarget, rng)
 	if err != nil {
 		return nil, fmt.Errorf("regularize: cloud construction: %w", err)

@@ -190,6 +190,8 @@ func (c *cache) shardOf(k *labelingKey) *cacheShard {
 // get returns the labeling under k, stamping it most recently used. The
 // hot path of every query: one shared shard lock, one map probe, two
 // atomic writes, zero allocations.
+//
+//wcc:hotpath
 func (c *cache) get(k labelingKey) (*Labeling, bool) {
 	sh := c.shardOf(&k)
 	sh.mu.RLock()

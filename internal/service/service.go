@@ -705,12 +705,24 @@ func (s *Service) Generate(name string, spec gen.Spec) (*StoredGraph, error) {
 // lock. Handles are created on demand (through the store, which bumps
 // the graph's LRU), so graphs recovered from a data directory are
 // addressable without any warm-up.
+//
+//wcc:hotpath
 func (s *Service) Graph(id string) (*StoredGraph, error) {
 	if v, ok := s.handles.Load(id); ok {
 		sg := v.(*StoredGraph)
 		sg.touch()
 		return sg, nil
 	}
+	return s.graphSlow(id)
+}
+
+// graphSlow creates the runtime handle for a graph that has no live one:
+// first touch after a restart, or after an eviction/reload cycle. It
+// takes the global handle lock and a storage-engine round trip — once
+// per handle lifetime, never per query.
+//
+//wcc:coldpath
+func (s *Service) graphSlow(id string) (*StoredGraph, error) {
 	meta, ok := s.st.Get(id)
 	if !ok {
 		return nil, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
@@ -916,6 +928,8 @@ func (s *Service) cacheKey(digest [sha256Len]byte, spec SolveSpec) (labelingKey,
 // derivable by fast-forwarding a cached labeling of an earlier retained
 // version across the appended batches (an incremental merge, not a
 // solve). The hit path allocates nothing.
+//
+//wcc:hotpath
 func (s *Service) Lookup(spec SolveSpec) (*Labeling, bool, error) {
 	if err := validateSpec(spec); err != nil {
 		return nil, false, err
@@ -1085,8 +1099,10 @@ func (s *Service) cached(spec SolveSpec) (*Labeling, error) {
 
 // SameComponent answers from the labeling cache in O(1); it never runs an
 // algorithm (IsNotSolved errors ask the caller to solve first). The hit
-// path performs zero heap allocations — guarded by
-// TestQueryHitPathZeroAllocs.
+// path performs zero heap allocations — guarded dynamically by
+// TestQueryHitPathZeroAllocs and statically by the hotpath analyzer.
+//
+//wcc:hotpath
 func (s *Service) SameComponent(spec SolveSpec, u, v graph.Vertex) (bool, error) {
 	l, err := s.cached(spec)
 	if err != nil {
@@ -1096,6 +1112,8 @@ func (s *Service) SameComponent(spec SolveSpec, u, v graph.Vertex) (bool, error)
 }
 
 // ComponentSize answers from the labeling cache in O(1).
+//
+//wcc:hotpath
 func (s *Service) ComponentSize(spec SolveSpec, u graph.Vertex) (int, error) {
 	l, err := s.cached(spec)
 	if err != nil {
@@ -1105,6 +1123,8 @@ func (s *Service) ComponentSize(spec SolveSpec, u graph.Vertex) (int, error) {
 }
 
 // ComponentCount answers from the labeling cache in O(1).
+//
+//wcc:hotpath
 func (s *Service) ComponentCount(spec SolveSpec) (int, error) {
 	l, err := s.cached(spec)
 	if err != nil {
@@ -1115,6 +1135,8 @@ func (s *Service) ComponentCount(spec SolveSpec) (int, error) {
 
 // ComponentSizes returns the full size histogram (size, count) of a
 // cached labeling in ascending size order, precomputed at solve time.
+//
+//wcc:hotpath
 func (s *Service) ComponentSizes(spec SolveSpec) ([][2]int, error) {
 	l, err := s.cached(spec)
 	if err != nil {
@@ -1161,6 +1183,8 @@ type BatchResult struct {
 // success the answering labeling is returned so callers can report the
 // resolved version. The hit path allocates only for per-item error
 // strings.
+//
+//wcc:hotpath
 func (s *Service) Query(spec SolveSpec, qs []BatchQuery, out []BatchResult) (*Labeling, error) {
 	if len(out) < len(qs) {
 		return nil, fmt.Errorf("service: batch result buffer too small (%d < %d)", len(out), len(qs))

@@ -54,12 +54,23 @@ func (w *versionWindow) latest() (versionRef, bool) {
 }
 
 // loadWindow returns the handle's version snapshot, fetching it from the
-// store on first use. The fetch can race with an append publishing a
-// newer window; publishWindow resolves that monotonically.
+// store on first use. After that first use the answer is one atomic
+// pointer load.
+//
+//wcc:hotpath
 func (sg *StoredGraph) loadWindow() *versionWindow {
 	if w := sg.window.Load(); w != nil {
 		return w
 	}
+	return sg.fetchWindow()
+}
+
+// fetchWindow builds the window snapshot from the store — the once-per-
+// handle slow path of loadWindow. The fetch can race with an append
+// publishing a newer window; publishWindow resolves that monotonically.
+//
+//wcc:coldpath
+func (sg *StoredGraph) fetchWindow() *versionWindow {
 	vers, err := sg.svc.st.Versions(sg.ID)
 	if err != nil || len(vers) == 0 {
 		return nil
@@ -334,6 +345,8 @@ func (s *Service) forwardLabeling(l *Labeling, target VersionInfo, targetKey [sh
 // cached inside the retention window) means the caller re-solves through
 // the registry — exactly the version-gap fallback the config threshold
 // describes.
+//
+//wcc:coldpath
 func (s *Service) fastForward(sg *StoredGraph, target versionRef, spec SolveSpec) (*Labeling, bool) {
 	w := sg.loadWindow()
 	if w == nil {

@@ -2,7 +2,6 @@ package store
 
 import (
 	"bytes"
-	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -118,13 +117,8 @@ func TestDiskTornWALTail(t *testing.T) {
 	}
 	for _, tc := range cases {
 		name, tear := tc.name, tc.tear
-		good, err := os.ReadFile(walPath)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(walPath, tear(good), 0o644); err != nil {
-			t.Fatal(err)
-		}
+		good := rawReadFile(t, walPath)
+		rawWriteFile(t, walPath, tear(good))
 		s2 := openDisk(t, dir, Config{})
 		vers, err := s2.Versions(m.ID)
 		if err != nil {
@@ -135,9 +129,7 @@ func TestDiskTornWALTail(t *testing.T) {
 		}
 		s2.Close()
 		// Restore the intact WAL for the next case.
-		if err := os.WriteFile(walPath, good, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		rawWriteFile(t, walPath, good)
 	}
 }
 
@@ -153,9 +145,7 @@ func TestDiskTornWALHeader(t *testing.T) {
 
 	walPath := filepath.Join(dir, m.ID, walFile)
 	for cut := 0; cut < len(walMagic); cut++ {
-		if err := os.WriteFile(walPath, []byte(walMagic[:cut]), 0o644); err != nil {
-			t.Fatal(err)
-		}
+		rawWriteFile(t, walPath, []byte(walMagic[:cut]))
 		s2 := openDisk(t, dir, Config{})
 		if _, ok := s2.Get(m.ID); !ok {
 			t.Fatalf("cut=%d: graph lost", cut)
@@ -165,9 +155,7 @@ func TestDiskTornWALHeader(t *testing.T) {
 		s2.Close()
 	}
 	// Non-magic garbage of header length is corruption, not a torn write.
-	if err := os.WriteFile(walPath, []byte("XXXXXXXX"), 0o644); err != nil {
-		t.Fatal(err)
-	}
+	rawWriteFile(t, walPath, []byte("XXXXXXXX"))
 	if _, err := Open(dir, Config{}); err == nil {
 		t.Fatal("open accepted a WAL with a wrong magic")
 	}
@@ -182,14 +170,9 @@ func TestDiskSnapshotCorruption(t *testing.T) {
 	s.Close()
 
 	snapPath := filepath.Join(dir, m.ID, snapFile)
-	data, err := os.ReadFile(snapPath)
-	if err != nil {
-		t.Fatal(err)
-	}
+	data := rawReadFile(t, snapPath)
 	data[len(data)/2] ^= 0x01
-	if err := os.WriteFile(snapPath, data, 0o644); err != nil {
-		t.Fatal(err)
-	}
+	rawWriteFile(t, snapPath, data)
 	if _, err := Open(dir, Config{}); err == nil {
 		t.Fatal("open accepted a corrupt snapshot")
 	}
@@ -212,14 +195,7 @@ func TestDiskChainBreak(t *testing.T) {
 		t.Fatal(err)
 	}
 	walPath := filepath.Join(dir, m.ID, walFile)
-	f, err := os.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if _, err := f.Write(rec); err != nil {
-		t.Fatal(err)
-	}
-	f.Close()
+	rawAppendFile(t, walPath, rec)
 	if _, err := Open(dir, Config{}); err == nil {
 		t.Fatal("open accepted a broken digest chain")
 	}
@@ -247,10 +223,7 @@ func TestDiskCompactionPersists(t *testing.T) {
 
 	// The snapshot file now materializes version 4 directly (its meta
 	// says so), and the WAL is shorter than a full history would be.
-	raw, err := os.ReadFile(filepath.Join(dir, m.ID, snapFile))
-	if err != nil {
-		t.Fatal(err)
-	}
+	raw := rawReadFile(t, filepath.Join(dir, m.ID, snapFile))
 	if !bytes.Contains(raw, []byte(`"version":4`)) {
 		t.Error("snapshot metadata does not carry the compacted version")
 	}
@@ -322,8 +295,8 @@ func TestDiskEvictRemovesFiles(t *testing.T) {
 	if !s.Evict(m.ID) {
 		t.Fatal("evict failed")
 	}
-	if _, err := os.Stat(filepath.Join(dir, m.ID)); !os.IsNotExist(err) {
-		t.Fatalf("graph directory survived eviction: %v", err)
+	if rawExists(t, filepath.Join(dir, m.ID)) {
+		t.Fatal("graph directory survived eviction")
 	}
 	s.Close()
 	s2 := openDisk(t, dir, Config{})
@@ -361,14 +334,8 @@ func FuzzWALReplay(f *testing.F) {
 		f.Fatal(err)
 	}
 	s.Close()
-	wal, err := os.ReadFile(filepath.Join(seedDir, meta.ID, walFile))
-	if err != nil {
-		f.Fatal(err)
-	}
-	snap, err := os.ReadFile(filepath.Join(seedDir, meta.ID, snapFile))
-	if err != nil {
-		f.Fatal(err)
-	}
+	wal := rawReadFile(f, filepath.Join(seedDir, meta.ID, walFile))
+	snap := rawReadFile(f, filepath.Join(seedDir, meta.ID, snapFile))
 	f.Add(wal)
 	f.Add(wal[:len(wal)-3])
 	f.Add([]byte(walMagic))
@@ -381,15 +348,9 @@ func FuzzWALReplay(f *testing.F) {
 		}
 		dir := t.TempDir()
 		gdir := filepath.Join(dir, meta.ID)
-		if err := os.MkdirAll(gdir, 0o755); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(gdir, snapFile), snap, 0o644); err != nil {
-			t.Fatal(err)
-		}
-		if err := os.WriteFile(filepath.Join(gdir, walFile), data, 0o644); err != nil {
-			t.Fatal(err)
-		}
+		rawMkdirAll(t, gdir)
+		rawWriteFile(t, filepath.Join(gdir, snapFile), snap)
+		rawWriteFile(t, filepath.Join(gdir, walFile), data)
 		st, err := Open(dir, Config{})
 		if err != nil {
 			return // rejected: chain break or bad header, both fine
