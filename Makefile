@@ -52,7 +52,7 @@ chaos-smoke:
 
 # Race-checked run of the packages with executor-level concurrency.
 race:
-	$(GO) test -race ./internal/mpc/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/ ./internal/service/ ./internal/store/
+	$(GO) test -race ./internal/mpc/ ./internal/parallel/ ./internal/algo/ ./internal/randwalk/ ./internal/randomize/ ./internal/baseline/ ./internal/service/ ./internal/store/
 
 # One-iteration pass over the perf-critical benchmarks: catches crashes,
 # allocation regressions (-benchmem), and gross slowdowns in seconds.
@@ -61,17 +61,18 @@ race:
 # CI uploads the output as an artifact for benchstat diffs across PRs.
 bench-smoke:
 	$(GO) test -run=NONE -benchtime=1x -benchmem \
-		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec' .
+		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec|SolveNative|SolveMPC' .
 	$(GO) test -run='ZeroAllocs' -benchtime=1x -benchmem \
 		-bench='QueryHit|QueryBatch|HTTPQuery' ./internal/service/
 
 # bench-smoke with the output captured and parsed into a JSON snapshot
 # ({bench, ns_op, allocs_op} per benchmark). The snapshot for this PR
-# is committed as BENCH_7.json and CI uploads the regenerated copy as
-# an artifact, so the perf trajectory is a diffable series of files.
-# (Write to the file first, cat after: `| tee` would eat a bench
-# failure's exit status under shells without pipefail.)
-BENCHOUT ?= BENCH_7.json
+# is committed as BENCH_8.json (the series started at BENCH_7.json; it
+# now carries the native-vs-MPC solve pair) and CI uploads the
+# regenerated copy as an artifact, so the perf trajectory is a diffable
+# series of files. (Write to the file first, cat after: `| tee` would
+# eat a bench failure's exit status under shells without pipefail.)
+BENCHOUT ?= BENCH_8.json
 bench-json:
 	$(MAKE) bench-smoke >bench-smoke.txt 2>&1; st=$$?; cat bench-smoke.txt; test $$st -eq 0
 	$(GO) run ./cmd/wccbench -parse-bench bench-smoke.txt -json-out $(BENCHOUT)

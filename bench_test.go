@@ -414,3 +414,38 @@ func BenchmarkTextCodec(b *testing.B) {
 		}
 	}
 }
+
+// The native-vs-MPC solve pair: the same expander solved by the
+// service's native default ("parallel", internal/parallel) and by the
+// paper pipeline ("wcc", with its spectral gap known — the pipeline's
+// cheapest mode) that it replaced as the default. Both get the full
+// GOMAXPROCS-wide executor, so the delta isolates what serving traffic
+// stops paying for — MPC simulation (message materialization, round
+// barriers, shuffle routing) — not parallelism. BENCH_8.json records
+// the pair; wccstream -verify still runs the paper path.
+func solveBenchGraph(b *testing.B) *graph.Graph {
+	b.Helper()
+	rng := rand.New(rand.NewPCG(8, 8))
+	g, err := gen.Expander(512, 8, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+func benchmarkSolve(b *testing.B, name string) {
+	g := solveBenchGraph(b)
+	components := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := algo.Find(name, g, algo.Options{Seed: 8, Lambda: 0.3, Workers: -1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		components = res.Components
+	}
+	b.ReportMetric(float64(components), "components")
+}
+
+func BenchmarkSolveNative(b *testing.B) { benchmarkSolve(b, "parallel") }
+func BenchmarkSolveMPC(b *testing.B)    { benchmarkSolve(b, "wcc") }

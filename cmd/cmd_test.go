@@ -99,7 +99,7 @@ func TestGenBinaryPipeFind(t *testing.T) {
 
 func TestFindBaselinesAndSublinear(t *testing.T) {
 	edges := runTool(t, nil, "wccgen", "-type", "cycle", "-n", "120")
-	for _, algo := range []string{"hashtomin", "boruvka", "labelprop", "exponentiate", "sublinear"} {
+	for _, algo := range []string{"hashtomin", "boruvka", "labelprop", "exponentiate", "sublinear", "parallel"} {
 		out := runTool(t, []byte(edges), "wccfind", "-algo", algo)
 		if !strings.Contains(out, "components: 1") || !strings.Contains(out, "verification: exact match") {
 			t.Errorf("algo %s: unexpected output:\n%s", algo, out)

@@ -8,6 +8,7 @@
 //	wccfind -in graph.txt                 # oblivious (Corollary 7.1)
 //	wccfind -in graph.txt -algo sublinear -memory 128
 //	wccfind -in graph.txt -algo hashtomin
+//	wccfind -in graph.txt -algo parallel  # native solver, no MPC simulation
 //	wccfind -in graph.bin                 # binary CSR input, auto-detected
 //
 // Input may be the text edge-list format or the binary CSR codec
@@ -15,8 +16,10 @@
 // -format text/binary pins it.
 //
 // Algorithms come from the internal/algo registry: wcc (the paper,
-// default), sublinear (Theorem 2), hashtomin, boruvka, labelprop,
-// exponentiate (baselines).
+// default here — the research CLI reports round accounting), sublinear
+// (Theorem 2), hashtomin, boruvka, labelprop, exponentiate (baselines),
+// and parallel (the native shared-memory solver wccserve defaults to;
+// it charges no MPC rounds, so use it for speed, not accounting).
 package main
 
 import (

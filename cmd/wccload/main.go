@@ -193,8 +193,18 @@ func run() error {
 	return nil
 }
 
+// pct returns the p-th percentile of an ascending sample by the
+// nearest-rank method: the ceil(len·p/100)-th smallest value (1-based).
+// The naive len*p/100 index over-reports every percentile by one rank —
+// with 2 samples it calls the maximum the median.
 func pct(sorted []time.Duration, p int) time.Duration {
-	i := len(sorted) * p / 100
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := (len(sorted)*p+99)/100 - 1
+	if i < 0 {
+		i = 0
+	}
 	if i >= len(sorted) {
 		i = len(sorted) - 1
 	}

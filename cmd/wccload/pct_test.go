@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPctNearestRank pins the nearest-rank definition
+// (ceil(len·p/100)-th smallest, 1-based) on the small and boundary
+// sample counts where the old len*p/100 indexing was off by one rank:
+// with 2 samples it reported the maximum as the median.
+func TestPctNearestRank(t *testing.T) {
+	ms := func(vs ...int) []time.Duration {
+		out := make([]time.Duration, len(vs))
+		for i, v := range vs {
+			out[i] = time.Duration(v) * time.Millisecond
+		}
+		return out
+	}
+	hundred := make([]time.Duration, 100)
+	for i := range hundred {
+		hundred[i] = time.Duration(i+1) * time.Millisecond
+	}
+	cases := []struct {
+		name   string
+		sorted []time.Duration
+		p      int
+		want   time.Duration
+	}{
+		{"empty", nil, 50, 0},
+		{"one sample p50", ms(7), 50, 7 * time.Millisecond},
+		{"one sample p99", ms(7), 99, 7 * time.Millisecond},
+		{"two samples p50 is the min, not the max", ms(10, 20), 50, 10 * time.Millisecond},
+		{"two samples p99", ms(10, 20), 99, 20 * time.Millisecond},
+		{"three samples p50 is the middle", ms(1, 2, 3), 50, 2 * time.Millisecond},
+		{"four samples p50", ms(1, 2, 3, 4), 50, 2 * time.Millisecond},
+		{"p0 clamps to the min", ms(1, 2, 3), 0, 1 * time.Millisecond},
+		{"p100 is the max", ms(1, 2, 3), 100, 3 * time.Millisecond},
+		{"100 samples p50 is rank 50", hundred, 50, 50 * time.Millisecond},
+		{"100 samples p90 is rank 90", hundred, 90, 90 * time.Millisecond},
+		{"100 samples p99 is rank 99", hundred, 99, 99 * time.Millisecond},
+		{"100 samples p100 is rank 100", hundred, 100, 100 * time.Millisecond},
+		{"10 samples p99 rounds up to the max", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 99, 10 * time.Millisecond},
+		{"10 samples p90 is rank 9", ms(1, 2, 3, 4, 5, 6, 7, 8, 9, 10), 90, 9 * time.Millisecond},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := pct(tc.sorted, tc.p); got != tc.want {
+				t.Fatalf("pct(%v, %d) = %v, want %v", tc.sorted, tc.p, got, tc.want)
+			}
+		})
+	}
+}

@@ -21,6 +21,16 @@
 //	curl 'localhost:8080/v1/graphs/g-.../versions'
 //	curl 'localhost:8080/v1/stats'
 //
+// Solves default to the native shared-memory solver ("parallel",
+// internal/parallel) — Afforest-style sampling plus a lock-free
+// concurrent union-find that saturates the local cores instead of
+// simulating an MPC cluster. The paper algorithms stay selectable per
+// request ("algo":"wcc", ?algo=sublinear, ...) and remain the
+// verification path (wccstream -verify cross-checks against them).
+// -default-algo swaps what an algo-less request means; labelings are
+// cached per algorithm, so the switch changes which cache entries those
+// requests hit, never their correctness.
+//
 // Graphs are versioned: every accepted edge batch bumps the version and
 // incrementally updates cached labelings (see internal/service/README.md
 // and internal/dynamic/README.md); -max-version-gap bounds the retained
@@ -90,7 +100,8 @@ func run() error {
 		cacheSize   = flag.Int("cache-entries", 64, "labeling cache capacity (entries)")
 		cacheShards = flag.Int("cache-shards", 0, "labeling-cache lock stripes, rounded up to a power of two and clamped to 64 (0 = 4x GOMAXPROCS; never affects which entries survive)")
 		jobHistory  = flag.Int("job-history", 0, "completed jobs kept queryable via /v1/jobs (0 = default 256)")
-		simWorkers  = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS (never affects results)")
+		simWorkers  = flag.Int("workers", 0, "default simulator workers per solve: 0/1 sequential, k>1 bounded pool, -1 GOMAXPROCS; the native parallel solver reads 0 as all cores (never affects results)")
+		defaultAlgo = flag.String("default-algo", "parallel", "algorithm used when a request does not name one (see /v1/algorithms; changing it re-keys algo-less cache entries, never corrupts them)")
 		maxVerts    = flag.Int("max-vertices", 0, "largest accepted/generated graph in vertices (0 = default 2^22, negative = unlimited)")
 		maxEdges    = flag.Int("max-edges", 0, "largest accepted/generated graph in edges (0 = default 2^24, negative = unlimited)")
 		maxGraphs   = flag.Int("max-graphs", 0, "graph-store capacity, least recently accessed evicted first (0 = default 64, negative = unlimited)")
@@ -127,6 +138,7 @@ func run() error {
 		CacheShards:    *cacheShards,
 		JobHistory:     *jobHistory,
 		SimWorkers:     *simWorkers,
+		DefaultAlgo:    *defaultAlgo,
 		MaxVertices:    *maxVerts,
 		MaxEdges:       *maxEdges,
 		MaxGraphs:      *maxGraphs,

@@ -14,11 +14,14 @@
 // internal/algo unifies every connectivity algorithm in the repository
 // behind one interface: Algorithm{Name, Find(g, Options)} with a named
 // registry over "wcc" (Theorem 1), "sublinear" (Theorem 2), the four
-// baselines ("hashtomin", "boruvka", "labelprop", "exponentiate"), and
-// "dynamic" (the sequential incremental engine). All implementations
-// return exact labelings and are deterministic for a fixed Options.Seed
-// regardless of Options.Workers, so a labeling is addressable by (graph
-// digest, name, seed, λ, memory). cmd/wccfind and the experiment harness
+// baselines ("hashtomin", "boruvka", "labelprop", "exponentiate"),
+// "dynamic" (the sequential incremental engine), and "parallel" (the
+// native shared-memory solver, internal/parallel: Afforest-style
+// neighbor sampling plus a lock-free concurrent union-find on the
+// executor pool, no MPC simulation). All implementations return exact
+// labelings and are deterministic for a fixed Options.Seed regardless
+// of Options.Workers, so a labeling is addressable by (graph digest,
+// name, seed, λ, memory). cmd/wccfind and the experiment harness
 // select algorithms through the registry instead of per-binary switches.
 // Exactness is enforced by a metamorphic conformance suite: all
 // algorithms must agree up to canonical relabeling (algo.CanonicalForm)
@@ -38,7 +41,15 @@
 // round trip), fixed-size struct cache keys, lock-striped cache shards
 // with atomic recency stamps, and pooled append-based JSON responses.
 // POST /v1/query/batch answers many queries against one labeling
-// lookup. cmd/wccserve exposes it over HTTP+JSON with graceful shutdown
+// lookup. The solve path is split: requests that do not name an
+// algorithm run the native "parallel" solver (wccserve -default-algo;
+// orders of magnitude faster than a simulated solve — see the
+// SolveNative/SolveMPC pair in BENCH_8.json), while the MPC/paper
+// algorithms stay selectable per request and remain the verification
+// path (wccstream -verify cross-checks against them). Labelings are
+// cached per algorithm, so changing -default-algo re-keys what
+// algo-less requests hit without ever serving stale entries.
+// cmd/wccserve exposes it over HTTP+JSON with graceful shutdown
 // (plus an optional separate net/http/pprof listener via -pprof);
 // cmd/wccload is the query-storm load harness reporting throughput and
 // latency percentiles. See internal/service/README.md, "Performance &
@@ -101,7 +112,7 @@
 // cmd/wcclint (run by `make lint` and CI) carries four repo-specific
 // analyzers built on internal/lint's stdlib-only framework. determinism
 // forbids wall-clock reads, global math/rand draws, and map-iteration
-// order leaking into outputs inside the nineteen seed-deterministic
+// order leaking into outputs inside the twenty seed-deterministic
 // algorithm/simulator packages; faultseam keeps internal/store behind
 // the internal/fault filesystem seam so the crash-point sweep sees
 // every I/O; hotpath proves the //wcc:hotpath-annotated query surface

@@ -1,11 +1,12 @@
 // Package algo is the unified registry of connectivity algorithms: one
 // Algorithm interface over the paper's pipeline (internal/core, Theorem 1),
 // the mildly-sublinear variant (internal/sublinear, Theorem 2), the
-// four baselines (internal/baseline), and the sequential incremental
-// engine (internal/dynamic, registered as "dynamic"), so that callers —
-// cmd/wccfind, the experiment harness in internal/bench, and the
-// internal/service query layer — select algorithms by name instead of
-// hand-rolled switches.
+// four baselines (internal/baseline), the sequential incremental
+// engine (internal/dynamic, registered as "dynamic"), and the native
+// shared-memory solver (internal/parallel, registered as "parallel"),
+// so that callers — cmd/wccfind, the experiment harness in
+// internal/bench, and the internal/service query layer — select
+// algorithms by name instead of hand-rolled switches.
 //
 // All registered algorithms return exact component labelings; they differ
 // only in the rounds (and, for graph exponentiation, memory) they charge.
@@ -25,6 +26,7 @@ import (
 	"repro/internal/dynamic"
 	"repro/internal/graph"
 	"repro/internal/mpc"
+	"repro/internal/parallel"
 	"repro/internal/sublinear"
 )
 
@@ -37,8 +39,11 @@ type Options struct {
 	Lambda float64
 	// Seed drives all randomness.
 	Seed uint64
-	// Workers selects the simulator execution engine (mpc.Config.Workers
-	// semantics: 0/1 sequential, k > 1 bounded pool, negative GOMAXPROCS).
+	// Workers selects the execution engine. The simulated algorithms use
+	// mpc.Config.Workers semantics (0/1 sequential, k > 1 bounded pool,
+	// negative GOMAXPROCS); the native "parallel" solver deviates on the
+	// zero value only — 0 means a GOMAXPROCS-wide pool there, because a
+	// native serving path has no reason to idle cores by default.
 	// Results are bit-identical for a fixed Seed regardless of the setting.
 	Workers int
 	// Memory is the machine memory s for "sublinear" (0 = n/log² n).
@@ -179,6 +184,7 @@ func init() {
 	Register(wccAlgo{})
 	Register(sublinearAlgo{})
 	Register(dynamicAlgo{})
+	Register(parallelAlgo{})
 	Register(baselineAlgo{name: "hashtomin", run: func(sim *mpc.Sim, g *graph.Graph) (*baseline.Result, error) {
 		return baseline.HashToMin(sim, g), nil
 	}})
@@ -256,6 +262,28 @@ func (dynamicAlgo) Find(g *graph.Graph, opts Options) (*Result, error) {
 	}, nil
 }
 
+// parallelAlgo wraps the native shared-memory solver (internal/parallel):
+// Afforest-style neighbor sampling plus a lock-free concurrent
+// union-find on the executor pool, no MPC simulation and so no rounds
+// charged. It is the service's default solve path; the paper algorithms
+// remain the research/verify path. The closing canonical relabeling
+// makes its output a pure function of the partition, so it is
+// bit-identical across Seed, Workers, and schedule — CanonicalOptions
+// zeroes every option field for it, like the baselines.
+type parallelAlgo struct{}
+
+func (parallelAlgo) Name() string { return "parallel" }
+
+func (parallelAlgo) Find(g *graph.Graph, opts Options) (*Result, error) {
+	res := parallel.Components(g, parallel.Options{Seed: opts.Seed, Workers: opts.Workers})
+	return &Result{
+		Labels:     res.Labels,
+		Components: res.Components,
+		Rounds:     0, // native shared-memory; charges no MPC rounds
+		PeakEdges:  g.M(),
+	}, nil
+}
+
 // baselineAlgo adapts the internal/baseline implementations, deriving the
 // same auto-sized cluster that cmd/wccfind and internal/bench previously
 // duplicated by hand.
@@ -297,8 +325,9 @@ func AutoSim(g *graph.Graph, workers int) *mpc.Sim {
 // CanonicalOptions zeroes the Options fields the named algorithm does not
 // consume, so caches keyed on (graph, name, options) do not split or
 // re-run identical labelings: Workers never affects results, λ only
-// steers "wcc", Memory only "sublinear", and the baselines and "dynamic"
-// ignore the seed too. Unknown names are returned unchanged.
+// steers "wcc", Memory only "sublinear", and the baselines, "dynamic",
+// and "parallel" (whose seed steers heuristics, never output) ignore
+// the seed too. Unknown names are returned unchanged.
 func CanonicalOptions(name string, o Options) Options {
 	if _, err := Get(name); err != nil {
 		return o

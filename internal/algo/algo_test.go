@@ -10,7 +10,7 @@ import (
 )
 
 func TestRegistryNames(t *testing.T) {
-	want := []string{"boruvka", "dynamic", "exponentiate", "hashtomin", "labelprop", "sublinear", "wcc"}
+	want := []string{"boruvka", "dynamic", "exponentiate", "hashtomin", "labelprop", "parallel", "sublinear", "wcc"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
@@ -87,11 +87,12 @@ func TestConformance(t *testing.T) {
 				if !graph.SameLabeling(want, res.Labels) {
 					t.Fatal("labeling disagrees with sequential BFS")
 				}
-				// "dynamic" is sequential and charges no MPC rounds; every
-				// simulated algorithm must charge at least one.
-				if name == "dynamic" {
+				// "dynamic" and the native "parallel" solver never touch
+				// the simulator and charge no MPC rounds; every simulated
+				// algorithm must charge at least one.
+				if name == "dynamic" || name == "parallel" {
 					if res.Rounds != 0 {
-						t.Errorf("rounds = %d, want 0 for the sequential engine", res.Rounds)
+						t.Errorf("rounds = %d, want 0 for the non-simulated engine", res.Rounds)
 					}
 				} else if res.Rounds <= 0 {
 					t.Errorf("rounds = %d, want > 0", res.Rounds)

@@ -48,6 +48,7 @@ var determinismScope = map[string]bool{
 	"internal/lowerbound": true,
 	"internal/mpc":        true,
 	"internal/mst":        true,
+	"internal/parallel":   true,
 	"internal/randomize":  true,
 	"internal/randwalk":   true,
 	"internal/regularize": true,

@@ -93,16 +93,27 @@ func RetryStatus(code int) bool {
 }
 
 // RetryAfter parses a Retry-After response header as a delay floor.
-// Only the delta-seconds form is parsed (the HTTP-date form is not
-// worth a date parser here); absent or malformed headers return 0.
+// Both RFC 9110 §10.2.3 forms are understood: delta-seconds, and an
+// HTTP-date (anything http.ParseTime accepts), whose floor is the time
+// remaining until that date — 0 when it is already past. Absent or
+// malformed headers return 0.
 func RetryAfter(h http.Header) time.Duration {
 	v := h.Get("Retry-After")
 	if v == "" {
 		return 0
 	}
-	secs, err := strconv.Atoi(v)
-	if err != nil || secs < 0 {
+	if secs, err := strconv.Atoi(v); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	t, err := http.ParseTime(v)
+	if err != nil {
 		return 0
 	}
-	return time.Duration(secs) * time.Second
+	if d := time.Until(t); d > 0 {
+		return d
+	}
+	return 0
 }

@@ -79,4 +79,27 @@ func TestHTTPHelpers(t *testing.T) {
 	if RetryAfter(h) != 0 {
 		t.Error("malformed header should be 0")
 	}
+	h.Set("Retry-After", "-3")
+	if RetryAfter(h) != 0 {
+		t.Error("negative delta-seconds should be 0")
+	}
+	// RFC 9110 also allows an HTTP-date; its floor is the time left
+	// until that date.
+	h.Set("Retry-After", time.Now().Add(5*time.Second).UTC().Format(http.TimeFormat))
+	if d := RetryAfter(h); d <= 0 || d > 5*time.Second {
+		t.Errorf("future HTTP-date gave %v, want a delay in (0, 5s]", d)
+	}
+	// http.ParseTime also accepts the legacy RFC 850 and ANSI C forms.
+	h.Set("Retry-After", time.Now().Add(5*time.Second).UTC().Format(time.ANSIC))
+	if d := RetryAfter(h); d <= 0 || d > 5*time.Second {
+		t.Errorf("ANSI C date gave %v, want a delay in (0, 5s]", d)
+	}
+	h.Set("Retry-After", time.Now().Add(-time.Hour).UTC().Format(http.TimeFormat))
+	if RetryAfter(h) != 0 {
+		t.Error("past HTTP-date should be 0, not negative")
+	}
+	h.Set("Retry-After", "Wed, 99 Nov 9999 99:99:99 GMT")
+	if RetryAfter(h) != 0 {
+		t.Error("unparseable date should be 0")
+	}
 }

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"math"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -374,6 +375,13 @@ func (s *Service) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if req.Version != nil {
 		version = *req.Version
 	}
+	if req.Algo == "" {
+		req.Algo = s.cfg.DefaultAlgo
+	}
+	if err := validateAlgoOptions(req.Lambda, req.Memory); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
 	spec := SolveSpec{
 		GraphID: req.Graph, Version: version, Algo: req.Algo, Lambda: req.Lambda,
 		Seed: req.Seed, Memory: req.Memory, Workers: req.Workers,
@@ -424,14 +432,15 @@ func (s *Service) handleJob(w http.ResponseWriter, r *http.Request) {
 // querySpec decodes the common query parameters shared by the /v1/query
 // endpoints. The caller parses the URL query once and shares it with
 // queryVertex — url.Values allocates, so parsing it per parameter would
-// triple that cost on the hottest endpoint.
-func querySpec(q url.Values) (SolveSpec, error) {
+// triple that cost on the hottest endpoint. An absent ?algo= selects
+// the configured default algorithm (Config.DefaultAlgo).
+func (s *Service) querySpec(q url.Values) (SolveSpec, error) {
 	spec := SolveSpec{GraphID: q.Get("graph"), Version: -1, Algo: q.Get("algo")}
 	if spec.GraphID == "" {
 		return spec, fmt.Errorf("missing ?graph=")
 	}
 	if spec.Algo == "" {
-		spec.Algo = "wcc"
+		spec.Algo = s.cfg.DefaultAlgo
 	}
 	var err error
 	if v := q.Get("version"); v != "" {
@@ -454,7 +463,25 @@ func querySpec(q url.Values) (SolveSpec, error) {
 			return spec, fmt.Errorf("bad memory: %w", err)
 		}
 	}
+	if err := validateAlgoOptions(spec.Lambda, spec.Memory); err != nil {
+		return spec, err
+	}
 	return spec, nil
+}
+
+// validateAlgoOptions rejects algorithm option values that are never
+// meaningful, at the HTTP boundary, before they reach algo.Options or a
+// cache key: strconv happily parses "-1" and "NaN", and an unvalidated
+// NaN λ or negative memory would mint cache entries (and run solves)
+// for configurations no algorithm defines.
+func validateAlgoOptions(lambda float64, memory int) error {
+	if math.IsNaN(lambda) || math.IsInf(lambda, 0) || lambda < 0 {
+		return fmt.Errorf("bad lambda: must be a finite non-negative number (got %v)", lambda)
+	}
+	if memory < 0 {
+		return fmt.Errorf("bad memory: must be non-negative (got %d)", memory)
+	}
+	return nil
 }
 
 func queryVertex(q url.Values, key string) (graph.Vertex, error) {
@@ -471,7 +498,7 @@ func queryVertex(q url.Values, key string) (graph.Vertex, error) {
 
 func (s *Service) handleSameComponent(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	spec, err := querySpec(q)
+	spec, err := s.querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -506,7 +533,7 @@ func (s *Service) handleSameComponent(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleComponentSize(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	spec, err := querySpec(q)
+	spec, err := s.querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -534,7 +561,7 @@ func (s *Service) handleComponentSize(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleComponentCount(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	spec, err := querySpec(q)
+	spec, err := s.querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -555,7 +582,7 @@ func (s *Service) handleComponentCount(w http.ResponseWriter, r *http.Request) {
 
 func (s *Service) handleSizes(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	spec, err := querySpec(q)
+	spec, err := s.querySpec(q)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -647,7 +674,11 @@ func (s *Service) handleQueryBatch(w http.ResponseWriter, r *http.Request) {
 	}
 	algoName := req.Algo
 	if algoName == "" {
-		algoName = "wcc"
+		algoName = s.cfg.DefaultAlgo
+	}
+	if err := validateAlgoOptions(req.Lambda, req.Memory); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
 	}
 	spec := SolveSpec{
 		GraphID: req.Graph, Version: version, Algo: algoName,
@@ -756,6 +787,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 		// The active limits (post-default), so operators can read the
 		// effective policy off a running server instead of its flags.
 		"limits": map[string]any{
+			"defaultAlgo":    cfg.DefaultAlgo,
 			"maxVertices":    cfg.MaxVertices,
 			"maxEdges":       cfg.MaxEdges,
 			"maxGraphs":      cfg.MaxGraphs,

@@ -1,0 +1,174 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"net/url"
+	"strings"
+	"testing"
+)
+
+// TestQuerySpecValidation is the table over the query-parameter parse
+// and validation paths: the long-standing bad-version/bad-seed parse
+// errors plus the boundary checks on ?lambda= and ?memory= — strconv
+// accepts "-1" and "NaN", so without explicit validation those flow
+// into algo.Options and the cache key space.
+func TestQuerySpecValidation(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	cases := []struct {
+		name    string
+		query   string
+		wantErr string // substring; empty means the spec must parse
+	}{
+		{"missing graph", "u=0&v=1", "missing ?graph="},
+		{"bad version", "graph=g-x&version=two", "bad version"},
+		{"bad seed", "graph=g-x&seed=-1", "bad seed"},
+		{"bad lambda syntax", "graph=g-x&lambda=fast", "bad lambda"},
+		{"negative lambda", "graph=g-x&lambda=-0.5", "bad lambda"},
+		{"NaN lambda", "graph=g-x&lambda=NaN", "bad lambda"},
+		{"infinite lambda", "graph=g-x&lambda=%2BInf", "bad lambda"},
+		{"bad memory syntax", "graph=g-x&memory=lots", "bad memory"},
+		{"negative memory", "graph=g-x&memory=-64", "bad memory"},
+		{"all valid", "graph=g-x&version=3&algo=wcc&seed=7&lambda=0.25&memory=128", ""},
+		{"zero values valid", "graph=g-x&lambda=0&memory=0", ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			q, err := url.ParseQuery(tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			spec, err := svc.querySpec(q)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("querySpec(%q) = %v, want ok", tc.query, err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("querySpec(%q) accepted %+v, want error containing %q", tc.query, spec, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("querySpec(%q) error %q, want substring %q", tc.query, err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestQuerySpecDefaultAlgo pins that an absent ?algo= resolves to the
+// configured default (and that the default defaults to the native
+// solver), not to a hard-coded name.
+func TestQuerySpecDefaultAlgo(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	spec, err := svc.querySpec(url.Values{"graph": {"g-x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algo != "parallel" {
+		t.Fatalf("default algo = %q, want %q", spec.Algo, "parallel")
+	}
+
+	custom := New(Config{DefaultAlgo: "hashtomin"})
+	defer custom.Close()
+	spec, err = custom.querySpec(url.Values{"graph": {"g-x"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Algo != "hashtomin" {
+		t.Fatalf("default algo = %q, want configured %q", spec.Algo, "hashtomin")
+	}
+}
+
+// TestOpenRejectsUnknownDefaultAlgo: a typo'd -default-algo must fail at
+// startup, not at the first algo-less request.
+func TestOpenRejectsUnknownDefaultAlgo(t *testing.T) {
+	if _, err := Open(Config{DefaultAlgo: "nosuch"}); err == nil {
+		t.Fatal("Open accepted an unregistered DefaultAlgo")
+	} else if !strings.Contains(err.Error(), "nosuch") {
+		t.Fatalf("error %q does not name the bad algorithm", err)
+	}
+}
+
+// TestHTTPRejectsBadAlgoOptions drives the boundary validation through
+// the actual endpoints: query strings and solve/batch bodies carrying
+// negative or non-finite options must be 400s before any solve or cache
+// interaction happens (the old behavior let them through to 409s and
+// background jobs).
+func TestHTTPRejectsBadAlgoOptions(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	var loaded struct {
+		ID string `json:"id"`
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs", "3 2\n0 1\n1 2\n", http.StatusOK, &loaded)
+
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	for _, bad := range []string{"lambda=NaN", "lambda=-1", "lambda=%2BInf", "memory=-5"} {
+		url := srv.URL + "/v1/query/same-component?graph=" + loaded.ID + "&u=0&v=1&" + bad
+		httpJSON(t, client, "GET", url, "", http.StatusBadRequest, &errResp)
+		if errResp.Error == "" {
+			t.Fatalf("%s: empty error body", bad)
+		}
+	}
+	solveBody := fmt.Sprintf(`{"graph":%q,"algo":"sublinear","memory":-64,"wait":true}`, loaded.ID)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", solveBody, http.StatusBadRequest, &errResp)
+	batchBody := fmt.Sprintf(`{"graph":%q,"lambda":-2,"queries":[{"op":"same","u":0,"v":1}]}`, loaded.ID)
+	httpJSON(t, client, "POST", srv.URL+"/v1/query/batch", batchBody, http.StatusBadRequest, &errResp)
+}
+
+// TestHTTPDefaultAlgoServes is the default-solve-path acceptance test:
+// a solve request that never names an algorithm runs the configured
+// native default end to end, and the resulting labeling answers
+// algo-less queries from cache.
+func TestHTTPDefaultAlgoServes(t *testing.T) {
+	svc := New(Config{})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+
+	var loaded struct {
+		ID string `json:"id"`
+	}
+	httpJSON(t, client, "POST", srv.URL+"/v1/graphs", "7 3\n0 1\n1 2\n5 6\n", http.StatusOK, &loaded)
+
+	var solved struct {
+		Algo       string `json:"algo"`
+		Components int    `json:"components"`
+	}
+	body := fmt.Sprintf(`{"graph":%q,"wait":true}`, loaded.ID)
+	httpJSON(t, client, "POST", srv.URL+"/v1/solve", body, http.StatusOK, &solved)
+	if solved.Algo != "parallel" {
+		t.Fatalf("algo-less solve ran %q, want the default %q", solved.Algo, "parallel")
+	}
+	if solved.Components != 4 {
+		t.Fatalf("components = %d, want 4", solved.Components)
+	}
+
+	var same struct {
+		Same bool `json:"same"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/v1/query/same-component?graph="+loaded.ID+"&u=0&v=2", "", http.StatusOK, &same)
+	if !same.Same {
+		t.Fatal("0 and 2 should share a component")
+	}
+
+	var stats struct {
+		Limits struct {
+			DefaultAlgo string `json:"defaultAlgo"`
+		} `json:"limits"`
+	}
+	httpJSON(t, client, "GET", srv.URL+"/v1/stats", "", http.StatusOK, &stats)
+	if stats.Limits.DefaultAlgo != "parallel" {
+		t.Fatalf("stats defaultAlgo = %q, want %q", stats.Limits.DefaultAlgo, "parallel")
+	}
+}

@@ -25,10 +25,14 @@
 // Algorithms are deterministic for a fixed seed regardless of the worker
 // setting (see internal/algo), which is what makes the cache key sound:
 // two solves of the same graph digest under the same configuration always
-// produce the same labeling. Concurrent jobs each run a full simulated MPC
-// pipeline; machine-local parallelism inside those pipelines draws from
-// the one global GOMAXPROCS−1 token budget of internal/mpc, so a busy
-// service degrades to sequential sims instead of oversubscribing the host.
+// produce the same labeling. Requests that do not name an algorithm run
+// Config.DefaultAlgo — by default "parallel", the native shared-memory
+// solver (internal/parallel), so serving traffic skips MPC simulation
+// entirely; the paper algorithms stay selectable per request as the
+// research/verify path. Jobs that do simulate draw their machine-local
+// parallelism from the one global GOMAXPROCS−1 token budget of
+// internal/mpc, so a busy service degrades to sequential sims instead
+// of oversubscribing the host.
 //
 // cmd/wccserve exposes the service over HTTP+JSON; see NewHandler.
 package service
@@ -86,8 +90,19 @@ type Config struct {
 	CacheShards int
 	// SimWorkers is the simulator worker setting applied to solves that do
 	// not specify one (mpc.Config.Workers semantics; default 0 =
-	// sequential). It never affects results, only wall-clock.
+	// sequential — except under the native "parallel" solver, which
+	// reads 0 as use-all-cores). It never affects results, only
+	// wall-clock.
 	SimWorkers int
+	// DefaultAlgo is the algorithm solves and queries use when the
+	// request does not name one (default "parallel", the native
+	// shared-memory solver; the paper algorithms stay selectable per
+	// request). It must be a registered name — Open fails otherwise.
+	// The default participates in cache keys exactly as if the client
+	// had spelled it out: labelings are keyed by algorithm, so servers
+	// running different DefaultAlgo values answer algo-less queries
+	// from differently keyed entries (never stale ones).
+	DefaultAlgo string
 	// QueueDepth bounds the async job queue (default 128).
 	QueueDepth int
 	// MaxVertices and MaxEdges bound the graphs the service will accept
@@ -200,6 +215,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
+	}
+	if c.DefaultAlgo == "" {
+		c.DefaultAlgo = "parallel"
 	}
 	return c
 }
@@ -421,6 +439,9 @@ type Service struct {
 // in-memory store otherwise.
 func Open(cfg Config) (*Service, error) {
 	cfg = cfg.withDefaults()
+	if _, err := algo.Get(cfg.DefaultAlgo); err != nil {
+		return nil, fmt.Errorf("service: DefaultAlgo: %w", err)
+	}
 	var st store.Store
 	if cfg.DataDir != "" {
 		disk, err := store.Open(cfg.DataDir, cfg.storeConfig())
