@@ -61,18 +61,27 @@ race:
 # CI uploads the output as an artifact for benchstat diffs across PRs.
 bench-smoke:
 	$(GO) test -run=NONE -benchtime=1x -benchmem \
-		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec|SolveNative|SolveMPC' .
+		-bench='Pipeline|LayeredWalk|MPCSort|RouteAllocs|IndependentWalksParallel|BinaryCodec|SolveNative|SolveMPC|SolveMapped' .
 	$(GO) test -run='ZeroAllocs' -benchtime=1x -benchmem \
 		-bench='QueryHit|QueryBatch|HTTPQuery' ./internal/service/
 
+# The out-of-core smoke: a union-of-cliques WCCM1 file ~4x larger than
+# the Go soft memory limit solved off a real mmap, labels verified
+# analytically, heap asserted below the limit afterwards. CI runs it at
+# the full ~64MB shape; locally it defaults to ~3MB for speed.
+.PHONY: ooc-smoke
+ooc-smoke:
+	WCC_OOC_SCALE=full $(GO) test -run='^TestOutOfCoreSmokeUnderMemoryLimit$$' -v ./internal/parallel/
+
 # bench-smoke with the output captured and parsed into a JSON snapshot
 # ({bench, ns_op, allocs_op} per benchmark). The snapshot for this PR
-# is committed as BENCH_8.json (the series started at BENCH_7.json; it
-# now carries the native-vs-MPC solve pair) and CI uploads the
-# regenerated copy as an artifact, so the perf trajectory is a diffable
-# series of files. (Write to the file first, cat after: `| tee` would
-# eat a bench failure's exit status under shells without pipefail.)
-BENCHOUT ?= BENCH_8.json
+# is committed as BENCH_9.json (the series started at BENCH_7.json; it
+# now carries the in-RAM vs out-of-core solve pair, SolveNative vs
+# SolveMapped) and CI uploads the regenerated copy as an artifact, so
+# the perf trajectory is a diffable series of files. (Write to the file
+# first, cat after: `| tee` would eat a bench failure's exit status
+# under shells without pipefail.)
+BENCHOUT ?= BENCH_9.json
 bench-json:
 	$(MAKE) bench-smoke >bench-smoke.txt 2>&1; st=$$?; cat bench-smoke.txt; test $$st -eq 0
 	$(GO) run ./cmd/wccbench -parse-bench bench-smoke.txt -json-out $(BENCHOUT)

@@ -11,9 +11,10 @@
 //	wccfind -in graph.txt -algo parallel  # native solver, no MPC simulation
 //	wccfind -in graph.bin                 # binary CSR input, auto-detected
 //
-// Input may be the text edge-list format or the binary CSR codec
-// (wccgen -format binary); -format auto sniffs the magic header,
-// -format text/binary pins it.
+// Input may be the text edge-list format, the binary CSR codec
+// (wccgen -format binary), or the mmap-able WCCM1 codec (wccgen
+// -format mapped); -format auto sniffs the magic header, -format
+// text/binary/mapped pins it.
 //
 // Algorithms come from the internal/algo registry: wcc (the paper,
 // default here — the research CLI reports round accounting), sublinear
@@ -41,10 +42,12 @@ func readGraph(r io.Reader, format string) (*graph.Graph, error) {
 		return graph.ReadEdgeList(r)
 	case "binary":
 		return graph.ReadBinary(r)
+	case "mapped":
+		return graph.ReadMapped(r)
 	case "auto":
 		return graph.ReadAuto(r)
 	default:
-		return nil, fmt.Errorf("unknown -format %q (want auto, text, or binary)", format)
+		return nil, fmt.Errorf("unknown -format %q (want auto, text, binary, or mapped)", format)
 	}
 }
 
@@ -64,7 +67,7 @@ func run() error {
 		seed     = flag.Uint64("seed", 1, "random seed")
 		workers  = flag.Int("workers", 1, "simulator workers: 1 sequential, k>1 bounded pool, -1 GOMAXPROCS (results identical for a fixed seed)")
 		sizes    = flag.Bool("sizes", false, "print the component size histogram")
-		format   = flag.String("format", "auto", "input format: auto (sniff magic), text, or binary")
+		format   = flag.String("format", "auto", "input format: auto (sniff magic), text, binary, or mapped")
 	)
 	flag.Parse()
 

@@ -1,7 +1,9 @@
 // Command wccgen emits workload graphs in the edge-list format consumed by
 // wccfind: a "n m" header followed by one "u v" line per edge — or, with
 // -format binary, the compact varint-delta CSR codec (graph.WriteBinary,
-// the internal/store snapshot format), which wccfind auto-detects.
+// the internal/store snapshot format) — or, with -format mapped, the
+// fixed-width page-aligned WCCM1 codec (graph.WriteMapped), the
+// mmap-able out-of-core snapshot format. wccfind auto-detects both.
 //
 // Usage:
 //
@@ -9,6 +11,7 @@
 //	wccgen -type ringofcliques -n 128 -d 12        # k=n cliques of size d
 //	wccgen -type union -sizes 512,256,256 -d 8     # disjoint expanders
 //	wccgen -type gnd -n 100000 -d 8 -format binary -out g.bin
+//	wccgen -type gnd -n 1000000 -d 16 -format mapped -out g.map
 //
 // Types: expander, gnd, cycle, path, grid, clique, star, hypercube,
 // ringofcliques, bridged, union.
@@ -35,13 +38,13 @@ func main() {
 
 func run() error {
 	var (
-		typ   = flag.String("type", "expander", "graph family (expander|gnd|cycle|path|grid|clique|star|hypercube|ringofcliques|bridged|union)")
-		n     = flag.Int("n", 1024, "vertex count (rows for grid, dimension for hypercube, ring length for ringofcliques)")
-		d     = flag.Int("d", 8, "degree parameter (columns for grid, clique size for ringofcliques)")
-		sizes = flag.String("sizes", "", "comma-separated component sizes for -type union")
+		typ    = flag.String("type", "expander", "graph family (expander|gnd|cycle|path|grid|clique|star|hypercube|ringofcliques|bridged|union)")
+		n      = flag.Int("n", 1024, "vertex count (rows for grid, dimension for hypercube, ring length for ringofcliques)")
+		d      = flag.Int("d", 8, "degree parameter (columns for grid, clique size for ringofcliques)")
+		sizes  = flag.String("sizes", "", "comma-separated component sizes for -type union")
 		seed   = flag.Uint64("seed", 1, "random seed")
 		out    = flag.String("out", "", "output file (default stdout)")
-		format = flag.String("format", "text", "output format: text (edge list) or binary (compact CSR)")
+		format = flag.String("format", "text", "output format: text (edge list), binary (compact CSR), or mapped (mmap-able fixed-width CSR)")
 	)
 	flag.Parse()
 
@@ -51,8 +54,10 @@ func run() error {
 		write = graph.WriteEdgeList
 	case "binary":
 		write = graph.WriteBinary
+	case "mapped":
+		write = graph.WriteMapped
 	default:
-		return fmt.Errorf("unknown -format %q (want text or binary)", *format)
+		return fmt.Errorf("unknown -format %q (want text, binary, or mapped)", *format)
 	}
 
 	// Only union reads -sizes; parsing it for other types would turn a

@@ -113,10 +113,15 @@ func run() error {
 		admitQueue  = flag.Int("admission-queue", 0, "requests allowed to wait for an admission slot before shedding with 429 (0 = default max-inflight, negative = shed immediately)")
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 30s, negative = disabled)")
 		appendRetry = flag.Int("append-retries", 0, "retries with jittered backoff for transient store failures on the append path (0 = default 2, negative = none)")
+		outOfCore   = flag.Int64("out-of-core", 0, "edge count at/above which graphs are snapshotted in the mmap-able WCCM1 format and solved off the mapping instead of materializing (bit-identical results; 0 = disabled; requires -data-dir)")
 		faultSpec   = flag.String("fault-spec", "", "fault-injection spec for the storage filesystem, e.g. 'sync:wal.log#3=crash,write:snapshot.bin~0.01=eio' (testing only; requires -data-dir)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for probabilistic fault-injection rules")
 	)
 	flag.Parse()
+
+	if *outOfCore > 0 && *dataDir == "" {
+		return fmt.Errorf("-out-of-core requires -data-dir (mapped snapshots live in the durable store)")
+	}
 
 	var fs fault.FS
 	if *faultSpec != "" {
@@ -144,6 +149,7 @@ func run() error {
 		MaxGraphs:      *maxGraphs,
 		MaxVersionGap:  *maxVerGap,
 		DataDir:        *dataDir,
+		OutOfCore:      *outOfCore,
 		FS:             fs,
 		MaxInflight:    *maxInflight,
 		AdmissionQueue: *admitQueue,

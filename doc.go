@@ -44,7 +44,7 @@
 // lookup. The solve path is split: requests that do not name an
 // algorithm run the native "parallel" solver (wccserve -default-algo;
 // orders of magnitude faster than a simulated solve — see the
-// SolveNative/SolveMPC pair in BENCH_8.json), while the MPC/paper
+// SolveNative/SolveMPC pair in BENCH_9.json), while the MPC/paper
 // algorithms stay selectable per request and remain the verification
 // path (wccstream -verify cross-checks against them). Labelings are
 // cached per algorithm, so changing -default-algo re-keys what
@@ -91,6 +91,26 @@
 // available as wccgen/wccfind -format binary. See
 // internal/store/README.md for the on-disk layout and crash-recovery
 // rules.
+//
+// # Out-of-core solving
+//
+// Graphs whose edge count reaches wccserve -out-of-core (or
+// store.Config.MappedThreshold) never become heap-resident: the durable
+// store keeps their snapshots in WCCM1 (internal/graph's fixed-width,
+// page-aligned, digest-trailered CSR layout; wccgen -format mapped
+// writes it, wccfind auto-detects it), memory-maps the file on open
+// through the fault.FS seam (positioned reads when mmap is
+// unavailable), and serves graph.View handles straight off the mapping.
+// View-capable algorithms (today "parallel", via algo.ViewCapable and
+// parallel.ComponentsView) solve through that interface with only the
+// O(n) union-find and label arrays on the heap, so graphs larger than
+// RAM or GOMEMLIMIT load, solve, and serve — bit-identically to the
+// in-RAM path (the labeling contract is metamorphically enforced), and
+// within a few percent of its speed (the SolveNative/SolveMapped pair
+// in BENCH_9.json). Compaction rebases mapped snapshots by streaming
+// merge, mappings are refcounted against eviction races, and the crash
+// sweep runs the whole fault-site table in both snapshot formats. See
+// internal/store/README.md, "Out-of-core snapshots".
 //
 // # Execution engine
 //

@@ -158,6 +158,31 @@ func Incremental(name string) bool {
 	return ok && c.Incremental()
 }
 
+// ViewCapable is the optional capability interface an Algorithm
+// implements when it can solve directly over a graph.View — no
+// materialized *Graph, so the adjacency may live out of core (an
+// mmap-backed store snapshot). FindView must return exactly what Find
+// returns on the materialized equivalent, bit for bit; the service's
+// out-of-core path relies on that to swap solve paths by a threshold
+// without changing results. Today: "parallel".
+type ViewCapable interface {
+	FindView(v graph.View, opts Options) (*Result, error)
+}
+
+// ViewCapableAlgo returns the named algorithm's view path, or nil if it
+// has none (or the name is unknown).
+func ViewCapableAlgo(name string) ViewCapable {
+	a, err := Get(name)
+	if err != nil {
+		return nil
+	}
+	c, ok := a.(ViewCapable)
+	if !ok {
+		return nil
+	}
+	return c
+}
+
 // CanonicalForm returns the canonical relabeling of a dense component
 // labeling: labels renumbered by first appearance (vertex 0 upward). Two
 // labelings describe the same partition iff their canonical forms are
@@ -281,6 +306,19 @@ func (parallelAlgo) Find(g *graph.Graph, opts Options) (*Result, error) {
 		Components: res.Components,
 		Rounds:     0, // native shared-memory; charges no MPC rounds
 		PeakEdges:  g.M(),
+	}, nil
+}
+
+// FindView is the out-of-core entry: same solver over any graph.View,
+// bit-identical to Find on the materialized graph (the ViewCapable
+// contract; internal/parallel proves it).
+func (parallelAlgo) FindView(v graph.View, opts Options) (*Result, error) {
+	res := parallel.ComponentsView(v, parallel.Options{Seed: opts.Seed, Workers: opts.Workers})
+	return &Result{
+		Labels:     res.Labels,
+		Components: res.Components,
+		Rounds:     0, // native shared-memory; charges no MPC rounds
+		PeakEdges:  v.NumEdges(),
 	}, nil
 }
 

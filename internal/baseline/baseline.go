@@ -64,7 +64,7 @@ func LabelPropagation(sim *mpc.Sim, g *graph.Graph) *Result {
 			dirty := false
 			for v := lo; v < hi; v++ {
 				best := labels[v]
-				for _, u := range g.Neighbors(graph.Vertex(v)) {
+				for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 					if labels[u] < best {
 						best = labels[u]
 					}
@@ -98,7 +98,7 @@ func HashToMin(sim *mpc.Sim, g *graph.Graph) *Result {
 	clusters := make([]map[graph.Vertex]bool, n)
 	for v := 0; v < n; v++ {
 		c := map[graph.Vertex]bool{graph.Vertex(v): true}
-		for _, u := range g.Neighbors(graph.Vertex(v)) {
+		for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 			c[u] = true
 		}
 		clusters[v] = c
@@ -193,7 +193,7 @@ func GraphExponentiation(sim *mpc.Sim, g *graph.Graph, maxEdges int) (*Result, e
 	adj := make([]map[graph.Vertex]bool, n)
 	for v := 0; v < n; v++ {
 		adj[v] = make(map[graph.Vertex]bool)
-		for _, u := range g.Neighbors(graph.Vertex(v)) {
+		for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 			if int(u) != v {
 				adj[v][u] = true
 			}

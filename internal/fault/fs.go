@@ -29,10 +29,20 @@ type FS interface {
 	// SyncDir flushes directory metadata (renames, creates);
 	// best-effort on platforms where directories cannot be fsync'd.
 	SyncDir(path string) error
+	// Map opens path read-only as a Mapping: mmap'd pages when the
+	// platform allows, a pread fallback otherwise (see map.go). The
+	// out-of-core snapshot path reads graphs through this instead of
+	// ReadFile so adjacency never has to be heap-resident.
+	Map(path string) (Mapping, error)
 }
 
 // OS is the passthrough FS over package os.
-type OS struct{}
+type OS struct {
+	// NoMmap forces the pread fallback for every Map, as if the
+	// platform had no mmap. Tests use it to prove the fallback serves
+	// the same bytes; production leaves it false.
+	NoMmap bool
+}
 
 func (OS) MkdirAll(path string, perm fs.FileMode) error { return os.MkdirAll(path, perm) }
 func (OS) ReadDir(path string) ([]os.DirEntry, error)   { return os.ReadDir(path) }
@@ -57,12 +67,14 @@ func (OS) SyncDir(path string) error {
 
 // Inject wraps base so that every operation first consults reg under a
 // site named "<op>:<base filename>" — open/create/write/sync/close/
-// rename/truncate/remove/removeall/mkdir/readfile/readdir, plus the
-// literal site "syncdir" (directory names carry per-graph IDs, which
-// would make sweep enumeration nondeterministic). Creating opens
+// rename/truncate/remove/removeall/mkdir/readfile/readdir/map/unmap,
+// plus the literal site "syncdir" (directory names carry per-graph IDs,
+// which would make sweep enumeration nondeterministic). Creating opens
 // (O_CREATE set) report as "create:"; reopens as "open:". Renames are
 // named by their destination — the file whose identity the rename
-// commits.
+// commits. A Mapping's positioned reads are not fault sites: they are
+// the serving hot path, and a read that must fail is injected at
+// "map:" instead (the mapping never exists).
 func Inject(base FS, reg *Registry) FS {
 	return &injectFS{base: base, reg: reg}
 }
@@ -138,6 +150,17 @@ func (f *injectFS) RemoveAll(path string) error {
 	return f.base.RemoveAll(path)
 }
 
+func (f *injectFS) Map(path string) (Mapping, error) {
+	if err := f.reg.Check(site("map", path)); err != nil {
+		return nil, err
+	}
+	m, err := f.base.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	return &injectMapping{Mapping: m, reg: f.reg, name: filepath.Base(path)}, nil
+}
+
 func (f *injectFS) SyncDir(path string) error {
 	if err := f.reg.Check("syncdir"); err != nil {
 		return err
@@ -180,4 +203,20 @@ func (f *injectFile) Close() error {
 		return err
 	}
 	return f.file.Close()
+}
+
+// injectMapping threads Unmap through the registry; Bytes/ReadAt/Size
+// pass straight through (see the Inject doc comment).
+type injectMapping struct {
+	Mapping
+	reg  *Registry
+	name string
+}
+
+func (m *injectMapping) Unmap() error {
+	if err := m.reg.Check("unmap:" + m.name); err != nil {
+		m.Mapping.Unmap() // release the pages and descriptor either way
+		return err
+	}
+	return m.Mapping.Unmap()
 }

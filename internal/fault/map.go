@@ -1,0 +1,89 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Mapping is a read-only view of one file's contents, returned by
+// FS.Map. The fast path is a real memory map: Bytes returns the whole
+// file and readers index it with zero copies. On platforms (or files)
+// that cannot be mapped, Bytes returns nil and callers fall back to
+// ReadAt — positioned reads against the same open descriptor — so
+// every consumer of a Mapping works identically in both modes, just
+// slower in the second.
+//
+// A Mapping stays valid until Unmap; reading Bytes after Unmap is
+// undefined behavior (the pages are gone), which is why internal/store
+// refcounts the handles it serves (see its README's unmap/eviction
+// contract).
+type Mapping interface {
+	io.ReaderAt
+	// Bytes returns the mapped file contents, or nil when the platform
+	// fallback is active and callers must use ReadAt.
+	Bytes() []byte
+	// Size returns the file length in bytes (valid in both modes).
+	Size() int64
+	// Unmap releases the map and the underlying descriptor.
+	Unmap() error
+}
+
+// Map opens path read-only and maps it. A failed mmap (or OS.NoMmap)
+// degrades to the pread fallback rather than failing: mapping is an
+// optimization, the contract is the Mapping interface.
+func (o OS) Map(path string) (Mapping, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	m := &osMapping{f: f, size: fi.Size()}
+	if !o.NoMmap && m.size > 0 {
+		if data, err := mmapFile(f, m.size); err == nil {
+			m.data = data
+		}
+	}
+	return m, nil
+}
+
+// osMapping is the OS Mapping: an open descriptor plus, when the mmap
+// succeeded, the mapped pages.
+type osMapping struct {
+	f    *os.File
+	data []byte // nil in pread-fallback mode
+	size int64
+}
+
+func (m *osMapping) ReadAt(p []byte, off int64) (int, error) {
+	if m.data != nil {
+		if off < 0 || off > int64(len(m.data)) {
+			return 0, fmt.Errorf("fault: mapping read at %d outside [0,%d]", off, len(m.data))
+		}
+		n := copy(p, m.data[off:])
+		if n < len(p) {
+			return n, io.EOF
+		}
+		return n, nil
+	}
+	return m.f.ReadAt(p, off)
+}
+
+func (m *osMapping) Bytes() []byte { return m.data }
+func (m *osMapping) Size() int64   { return m.size }
+
+func (m *osMapping) Unmap() error {
+	var first error
+	if m.data != nil {
+		first = munmap(m.data)
+		m.data = nil
+	}
+	if err := m.f.Close(); err != nil && first == nil {
+		first = err
+	}
+	return first
+}

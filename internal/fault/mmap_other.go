@@ -1,0 +1,16 @@
+//go:build !unix
+
+package fault
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapFile on platforms without syscall.Mmap: always decline, which
+// routes every Mapping through the portable pread fallback.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("fault: mmap unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package fault
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"syscall"
+)
+
+// mmapFile maps size bytes of f read-only. The caller falls back to
+// positioned reads on any error, so this only has to succeed where the
+// platform genuinely supports it.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 || size > math.MaxInt {
+		return nil, fmt.Errorf("fault: cannot map %d bytes", size)
+	}
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

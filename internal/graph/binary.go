@@ -147,16 +147,21 @@ func ReadBinaryLimit(r io.Reader, maxVertices, maxEdges int) (*Graph, error) {
 	return b.Build(), nil
 }
 
-// ReadAuto sniffs the input format — the binary magic header versus the
-// text edge list — and dispatches to the matching decoder. It is the
-// one place the magic is compared outside the decoder itself, so a
-// format-version bump cannot leave a stale sniffer behind (wccfind's
-// -format auto goes through here).
+// ReadAuto sniffs the input format — the binary magic, the mapped
+// (WCCM1) magic, or the text edge list — and dispatches to the matching
+// decoder. It is the one place the magics are compared outside the
+// decoders themselves, so a format-version bump cannot leave a stale
+// sniffer behind (wccfind's -format auto goes through here).
 func ReadAuto(r io.Reader) (*Graph, error) {
 	br := bufio.NewReader(r)
 	head, err := br.Peek(len(binaryMagic))
-	if err == nil && string(head) == binaryMagic {
-		return ReadBinary(br)
+	if err == nil {
+		switch string(head) {
+		case binaryMagic:
+			return ReadBinary(br)
+		case mappedMagic[:len(binaryMagic)]:
+			return ReadMapped(br)
+		}
 	}
 	return ReadEdgeList(br)
 }

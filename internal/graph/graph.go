@@ -66,9 +66,20 @@ func (g *Graph) Degree(v Vertex) int {
 // not modify it. The i-th entry is the "i-th neighbor of v" in the sense
 // used by the replacement product (Section 4): the ordering is fixed at
 // Build time and stable thereafter.
-func (g *Graph) Neighbors(v Vertex) []Vertex {
+//
+// The signature is the View contract (see view.go): buf is the scratch
+// an out-of-core implementation decodes into. The in-RAM CSR has nothing
+// to decode, so it ignores buf — pass nil — and returns the shared
+// subslice at zero cost.
+func (g *Graph) Neighbors(v Vertex, buf []Vertex) []Vertex {
 	return g.adj[g.offsets[v]:g.offsets[v+1]]
 }
+
+// NumVertices is N under the View interface's name.
+func (g *Graph) NumVertices() int { return g.N() }
+
+// NumEdges is M under the View interface's name.
+func (g *Graph) NumEdges() int { return g.M() }
 
 // Neighbor returns the i-th neighbor of v.
 func (g *Graph) Neighbor(v Vertex, i int) Vertex {
@@ -114,7 +125,7 @@ func (g *Graph) Edges() []Edge {
 	edges := make([]Edge, 0, g.m)
 	for u := Vertex(0); int(u) < g.N(); u++ {
 		loopHalves := 0
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(u, nil) {
 			switch {
 			case v > u:
 				edges = append(edges, Edge{U: u, V: v})
@@ -133,7 +144,7 @@ func (g *Graph) Edges() []Edge {
 func (g *Graph) ForEachEdge(fn func(e Edge)) {
 	for u := Vertex(0); int(u) < g.N(); u++ {
 		loopHalves := 0
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(u, nil) {
 			switch {
 			case v > u:
 				fn(Edge{U: u, V: v})
@@ -150,7 +161,7 @@ func (g *Graph) ForEachEdge(fn func(e Edge)) {
 // HasEdge reports whether at least one edge {u,v} exists. Adjacency lists
 // are sorted at Build time, so this is a binary search.
 func (g *Graph) HasEdge(u, v Vertex) bool {
-	ns := g.Neighbors(u)
+	ns := g.Neighbors(u, nil)
 	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
 	return i < len(ns) && ns[i] == v
 }

@@ -140,7 +140,7 @@ func TestHasEdge(t *testing.T) {
 func TestNeighborOrderingStable(t *testing.T) {
 	g := clique(5)
 	for v := Vertex(0); v < 5; v++ {
-		ns := g.Neighbors(v)
+		ns := g.Neighbors(v, nil)
 		for i := 1; i < len(ns); i++ {
 			if ns[i-1] > ns[i] {
 				t.Fatalf("neighbors of %d not sorted: %v", v, ns)

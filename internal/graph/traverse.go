@@ -22,7 +22,7 @@ func Components(g *Graph) (labels []Vertex, count int) {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(u, nil) {
 				if labels[v] < 0 {
 					labels[v] = Vertex(count)
 					queue = append(queue, v)
@@ -136,7 +136,7 @@ func BFS(g *Graph, source Vertex) (dist []int32, parent []Vertex) {
 	for len(queue) > 0 {
 		u := queue[0]
 		queue = queue[1:]
-		for _, v := range g.Neighbors(u) {
+		for _, v := range g.Neighbors(u, nil) {
 			if dist[v] < 0 {
 				dist[v] = dist[u] + 1
 				parent[v] = u
@@ -216,7 +216,7 @@ func SpanningForest(g *Graph) []Edge {
 		for len(queue) > 0 {
 			u := queue[len(queue)-1]
 			queue = queue[:len(queue)-1]
-			for _, v := range g.Neighbors(u) {
+			for _, v := range g.Neighbors(u, nil) {
 				if !visited[v] {
 					visited[v] = true
 					forest = append(forest, Edge{U: u, V: v})

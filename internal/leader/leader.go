@@ -97,7 +97,7 @@ func Elect(h *graph.Graph, d float64, rng *rand.Rand) (*Election, error) {
 			continue
 		}
 		leaderNbrs = leaderNbrs[:0]
-		for _, u := range h.Neighbors(graph.Vertex(v)) {
+		for _, u := range h.Neighbors(graph.Vertex(v), nil) {
 			if isLeader[u] && int(u) != v {
 				leaderNbrs = append(leaderNbrs, u)
 			}
@@ -323,7 +323,7 @@ func bfsForest(h *graph.Graph) ([]graph.Edge, int) {
 		queue = append(queue[:0], s)
 		for head := 0; head < len(queue); head++ {
 			u := queue[head]
-			for _, v := range h.Neighbors(u) {
+			for _, v := range h.Neighbors(u, nil) {
 				if dist[v] < 0 {
 					dist[v] = dist[u] + 1
 					if int(dist[v]) > maxDepth {

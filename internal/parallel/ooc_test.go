@@ -1,0 +1,115 @@
+package parallel
+
+import (
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/debug"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/graph"
+)
+
+// TestOutOfCoreSmokeUnderMemoryLimit is the end-to-end out-of-core
+// proof: a union-of-cliques graph whose adjacency file is several times
+// larger than the Go soft memory limit in force must still solve — off
+// a real memory map opened through the fault seam — and produce the
+// analytically known labeling (clique c's canonical label is c). The
+// heap after the solve must sit far below the file size: only the
+// O(n) union-find and label arrays may be resident, never the
+// adjacency.
+//
+// The default shape keeps `go test` fast (~8MB file); set
+// WCC_OOC_SCALE=full for the CI smoke shape (~64MB file vs a 16MB
+// limit), where a materializing regression visibly thrashes or trips
+// the limit instead of sailing through.
+func TestOutOfCoreSmokeUnderMemoryLimit(t *testing.T) {
+	cliqueSize, cliques := 64, 250 // ~16000 vertices, ~500K edges, ~8MB adj
+	if os.Getenv("WCC_OOC_SCALE") == "full" {
+		cliqueSize, cliques = 256, 245 // ~62720 vertices, ~8M edges, ~64MB adj
+	}
+	n := cliqueSize * cliques
+
+	// Stream the WCCM1 file without ever holding the whole graph: the
+	// writer takes one adjacency list at a time.
+	path := filepath.Join(t.TempDir(), "ooc.map")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := int64(cliques) * int64(cliqueSize*(cliqueSize-1)) / 2
+	mw, err := graph.NewMappedWriter(f, n, m, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := make([]graph.Vertex, 0, cliqueSize-1)
+	for v := 0; v < n; v++ {
+		lo := v - v%cliqueSize
+		ns = ns[:0]
+		for w := lo; w < lo+cliqueSize; w++ {
+			if w != v {
+				ns = append(ns, graph.Vertex(w))
+			}
+		}
+		if err := mw.AddVertex(ns); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := mw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := f.Stat()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	fileSize := fi.Size()
+
+	// Map through the real seam — the same code path the disk store's
+	// out-of-core snapshots use.
+	mapping, err := fault.OS{}.Map(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapping.Unmap()
+	mg, err := graph.OpenMappedSource(mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(mg.NumEdges()) != m {
+		t.Fatalf("opened %d edges, want %d", mg.NumEdges(), m)
+	}
+
+	// Solve under a soft memory limit a quarter of the file size.
+	// Mapped pages are not Go heap, so the mapped path fits easily; a
+	// regression that materializes the adjacency would blow straight
+	// past it.
+	limit := fileSize / 4
+	if limit < 8<<20 {
+		limit = 8 << 20
+	}
+	old := debug.SetMemoryLimit(limit)
+	defer debug.SetMemoryLimit(old)
+
+	res := ComponentsView(mg, Options{Seed: 42})
+	if res.Components != cliques {
+		t.Fatalf("found %d components, want %d", res.Components, cliques)
+	}
+	for v := 0; v < n; v++ {
+		if want := graph.Vertex(v / cliqueSize); res.Labels[v] != want {
+			t.Fatalf("label[%d] = %d, want %d", v, res.Labels[v], want)
+		}
+	}
+
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	if ms.HeapAlloc > uint64(limit) {
+		t.Fatalf("heap after out-of-core solve is %d bytes, above the %d-byte limit — the adjacency leaked into the heap", ms.HeapAlloc, limit)
+	}
+	t.Logf("solved %d edges off a %d MiB map with %d MiB heap (limit %d MiB)",
+		m, fileSize>>20, ms.HeapAlloc>>20, limit>>20)
+}

@@ -95,18 +95,24 @@ type Result struct {
 	Stats      Stats
 }
 
+// resolved applies the defaults to the tunables.
+func (o Options) resolved() (rounds, sampleSize int) {
+	rounds = o.SampleRounds
+	if rounds <= 0 {
+		rounds = DefaultSampleRounds
+	}
+	sampleSize = o.SampleSize
+	if sampleSize <= 0 {
+		sampleSize = DefaultSampleSize
+	}
+	return rounds, sampleSize
+}
+
 // Components computes the connected components of g.
 func Components(g *graph.Graph, opts Options) *Result {
 	n := g.N()
 	ex := executorFor(opts.Workers)
-	rounds := opts.SampleRounds
-	if rounds <= 0 {
-		rounds = DefaultSampleRounds
-	}
-	sampleSize := opts.SampleSize
-	if sampleSize <= 0 {
-		sampleSize = DefaultSampleSize
-	}
+	rounds, sampleSize := opts.resolved()
 
 	offsets, adj := g.CSR()
 	f := newForest(n, ex)
@@ -128,20 +134,7 @@ func Components(g *graph.Graph, opts Options) *Result {
 	// Phase 2: elect the dominant component by sampling. Any outcome is
 	// correct (including electing nothing); the seed and the map's
 	// iteration order steer performance only.
-	dominant := graph.Vertex(-1)
-	if n > 0 {
-		rng := mpc.StreamRNG(opts.Seed, uint64(n), seedStream)
-		votes := make(map[graph.Vertex]int, 64)
-		for i := 0; i < sampleSize; i++ {
-			votes[f.find(graph.Vertex(rng.IntN(n)))]++
-		}
-		best := 0
-		for root, c := range votes {
-			if c > best {
-				best, dominant = c, root
-			}
-		}
-	}
+	dominant := electDominant(f, n, opts.Seed, sampleSize)
 
 	// Phase 3: finish every vertex outside the dominant component. The
 	// skip check races with concurrent merges, but only conservatively:
@@ -166,9 +159,45 @@ func Components(g *graph.Graph, opts Options) *Result {
 		skipped.Add(localSkipped)
 	})
 
-	// Flatten in parallel, then canonicalize sequentially: renumber
-	// roots by first appearance so the output is a pure function of the
-	// partition (and matches graph.Components bit for bit).
+	labels, components := canonicalize(f, n, ex)
+	return &Result{
+		Labels:     labels,
+		Components: components,
+		Stats: Stats{
+			Workers:         ex.Workers(),
+			SampleRounds:    rounds,
+			SkippedVertices: int(skipped.Load()),
+		},
+	}
+}
+
+// electDominant runs phase 2: a seeded sample of vertices votes for the
+// most common component so far. Shared by the CSR and View paths so both
+// elect the same component for the same seed.
+func electDominant(f *forest, n int, seed uint64, sampleSize int) graph.Vertex {
+	dominant := graph.Vertex(-1)
+	if n > 0 {
+		rng := mpc.StreamRNG(seed, uint64(n), seedStream)
+		votes := make(map[graph.Vertex]int, 64)
+		for i := 0; i < sampleSize; i++ {
+			votes[f.find(graph.Vertex(rng.IntN(n)))]++
+		}
+		best := 0
+		for root, c := range votes {
+			if c > best {
+				best, dominant = c, root
+			}
+		}
+	}
+	return dominant
+}
+
+// canonicalize flattens the forest in parallel, then renumbers roots by
+// first appearance sequentially, so the output is a pure function of
+// the partition (and matches graph.Components bit for bit). This pass
+// is why the CSR and View paths agree byte for byte: whatever forest
+// the races built, equal partitions canonicalize to equal labelings.
+func canonicalize(f *forest, n int, ex mpc.Executor) ([]graph.Vertex, int) {
 	labels := make([]graph.Vertex, n)
 	mpc.RunChunks(ex, n, func(lo, hi int) {
 		for v := lo; v < hi; v++ {
@@ -190,16 +219,7 @@ func Components(g *graph.Graph, opts Options) *Result {
 		}
 		labels[v] = remap[root]
 	}
-
-	return &Result{
-		Labels:     labels,
-		Components: int(next),
-		Stats: Stats{
-			Workers:         ex.Workers(),
-			SampleRounds:    rounds,
-			SkippedVertices: int(skipped.Load()),
-		},
-	}
+	return labels, int(next)
 }
 
 // executorFor maps Options.Workers to an executor: 1 sequential,

@@ -1,0 +1,112 @@
+package parallel
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/graph"
+	"repro/internal/mpc"
+)
+
+// scratchPool recycles the per-worker neighbor buffers the View solve
+// decodes into. Each chunk checks one buffer out, grows it to the
+// largest degree it meets, and returns it — so a whole solve performs
+// O(workers) buffer allocations instead of O(chunks), and the buffers
+// survive across the phase-1 and finish passes (and across solves).
+var scratchPool = sync.Pool{New: func() any { return new([]graph.Vertex) }}
+
+// ComponentsView computes the connected components of any graph.View —
+// the out-of-core entry point. An in-RAM *Graph takes the CSR fast path
+// of Components; everything else (a MappedGraph serving off mmap'd or
+// pread snapshot pages, an Overlay layering WAL edges on one) runs the
+// same three Afforest phases through the View interface, with
+// block-sequential neighbor scans so only the O(n) union-find and label
+// arrays are ever heap-resident.
+//
+// The labeling is bit-identical to Components on the materialized
+// graph: phase 1 here is a single pass linking each vertex's first
+// min(SampleRounds, degree) neighbors — the same linked-edge set the
+// CSR path's round-per-pass schedule produces — and the final partition
+// is the exact connected components regardless of schedule, so the
+// shared canonical relabeling yields the same bytes.
+func ComponentsView(v graph.View, opts Options) *Result {
+	if g, ok := v.(*graph.Graph); ok {
+		return Components(g, opts)
+	}
+	n := v.NumVertices()
+	ex := executorFor(opts.Workers)
+	rounds, sampleSize := opts.resolved()
+	f := newForest(n, ex)
+
+	// Phase 1: link the first `rounds` neighbors of every vertex. One
+	// pass, not one pass per round — each vertex's adjacency is decoded
+	// once, which matters when a decode is a positioned read.
+	mpc.RunChunks(ex, n, func(lo, hi int) {
+		bp := scratchPool.Get().(*[]graph.Vertex)
+		buf := *bp
+		for u := lo; u < hi; u++ {
+			uv := graph.Vertex(u)
+			d := v.Degree(uv)
+			if d == 0 {
+				continue
+			}
+			if cap(buf) < d {
+				buf = make([]graph.Vertex, d)
+			}
+			ns := v.Neighbors(uv, buf[:cap(buf)])
+			if d > rounds {
+				ns = ns[:rounds]
+			}
+			for _, w := range ns {
+				f.union(uv, w)
+			}
+		}
+		*bp = buf
+		scratchPool.Put(bp)
+	})
+
+	// Phase 2: shared election — same seed, same dominant component as
+	// the CSR path (not that it matters for output; see Components).
+	dominant := electDominant(f, n, opts.Seed, sampleSize)
+
+	// Phase 3: finish every vertex outside the dominant component, as
+	// in Components but scanning through the View.
+	var skipped atomic.Int64
+	mpc.RunChunks(ex, n, func(lo, hi int) {
+		bp := scratchPool.Get().(*[]graph.Vertex)
+		buf := *bp
+		localSkipped := int64(0)
+		for u := lo; u < hi; u++ {
+			uv := graph.Vertex(u)
+			d := v.Degree(uv)
+			if d <= rounds {
+				continue // every neighbor already linked in phase 1
+			}
+			if f.find(uv) == dominant {
+				localSkipped++
+				continue
+			}
+			if cap(buf) < d {
+				buf = make([]graph.Vertex, d)
+			}
+			ns := v.Neighbors(uv, buf[:cap(buf)])
+			for _, w := range ns[rounds:] {
+				f.union(uv, w)
+			}
+		}
+		*bp = buf
+		scratchPool.Put(bp)
+		skipped.Add(localSkipped)
+	})
+
+	labels, components := canonicalize(f, n, ex)
+	return &Result{
+		Labels:     labels,
+		Components: components,
+		Stats: Stats{
+			Workers:         ex.Workers(),
+			SampleRounds:    rounds,
+			SkippedVertices: int(skipped.Load()),
+		},
+	}
+}

@@ -1,0 +1,124 @@
+package parallel
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// mapView encodes g as WCCM1 and opens it as an out-of-core view;
+// pread=true hides the backing bytes so every neighbor access is a
+// positioned read (the no-mmap fallback).
+func mapView(t testing.TB, g *graph.Graph, pread bool) graph.View {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := graph.WriteMapped(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	var src graph.MappedSource = graph.NewBytesSource(buf.Bytes())
+	if pread {
+		src = noBytesSource{src}
+	}
+	mg, err := graph.OpenMappedSource(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return mg
+}
+
+type noBytesSource struct{ s graph.MappedSource }
+
+func (p noBytesSource) ReadAt(b []byte, off int64) (int, error) { return p.s.ReadAt(b, off) }
+func (p noBytesSource) Bytes() []byte                           { return nil }
+func (p noBytesSource) Size() int64                             { return p.s.Size() }
+
+// TestViewMatchesInRAM is the metamorphic exactness contract of the
+// out-of-core path: for every graph, every residency mode, every
+// Workers setting, and every seed, ComponentsView over the WCCM1 view
+// must produce the bit-identical labeling Components produces over the
+// in-RAM CSR. The cache layer and the paper-verification harness both
+// key on these bytes, so "equivalent partition" is not enough.
+func TestViewMatchesInRAM(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, pread := range []bool{false, true} {
+				v := mapView(t, g, pread)
+				for _, workers := range []int{0, 1, 4} {
+					for _, seed := range []uint64{1, 424242} {
+						opts := Options{Seed: seed, Workers: workers}
+						want := Components(g, opts)
+						got := ComponentsView(v, opts)
+						if got.Components != want.Components {
+							t.Fatalf("pread=%v workers=%d seed=%d: %d components, want %d",
+								pread, workers, seed, got.Components, want.Components)
+						}
+						for i := range want.Labels {
+							if got.Labels[i] != want.Labels[i] {
+								t.Fatalf("pread=%v workers=%d seed=%d: label[%d]=%d, want %d",
+									pread, workers, seed, i, got.Labels[i], want.Labels[i])
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestViewFastPath: handing ComponentsView an in-RAM *Graph must take
+// the CSR path and still agree bit for bit.
+func TestViewFastPath(t *testing.T) {
+	for name, g := range testGraphs(t) {
+		want := Components(g, Options{Seed: 7})
+		got := ComponentsView(g, Options{Seed: 7})
+		if got.Components != want.Components || !graph.SameLabeling(got.Labels, want.Labels) {
+			t.Fatalf("%s: fast path disagrees with Components", name)
+		}
+	}
+}
+
+// TestViewOverlayMatches: an Overlay (mapped base + appended edges, the
+// store's post-append view) must solve identically to the materialized
+// merge — the exact shape the service serves between compactions.
+func TestViewOverlayMatches(t *testing.T) {
+	base := graph.FromEdges(6, []graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}})
+	delta := []graph.Edge{{U: 1, V: 2}, {U: 4, V: 4}, {U: 5, V: 0}}
+	merged := graph.FromEdges(8, append([]graph.Edge{{U: 0, V: 1}, {U: 2, V: 3}}, delta...))
+
+	for _, pread := range []bool{false, true} {
+		ov := graph.NewOverlay(mapView(t, base, pread), 8, delta)
+		want := Components(merged, Options{Seed: 3})
+		got := ComponentsView(ov, Options{Seed: 3})
+		if got.Components != want.Components || !graph.SameLabeling(got.Labels, want.Labels) {
+			t.Fatalf("pread=%v: overlay solve disagrees with materialized solve", pread)
+		}
+	}
+}
+
+// TestViewSolveAllocsBounded pins the pooled-scratch contract: a
+// steady-state single-worker solve over a pread view allocates O(1)
+// buffers (forest, labels, result), not O(vertices) or O(chunks) — the
+// neighbor decode buffers come from scratchPool.
+func TestViewSolveAllocsBounded(t *testing.T) {
+	b := graph.NewBuilderHint(4096, 16384)
+	for u := 0; u < 4096; u++ {
+		for k := 1; k <= 4; k++ {
+			b.AddEdge(graph.Vertex(u), graph.Vertex((u+k*97)%4096))
+		}
+	}
+	g := b.Build()
+	v := mapView(t, g, true)
+	opts := Options{Workers: 1, Seed: 1}
+	ComponentsView(v, opts) // warm the pool
+
+	allocs := testing.AllocsPerRun(10, func() {
+		ComponentsView(v, opts)
+	})
+	// The budget covers the forest arrays, the label array, the result,
+	// and executor bookkeeping — with headroom — but is far below the
+	// ~n/chunkSize it would be if each chunk allocated its own buffer.
+	if allocs > 64 {
+		t.Fatalf("ComponentsView allocated %.0f objects per solve, want <= 64", allocs)
+	}
+}

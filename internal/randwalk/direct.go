@@ -68,7 +68,7 @@ func DirectWalks(sim *mpc.Sim, g *graph.Graph, t, k int, rng *rand.Rand) ([][]gr
 					}
 				} else {
 					for step := 0; step < t; step++ {
-						ns := g.Neighbors(cur)
+						ns := g.Neighbors(cur, nil)
 						cur = ns[pcgIndex(r, len(ns))]
 					}
 				}
@@ -137,7 +137,7 @@ func DirectVisited(sim *mpc.Sim, g *graph.Graph, t int, rng *rand.Rand) (visited
 				if deg > 0 {
 					cur = adj[int64(cur)*int64(deg)+int64(pcgIndex(r, deg))]
 				} else {
-					ns := g.Neighbors(cur)
+					ns := g.Neighbors(cur, nil)
 					cur = ns[pcgIndex(r, len(ns))]
 				}
 				if !seen[cur] {

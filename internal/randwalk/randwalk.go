@@ -166,7 +166,7 @@ func SimpleRandomWalk(sim *mpc.Sim, g *graph.Graph, t int, params Params, rng *r
 		r := mpc.StreamPCG(s1, s2, uint64(j))
 		row := make([]int32, layer)
 		for v := 0; v < n; v++ {
-			ns := g.Neighbors(graph.Vertex(v))
+			ns := g.Neighbors(graph.Vertex(v), nil)
 			for i := 0; i < w; i++ {
 				u := ns[pcgIndex(r, len(ns))]
 				c := pcgIndex(r, w)

@@ -61,7 +61,7 @@ func NeighborSet(g *graph.Graph, s []graph.Vertex) []graph.Vertex {
 	seen := make(map[graph.Vertex]bool)
 	var out []graph.Vertex
 	for _, v := range s {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.Neighbors(v, nil) {
 			if !inS[u] && !seen[u] {
 				seen[u] = true
 				out = append(out, u)
@@ -81,7 +81,7 @@ func ClosedNeighborhoodSize(g *graph.Graph, s []graph.Vertex) int {
 		seen[v] = true
 	}
 	for _, v := range s {
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.Neighbors(v, nil) {
 			seen[u] = true
 		}
 	}

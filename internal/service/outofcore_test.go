@@ -1,0 +1,145 @@
+package service
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// openOOC opens a durable service with the out-of-core threshold at 1,
+// so every solve of a view-capable algorithm reroutes through the
+// store's mapped view instead of materializing.
+func openOOC(t *testing.T, outOfCore int64) *Service {
+	t.Helper()
+	s, err := Open(Config{
+		JobWorkers: 1, CacheEntries: 4,
+		DataDir:   t.TempDir(),
+		OutOfCore: outOfCore,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	return s
+}
+
+// TestOutOfCoreSolveMatchesInRAM is the service-level bit-equality
+// contract: the rerouted mapped solve must produce the same labeling
+// (same component structure, same canonical labels observable through
+// every query) as the materialized solve, and must be counted.
+func TestOutOfCoreSolveMatchesInRAM(t *testing.T) {
+	ooc := openOOC(t, 1)
+	ram := newTestService(t)
+
+	sgO, err := ooc.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sgR, err := ram.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	spec := SolveSpec{GraphID: sgO.ID, Algo: "parallel", Seed: 7}
+	lo, err := ooc.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.GraphID = sgR.ID
+	lr, err := ram.Solve(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo.Components != lr.Components {
+		t.Fatalf("out-of-core found %d components, in-RAM %d", lo.Components, lr.Components)
+	}
+	for u := graph.Vertex(0); u < 10; u++ {
+		co, err := lo.ComponentOf(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cr, err := lr.ComponentOf(u)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if co != cr {
+			t.Fatalf("vertex %d: out-of-core label %d, in-RAM label %d", u, co, cr)
+		}
+	}
+	if got := ooc.Counters().MappedSolves; got != 1 {
+		t.Fatalf("MappedSolves = %d, want 1", got)
+	}
+	if got := ram.Counters().MappedSolves; got != 0 {
+		t.Fatalf("in-RAM service counted %d mapped solves", got)
+	}
+}
+
+// TestOutOfCoreSolveLatestVersion: the reroute must also serve
+// post-append versions (an Overlay over the mapped base), identically
+// to the materialized path.
+func TestOutOfCoreSolveLatestVersion(t *testing.T) {
+	s := openOOC(t, 1)
+	sg, err := s.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Bridge the two components; the solve of the new version must see it.
+	if _, err := s.Append(sg.ID, []graph.Edge{{U: 0, V: 9}}, false); err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Solve(SolveSpec{GraphID: sg.ID, Version: -1, Algo: "parallel", Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Components != 1 {
+		t.Fatalf("bridged graph solved to %d components, want 1", l.Components)
+	}
+	same, err := l.SameComponent(0, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !same {
+		t.Fatal("appended bridge not visible to the out-of-core solve")
+	}
+	if got := s.Counters().MappedSolves; got != 1 {
+		t.Fatalf("MappedSolves = %d, want 1", got)
+	}
+}
+
+// TestOutOfCoreNonViewAlgo: algorithms without a view path must keep
+// working under the threshold — they materialize as before and are not
+// counted as mapped solves.
+func TestOutOfCoreNonViewAlgo(t *testing.T) {
+	s := openOOC(t, 1)
+	sg, err := s.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := s.Solve(SolveSpec{GraphID: sg.ID, Algo: "wcc", Lambda: 0.3, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Components != 2 {
+		t.Fatalf("wcc under OutOfCore found %d components, want 2", l.Components)
+	}
+	if got := s.Counters().MappedSolves; got != 0 {
+		t.Fatalf("MappedSolves = %d for a non-view algorithm, want 0", got)
+	}
+}
+
+// TestOutOfCoreThresholdGates: below the threshold the solve path stays
+// materialized even with the feature on.
+func TestOutOfCoreThresholdGates(t *testing.T) {
+	s := openOOC(t, 1_000_000)
+	sg, err := s.Load("g", strings.NewReader(twoComponents))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Solve(SolveSpec{GraphID: sg.ID, Algo: "parallel", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counters().MappedSolves; got != 0 {
+		t.Fatalf("MappedSolves = %d below the threshold, want 0", got)
+	}
+}

@@ -135,6 +135,15 @@ type Config struct {
 	// digest-verified and replayed on Open (see internal/store). Empty
 	// selects the in-memory backend — nothing survives a restart.
 	DataDir string
+	// OutOfCore is the edge count at or above which solving goes out of
+	// core: the durable store keeps such graphs' snapshots in the
+	// mmap-able WCCM1 format (store.Config.MappedThreshold) and
+	// view-capable algorithms solve straight off the mapping — the
+	// adjacency never becomes heap-resident, so graphs larger than RAM
+	// (or GOMEMLIMIT) load and solve. Results are bit-identical to the
+	// in-RAM path; algorithms without a view path still materialize.
+	// Zero or negative disables (the default). Requires DataDir.
+	OutOfCore int64
 	// FS is the filesystem seam handed to the durable store (nil = the
 	// real filesystem). wccserve -fault-spec and the chaos tests pass a
 	// fault.Inject-wrapped one; see internal/fault.
@@ -225,9 +234,10 @@ func (c Config) withDefaults() Config {
 // storeConfig maps the service policy onto the storage engine's knobs.
 func (c Config) storeConfig() store.Config {
 	return store.Config{
-		MaxGraphs:      c.MaxGraphs,
-		RetainVersions: c.MaxVersionGap + 1,
-		FS:             c.FS,
+		MaxGraphs:       c.MaxGraphs,
+		RetainVersions:  c.MaxVersionGap + 1,
+		MappedThreshold: c.OutOfCore,
+		FS:              c.FS,
 	}
 }
 
@@ -314,6 +324,9 @@ type Counters struct {
 	EdgeBatches       int64
 	EdgesAppended     int64
 	IncrementalMerges int64
+	// MappedSolves counts solves that ran over a store view (the
+	// out-of-core path) instead of a materialized graph.
+	MappedSolves int64
 	// PanicsRecovered counts handler panics the recovery middleware
 	// turned into 500s; AdmissionRejected counts requests shed with 429;
 	// StoreRetries counts transient storage failures the append path
@@ -427,6 +440,7 @@ type Service struct {
 		jobsFailed, batchQueries         atomic.Int64
 		edgeBatches, edgesAppended       atomic.Int64
 		incrementalMerges                atomic.Int64
+		mappedSolves                     atomic.Int64
 		panicsRecovered, storeRetries    atomic.Int64
 		admissionRejected                atomic.Int64
 		degradedEvents                   atomic.Int64
@@ -645,6 +659,7 @@ func (s *Service) Counters() Counters {
 		EdgeBatches:       s.counters.edgeBatches.Load(),
 		EdgesAppended:     s.counters.edgesAppended.Load(),
 		IncrementalMerges: s.counters.incrementalMerges.Load(),
+		MappedSolves:      s.counters.mappedSolves.Load(),
 		PanicsRecovered:   s.counters.panicsRecovered.Load(),
 		AdmissionRejected: s.counters.admissionRejected.Load(),
 		StoreRetries:      s.counters.storeRetries.Load(),
@@ -1051,13 +1066,32 @@ func (s *Service) solve(spec SolveSpec) (*Labeling, bool, error) {
 	if workers == 0 {
 		workers = s.cfg.SimWorkers
 	}
-	snapshot := sg.Snapshot(ref.info.Version)
-	if snapshot == nil {
-		return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, ref.info.Version, ErrNotFound)
-	}
-	res, err := a.Find(snapshot, algo.Options{
+	opts := algo.Options{
 		Lambda: spec.Lambda, Seed: spec.Seed, Workers: workers, Memory: spec.Memory,
-	})
+	}
+	var res *algo.Result
+	if va, viewable := a.(algo.ViewCapable); viewable && s.cfg.OutOfCore > 0 && int64(ref.info.M) >= s.cfg.OutOfCore {
+		// Out-of-core path: solve over the store's view — for a mapped
+		// snapshot that is the file's own pages, pinned until release —
+		// instead of materializing the CSR on the heap. Bit-identical
+		// results are the ViewCapable contract, so the cache entry is
+		// interchangeable with the in-RAM path's.
+		view, release, verr := s.st.View(sg.ID, ref.info.Version)
+		if verr != nil {
+			return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, ref.info.Version, ErrNotFound)
+		}
+		res, err = va.FindView(view, opts)
+		release()
+		if err == nil {
+			s.counters.mappedSolves.Add(1)
+		}
+	} else {
+		snapshot := sg.Snapshot(ref.info.Version)
+		if snapshot == nil {
+			return nil, false, fmt.Errorf("service: graph %s version %d no longer retained: %w", sg.ID, ref.info.Version, ErrNotFound)
+		}
+		res, err = a.Find(snapshot, opts)
+	}
 	if err != nil {
 		return nil, false, err
 	}

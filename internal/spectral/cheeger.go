@@ -79,7 +79,7 @@ func SweepCut(g *graph.Graph) (cut []graph.Vertex, phi float64) {
 		v := order[k]
 		inS[v] = true
 		volS += g.Degree(v)
-		for _, u := range g.Neighbors(v) {
+		for _, u := range g.Neighbors(v, nil) {
 			if u == v {
 				continue
 			}
@@ -140,7 +140,7 @@ func FiedlerVector(g *graph.Graph, opts Options) []float64 {
 	for iter := 0; iter < o.MaxIters; iter++ {
 		for v := 0; v < n; v++ {
 			sum := 0.0
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 				sum += x[u] * invSqrtDeg[u]
 			}
 			y[v] = 0.5*x[v] + 0.5*sum*invSqrtDeg[v]

@@ -87,7 +87,7 @@ func Lambda2Opts(g *graph.Graph, opts Options) float64 {
 		// y = M x with M = (I + D^{-1/2} A D^{-1/2}) / 2.
 		for v := 0; v < n; v++ {
 			sum := 0.0
-			for _, u := range g.Neighbors(graph.Vertex(v)) {
+			for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 				sum += x[u] * invSqrtDeg[u]
 			}
 			y[v] = 0.5*x[v] + 0.5*sum*invSqrtDeg[v]
@@ -190,12 +190,12 @@ func WalkDistribution(g *graph.Graph, start graph.Vertex, t int, lazy bool) []fl
 			if lazy {
 				next[v] += p / 2
 				share := p / (2 * float64(d))
-				for _, u := range g.Neighbors(graph.Vertex(v)) {
+				for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 					next[u] += share
 				}
 			} else {
 				share := p / float64(d)
-				for _, u := range g.Neighbors(graph.Vertex(v)) {
+				for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 					next[u] += share
 				}
 			}
@@ -300,7 +300,7 @@ func stepLazy(g *graph.Graph, cur, next []float64) {
 		}
 		next[v] += p / 2
 		share := p / (2 * float64(d))
-		for _, u := range g.Neighbors(graph.Vertex(v)) {
+		for _, u := range g.Neighbors(graph.Vertex(v), nil) {
 			next[u] += share
 		}
 	}

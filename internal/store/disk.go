@@ -20,20 +20,30 @@ import (
 // On-disk layout: one subdirectory per graph ID holding
 //
 //	snapshot.bin   magic ∥ uvarint-len metaJSON ∥ binary CSR graph ∥ SHA-256(payload)
+//	snapshot.map   a graph.WCCM1 file with metaJSON embedded in its
+//	               header page — the out-of-core snapshot format,
+//	               written instead of snapshot.bin once a record's
+//	               edge count reaches Config.MappedThreshold; served
+//	               directly off an mmap (or pread) of the file
 //	wal.log        magic ∥ records, each: uvarint len ∥ payload ∥ SHA-256(payload)
 //	               payload = uvarint-len metaJSON(Version) ∥ uvarint count ∥ count × (uvarint u ∥ uvarint v)
 //
-// Snapshots are written to a temp file, fsync'd, and renamed into
-// place — they are never torn. WAL records are fsync'd before Append
-// returns; a crash mid-write leaves a torn tail that open detects (by
-// its per-record digest) and truncates away, which can only drop an
-// append the caller was never told succeeded. On open every surviving
-// record's chained version digest is re-verified against the lineage,
-// so silent corruption cannot replay into a wrong graph.
+// A record has exactly one live snapshot file; the other format may
+// transiently exist across the crash window of a format-switching
+// compaction, in which case open keeps the higher-versioned file and
+// sweeps the stale one. Snapshots are written to a temp file, fsync'd,
+// and renamed into place — they are never torn. WAL records are
+// fsync'd before Append returns; a crash mid-write leaves a torn tail
+// that open detects (by its per-record digest) and truncates away,
+// which can only drop an append the caller was never told succeeded.
+// On open every surviving record's chained version digest is
+// re-verified against the lineage, so silent corruption cannot replay
+// into a wrong graph.
 const (
 	snapMagic = "WCCSNAP1"
 	walMagic  = "WCCWAL1\n"
 	snapFile  = "snapshot.bin"
+	mapFile   = "snapshot.map"
 	walFile   = "wal.log"
 	probeFile = ".probe"
 )
@@ -73,9 +83,15 @@ type Disk struct {
 	// README.md is proven against the sites this seam names.
 	fs fault.FS
 
-	mu     sync.Mutex
-	t      *table
-	wals   map[string]*walState
+	mu   sync.Mutex
+	t    *table
+	wals map[string]*walState
+	// maps holds the store's own reference on each mapped record's
+	// snapshot mapping, mirroring wals: eviction and Close release
+	// through here (under s.mu), compaction swaps here, and in-flight
+	// views keep their own references — the refcount, not this table,
+	// decides when the pages actually unmap.
+	maps   map[string]*mappedHandle
 	seq    int64
 	closed bool
 
@@ -97,6 +113,7 @@ func Open(dir string, cfg Config) (*Disk, error) {
 		fs:        cfg.FS,
 		t:         newTable(),
 		wals:      make(map[string]*walState),
+		maps:      make(map[string]*mappedHandle),
 		compactCh: make(chan string, 64),
 		done:      make(chan struct{}),
 	}
@@ -127,6 +144,9 @@ func Open(dir string, cfg Config) (*Disk, error) {
 		}
 		recs = append(recs, rec)
 		s.wals[rec.meta.ID] = wal
+		if rec.mapped != nil {
+			s.maps[rec.meta.ID] = rec.mapped
+		}
 		if rec.seq >= s.seq {
 			s.seq = rec.seq + 1
 		}
@@ -147,55 +167,179 @@ func Open(dir string, cfg Config) (*Disk, error) {
 	return s, nil
 }
 
-// load reads one graph directory: snapshot, then WAL replay.
+// load reads one graph directory: snapshot (either format), then WAL
+// replay. When both formats exist — the crash window of a
+// format-switching compaction, which renames the new snapshot before
+// removing the old one — the higher-versioned file wins and the stale
+// one is swept. Picking the lower one would strand the WAL: batches up
+// to the newer snapshot's version are already folded in, so replay
+// would hit a version gap.
 func (s *Disk) load(id string) (*record, *walState, error) {
 	gdir := filepath.Join(s.dir, id)
+	binRec, binErr := s.loadBinarySnapshot(gdir, id)
+	if binErr != nil && !errors.Is(binErr, os.ErrNotExist) {
+		return nil, nil, binErr
+	}
+	mapRec, mapErr := s.loadMappedSnapshot(gdir, id)
+	if mapErr != nil && !errors.Is(mapErr, os.ErrNotExist) {
+		return nil, nil, mapErr
+	}
+	var rec *record
+	switch {
+	case binRec != nil && mapRec != nil:
+		if mapRec.snapVer.Version >= binRec.snapVer.Version {
+			rec = mapRec
+			s.fs.Remove(filepath.Join(gdir, snapFile))
+		} else {
+			rec = binRec
+			mapRec.mapped.release()
+			s.fs.Remove(filepath.Join(gdir, mapFile))
+		}
+	case mapRec != nil:
+		rec = mapRec
+	case binRec != nil:
+		rec = binRec
+	default:
+		// Neither snapshot exists: a husk directory (see Open).
+		return nil, nil, binErr
+	}
+	wal, err := s.replayWAL(gdir, rec)
+	if err != nil {
+		if rec.mapped != nil {
+			rec.mapped.release()
+		}
+		return nil, nil, err
+	}
+	return rec, wal, nil
+}
+
+// loadBinarySnapshot reads and verifies a WCCB1-era snapshot.bin.
+func (s *Disk) loadBinarySnapshot(gdir, id string) (*record, error) {
 	data, err := s.fs.ReadFile(filepath.Join(gdir, snapFile))
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot: %w", err)
+		return nil, fmt.Errorf("snapshot: %w", err)
 	}
 	if len(data) < len(snapMagic)+sha256.Size {
-		return nil, nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
+		return nil, fmt.Errorf("snapshot: file too short (%d bytes)", len(data))
 	}
 	payload, sum := data[:len(data)-sha256.Size], data[len(data)-sha256.Size:]
 	if got := sha256.Sum256(payload); !bytes.Equal(got[:], sum) {
-		return nil, nil, fmt.Errorf("snapshot: digest mismatch (corrupt file)")
+		return nil, fmt.Errorf("snapshot: digest mismatch (corrupt file)")
 	}
 	if string(payload[:len(snapMagic)]) != snapMagic {
-		return nil, nil, fmt.Errorf("snapshot: bad magic")
+		return nil, fmt.Errorf("snapshot: bad magic")
 	}
 	r := bytes.NewReader(payload[len(snapMagic):])
 	metaRaw, err := readBlock(r)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot meta: %w", err)
+		return nil, fmt.Errorf("snapshot meta: %w", err)
 	}
 	var sm snapMeta
 	if err := json.Unmarshal(metaRaw, &sm); err != nil {
-		return nil, nil, fmt.Errorf("snapshot meta: %w", err)
+		return nil, fmt.Errorf("snapshot meta: %w", err)
 	}
 	if sm.Meta.ID != id {
-		return nil, nil, fmt.Errorf("snapshot names graph %s, directory is %s", sm.Meta.ID, id)
+		return nil, fmt.Errorf("snapshot names graph %s, directory is %s", sm.Meta.ID, id)
 	}
 	g, err := graph.ReadBinary(r)
 	if err != nil {
-		return nil, nil, fmt.Errorf("snapshot graph: %w", err)
+		return nil, fmt.Errorf("snapshot graph: %w", err)
 	}
 	if r.Len() != 0 {
-		return nil, nil, fmt.Errorf("snapshot: %d trailing bytes", r.Len())
+		return nil, fmt.Errorf("snapshot: %d trailing bytes", r.Len())
 	}
 	if g.N() != sm.Ver.N || g.M() != sm.Ver.M {
-		return nil, nil, fmt.Errorf("snapshot graph is n=%d m=%d, metadata says n=%d m=%d", g.N(), g.M(), sm.Ver.N, sm.Ver.M)
+		return nil, fmt.Errorf("snapshot graph is n=%d m=%d, metadata says n=%d m=%d", g.N(), g.M(), sm.Ver.N, sm.Ver.M)
 	}
 	if sm.Ver.Version == 0 && DigestGraph(g) != sm.Meta.Digest {
-		return nil, nil, fmt.Errorf("snapshot content does not match its digest")
+		return nil, fmt.Errorf("snapshot content does not match its digest")
 	}
-	rec := &record{meta: sm.Meta, seq: sm.Seq, snap: g, snapVer: sm.Ver}
+	return &record{meta: sm.Meta, seq: sm.Seq, snap: g, snapVer: sm.Ver}, nil
+}
 
-	wal, err := s.replayWAL(gdir, rec)
+// loadMappedSnapshot maps and verifies a WCCM1 snapshot.map. All three
+// trailer digests, the adjacency range checks, and the offset shape
+// are verified by graph.OpenMappedSource in one streaming pass that
+// never builds the graph on the heap; the v0 content digest is then
+// re-derived the same way.
+func (s *Disk) loadMappedSnapshot(gdir, id string) (*record, error) {
+	path := filepath.Join(gdir, mapFile)
+	m, err := s.fs.Map(path)
 	if err != nil {
-		return nil, nil, err
+		return nil, fmt.Errorf("snapshot map: %w", err)
 	}
-	return rec, wal, nil
+	mg, err := graph.OpenMappedSource(m)
+	if err != nil {
+		m.Unmap()
+		return nil, fmt.Errorf("snapshot map: %w", err)
+	}
+	var sm snapMeta
+	if err := json.Unmarshal(mg.Meta(), &sm); err != nil {
+		m.Unmap()
+		return nil, fmt.Errorf("snapshot map meta: %w", err)
+	}
+	if sm.Meta.ID != id {
+		m.Unmap()
+		return nil, fmt.Errorf("snapshot names graph %s, directory is %s", sm.Meta.ID, id)
+	}
+	if mg.NumVertices() != sm.Ver.N || mg.NumEdges() != sm.Ver.M {
+		m.Unmap()
+		return nil, fmt.Errorf("snapshot graph is n=%d m=%d, metadata says n=%d m=%d", mg.NumVertices(), mg.NumEdges(), sm.Ver.N, sm.Ver.M)
+	}
+	if sm.Ver.Version == 0 && DigestView(mg) != sm.Meta.Digest {
+		m.Unmap()
+		return nil, fmt.Errorf("snapshot content does not match its digest")
+	}
+	return &record{meta: sm.Meta, seq: sm.Seq, snapVer: sm.Ver, mapped: newMappedHandle(m, mg)}, nil
+}
+
+// mappedFor reports whether a snapshot with m edges belongs in the
+// mapped format.
+func (s *Disk) mappedFor(m int) bool {
+	return s.cfg.MappedThreshold > 0 && int64(m) >= s.cfg.MappedThreshold
+}
+
+// openMapped maps a snapshot file this process just wrote and wraps it
+// in a refcounted handle. No metadata re-verification: the bytes were
+// produced moments ago by MappedWriter (OpenMappedSource still checks
+// the digests, which doubles as an end-to-end write check).
+func (s *Disk) openMapped(path string) (*mappedHandle, error) {
+	m, err := s.fs.Map(path)
+	if err != nil {
+		return nil, err
+	}
+	mg, err := graph.OpenMappedSource(m)
+	if err != nil {
+		m.Unmap()
+		return nil, err
+	}
+	return newMappedHandle(m, mg), nil
+}
+
+// writeMappedAtomic streams base ∪ delta as a WCCM1 file via temp file
+// + fsync + rename — writeFileAtomic's contract without ever holding
+// the encoded snapshot (or the graph) in memory.
+func (s *Disk) writeMappedAtomic(path string, base graph.View, n int, delta []graph.Edge, meta []byte) error {
+	tmp := path + ".tmp"
+	f, err := s.fs.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := graph.WriteMappedView(f, base, n, delta, meta); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		s.fs.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		s.fs.Remove(tmp)
+		return err
+	}
+	return s.fs.Rename(tmp, path)
 }
 
 // replayWAL reads the graph's WAL into rec, truncating a torn tail, and
@@ -430,27 +574,57 @@ func (s *Disk) Put(meta Meta, base *graph.Graph, v0 Version) ([]string, error) {
 	if err := s.fs.MkdirAll(gdir, 0o755); err != nil {
 		return nil, err
 	}
-	rec := &record{meta: meta, seq: s.seq, snap: base, snapVer: v0}
+	rec := &record{meta: meta, seq: s.seq, snapVer: v0}
 	s.seq++
-	snap, err := encodeSnapshot(snapMeta{Meta: meta, Seq: rec.seq, Ver: v0}, base)
-	if err != nil {
-		return nil, err
+	sm := snapMeta{Meta: meta, Seq: rec.seq, Ver: v0}
+	if s.mappedFor(v0.M) {
+		// Out-of-core record: stream the WCCM1 snapshot, then serve off
+		// its mapping — the caller's in-RAM base is not retained.
+		metaRaw, err := json.Marshal(sm)
+		if err != nil {
+			return nil, err
+		}
+		mpath := filepath.Join(gdir, mapFile)
+		if err := s.writeMappedAtomic(mpath, base, base.N(), nil, metaRaw); err != nil {
+			return nil, err
+		}
+		h, err := s.openMapped(mpath)
+		if err != nil {
+			return nil, err
+		}
+		rec.mapped = h
+	} else {
+		rec.snap = base
+		snap, err := encodeSnapshot(sm, base)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+			return nil, err
+		}
 	}
-	if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+	// From here on a failure must drop the mapping the record just took.
+	fail := func(err error) ([]string, error) {
+		if rec.mapped != nil {
+			rec.mapped.release()
+		}
 		return nil, err
 	}
 	walPath := filepath.Join(gdir, walFile)
 	if err := s.writeWALHeader(walPath); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	s.syncDir(gdir)
 	s.syncDir(s.dir)
 	wal, err := s.fs.OpenFile(walPath, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, err
+		return fail(err)
 	}
 	s.t.insert(rec)
 	s.wals[meta.ID] = &walState{f: wal, size: int64(len(walMagic))}
+	if rec.mapped != nil {
+		s.maps[meta.ID] = rec.mapped
+	}
 	var evicted []string
 	for s.cfg.MaxGraphs > 0 && len(s.t.recs) > s.cfg.MaxGraphs {
 		id, ok := s.t.lruVictim()
@@ -620,23 +794,70 @@ func (s *Disk) compact(id string) error {
 	if target.Version == r.snapVer.Version {
 		return nil
 	}
-	newBase, err := r.materializeLocked(target.Version, s.cfg.RetainVersions)
-	if err != nil {
-		return fmt.Errorf("materialize version %d: %w", target.Version, err)
+	// Pin the base for the whole compaction: a concurrent eviction may
+	// drop the store's reference on the mapping mid-stream, and these
+	// scans must keep their pages until done.
+	base, unpin, ok := r.pinBase()
+	if !ok {
+		return nil // evicted; nothing left to compact
 	}
+	defer unpin()
 	gdir := filepath.Join(s.dir, id)
-	snap, err := encodeSnapshot(snapMeta{Meta: r.meta, Seq: r.seq, Ver: target}, newBase)
-	if err != nil {
-		return fmt.Errorf("encode snapshot: %w", err)
-	}
-	if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
-		return fmt.Errorf("write snapshot: %w", err)
-	}
-	// Rewrite the WAL with the batches the new snapshot does not cover.
 	targetOff, err := r.offOf(target.Version, s.cfg.RetainVersions)
 	if err != nil {
 		return err
 	}
+	sm := snapMeta{Meta: r.meta, Seq: r.seq, Ver: target}
+	var newSnap *graph.Graph
+	var newHandle *mappedHandle
+	if s.mappedFor(target.M) {
+		// Out-of-core target: stream base ∪ pre-window batches straight
+		// into a new WCCM1 file — the compaction never materializes the
+		// graph, so folding a snapshot larger than RAM stays O(n+delta).
+		metaRaw, err := json.Marshal(sm)
+		if err != nil {
+			return fmt.Errorf("encode snapshot meta: %w", err)
+		}
+		mpath := filepath.Join(gdir, mapFile)
+		if err := s.writeMappedAtomic(mpath, base, target.N, r.appended[:targetOff], metaRaw); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		newHandle, err = s.openMapped(mpath)
+		if err != nil {
+			return fmt.Errorf("map snapshot: %w", err)
+		}
+		if r.snap != nil {
+			// This compaction switched formats; the binary snapshot is
+			// stale (open would prefer the higher-versioned map anyway).
+			s.fs.Remove(filepath.Join(gdir, snapFile))
+		}
+	} else {
+		newSnap, err = r.materializeLocked(target.Version, s.cfg.RetainVersions)
+		if err != nil {
+			return fmt.Errorf("materialize version %d: %w", target.Version, err)
+		}
+		snap, err := encodeSnapshot(sm, newSnap)
+		if err != nil {
+			return fmt.Errorf("encode snapshot: %w", err)
+		}
+		if err := s.writeFileAtomic(filepath.Join(gdir, snapFile), snap); err != nil {
+			return fmt.Errorf("write snapshot: %w", err)
+		}
+		if r.mapped != nil {
+			// Format switch in the shrinking direction (threshold raised
+			// across a restart); the mapped snapshot is stale.
+			s.fs.Remove(filepath.Join(gdir, mapFile))
+		}
+	}
+	// A failure past this point keeps the old record state; the freshly
+	// mapped handle must not leak.
+	fail := func(err error) error {
+		if newHandle != nil {
+			newHandle.release()
+		}
+		return err
+	}
+	// Rewrite the WAL with the batches the new snapshot does not cover.
 	walData := []byte(walMagic)
 	var kept []batchMeta
 	prevOff := 0
@@ -644,7 +865,7 @@ func (s *Disk) compact(id string) error {
 		if b.v.Version > target.Version {
 			recData, err := encodeWALRecord(b.v, r.appended[prevOff:b.off])
 			if err != nil {
-				return fmt.Errorf("encode wal record %d: %w", b.v.Version, err)
+				return fail(fmt.Errorf("encode wal record %d: %w", b.v.Version, err))
 			}
 			walData = append(walData, recData...)
 			kept = append(kept, batchMeta{v: b.v, off: b.off - targetOff})
@@ -652,16 +873,19 @@ func (s *Disk) compact(id string) error {
 		prevOff = b.off
 	}
 	if err := s.writeFileAtomic(filepath.Join(gdir, walFile), walData); err != nil {
-		return fmt.Errorf("write wal: %w", err)
+		return fail(fmt.Errorf("write wal: %w", err))
 	}
 	s.syncDir(gdir)
 	newWal, err := s.fs.OpenFile(filepath.Join(gdir, walFile), os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return fmt.Errorf("reopen wal: %w", err)
+		return fail(fmt.Errorf("reopen wal: %w", err))
 	}
 	// Swap in-memory state. The old appended array stays untouched so
-	// Delta slices handed out before the compaction remain valid.
-	r.snap = newBase
+	// Delta slices handed out before the compaction remain valid, and
+	// the old mapping (if any) is only unmapped once every view pinned
+	// on it has released — the store reference moves under s.mu below.
+	oldHandle := r.mapped
+	r.snap, r.mapped = newSnap, newHandle
 	r.snapVer = target
 	r.appended = append([]graph.Edge(nil), r.appended[targetOff:]...)
 	r.batches = kept
@@ -671,6 +895,20 @@ func (s *Disk) compact(id string) error {
 		ws.f.Close()
 	} else {
 		newWal.Close() // record was evicted/replaced mid-compaction
+	}
+	if s.t.recs[id] == r {
+		if oldHandle != nil {
+			oldHandle.release() // the store reference moves off the old mapping
+		}
+		if newHandle != nil {
+			s.maps[id] = newHandle
+		} else {
+			delete(s.maps, id)
+		}
+	} else if newHandle != nil {
+		// Evicted mid-compaction: the eviction already released the old
+		// store reference; the fresh mapping is an orphan.
+		newHandle.release()
 	}
 	s.mu.Unlock()
 	return nil
@@ -706,6 +944,16 @@ func (s *Disk) Materialize(id string, version int) (*graph.Graph, error) {
 	return r.materializeLocked(version, s.cfg.RetainVersions)
 }
 
+func (s *Disk) View(id string, version int) (graph.View, func(), error) {
+	r, err := s.rec(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(version, s.cfg.RetainVersions)
+}
+
 func (s *Disk) Evict(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -717,13 +965,20 @@ func (s *Disk) Evict(id string) bool {
 	return true
 }
 
-// evictLocked removes the record, closes its WAL, and deletes its
-// directory. Callers hold s.mu.
+// evictLocked removes the record, closes its WAL, releases the store's
+// reference on its mapping (in-flight views keep theirs; the pages
+// unmap at the last release), and deletes its directory — unlinking a
+// still-mapped file is safe, the mapping holds the pages. Callers hold
+// s.mu.
 func (s *Disk) evictLocked(id string) {
 	s.t.remove(id)
 	if ws, ok := s.wals[id]; ok {
 		ws.f.Close()
 		delete(s.wals, id)
+	}
+	if h, ok := s.maps[id]; ok {
+		h.release()
+		delete(s.maps, id)
 	}
 	s.fs.RemoveAll(filepath.Join(s.dir, id))
 }
@@ -783,6 +1038,10 @@ func (s *Disk) Close() error {
 			firstErr = err
 		}
 		delete(s.wals, id)
+	}
+	for id, h := range s.maps {
+		h.release()
+		delete(s.maps, id)
 	}
 	return firstErr
 }

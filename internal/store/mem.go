@@ -122,6 +122,16 @@ func (s *Memory) Materialize(id string, version int) (*graph.Graph, error) {
 	return r.materializeLocked(version, s.cfg.RetainVersions)
 }
 
+func (s *Memory) View(id string, version int) (graph.View, func(), error) {
+	r, err := s.rec(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.viewLocked(version, s.cfg.RetainVersions)
+}
+
 func (s *Memory) Evict(id string) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()

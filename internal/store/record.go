@@ -2,8 +2,11 @@ package store
 
 import (
 	"fmt"
+	"log"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/fault"
 	"repro/internal/graph"
 )
 
@@ -14,11 +17,15 @@ import (
 // mutex guards all mutable fields; the store-level mutex only guards
 // the id→record table and the LRU bookkeeping.
 type record struct {
-	mu      sync.Mutex
-	meta    Meta
-	seq     int64 // first-stored order; the durable backend persists it
-	used    int64 // last-access tick for LRU eviction
+	mu   sync.Mutex
+	meta Meta
+	seq  int64 // first-stored order; the durable backend persists it
+	used int64 // last-access tick for LRU eviction
+	// Exactly one of snap and mapped is set: snap is the resident CSR
+	// base, mapped an out-of-core base served off the snapshot file's
+	// mapping (disk backend, m >= Config.MappedThreshold).
 	snap    *graph.Graph
+	mapped  *mappedHandle
 	snapVer Version
 	// appended holds every post-snapshot edge in append order; batches
 	// marks each batch's version metadata and its end offset within
@@ -35,6 +42,74 @@ type record struct {
 type batchMeta struct {
 	v   Version
 	off int // len(appended) prefix including this batch
+}
+
+// mappedHandle refcounts the mapping behind an out-of-core base so it
+// is unmapped only after the last reader is done: the record itself
+// holds one reference (dropped on eviction, compaction swap, or store
+// close), and every View acquires one for its lifetime. Without the
+// count, an eviction racing a running solve would unmap pages the
+// solver is reading — a SIGSEGV, not an error return.
+type mappedHandle struct {
+	m    fault.Mapping
+	g    *graph.MappedGraph
+	refs atomic.Int32
+}
+
+func newMappedHandle(m fault.Mapping, g *graph.MappedGraph) *mappedHandle {
+	h := &mappedHandle{m: m, g: g}
+	h.refs.Store(1) // the owning record's reference
+	return h
+}
+
+// tryAcquire takes a reference unless the count already hit zero — a
+// dead handle stays dead, so a reader that raced an eviction gets a
+// clean failure instead of unmapped pages.
+func (h *mappedHandle) tryAcquire() bool {
+	for {
+		c := h.refs.Load()
+		if c <= 0 {
+			return false
+		}
+		if h.refs.CompareAndSwap(c, c+1) {
+			return true
+		}
+	}
+}
+
+// release drops one reference, unmapping at zero. Unmap failures are
+// logged, not returned: every reader is already done with the pages,
+// so nothing is left to roll back.
+func (h *mappedHandle) release() {
+	if h.refs.Add(-1) == 0 {
+		if err := h.m.Unmap(); err != nil {
+			log.Printf("store: unmap snapshot: %v", err)
+		}
+	}
+}
+
+// pinBase returns the snapshot as a View regardless of residency,
+// pinned against unmapping until the release func is called. ok=false
+// means the caller raced an eviction that already dropped the mapping.
+// Callers hold r.mu; the pin is what lets the view outlive the lock.
+func (r *record) pinBase() (v graph.View, release func(), ok bool) {
+	if r.mapped == nil {
+		return r.snap, func() {}, r.snap != nil
+	}
+	if !r.mapped.tryAcquire() {
+		return nil, nil, false
+	}
+	return r.mapped.g, r.mapped.release, true
+}
+
+// baseView is pinBase for callers that stay under r.mu and inside the
+// store's own lifecycle (compaction), where the record reference
+// itself keeps the mapping alive.
+func (r *record) baseView() graph.View {
+	if r.mapped != nil {
+		return r.mapped.g
+	}
+	return r.snap
 }
 
 // window returns the retained version lineage, oldest first: the
@@ -90,8 +165,22 @@ func (r *record) deltaLocked(from, to, retain int) ([]graph.Edge, error) {
 	return r.appended[a:b], nil
 }
 
-func (r *record) materializeLocked(version, retain int) (*graph.Graph, error) {
+// infoOf returns the Version metadata of a version number known to be
+// in the lineage.
+func (r *record) infoOf(version int) Version {
 	if version == r.snapVer.Version {
+		return r.snapVer
+	}
+	for _, b := range r.batches {
+		if b.v.Version == version {
+			return b.v
+		}
+	}
+	return Version{}
+}
+
+func (r *record) materializeLocked(version, retain int) (*graph.Graph, error) {
+	if version == r.snapVer.Version && r.mapped == nil {
 		// Still ensure the version is retained: after heavy appends the
 		// snapshot version can fall out of the window in the memory
 		// backend (the durable one compacts it forward instead).
@@ -107,25 +196,56 @@ func (r *record) materializeLocked(version, retain int) (*graph.Graph, error) {
 	if r.cache != nil && r.cacheVer == version {
 		return r.cache, nil
 	}
-	var info Version
-	for _, b := range r.batches {
-		if b.v.Version == version {
-			info = b.v
-			break
-		}
+	base, unpin, ok := r.pinBase()
+	if !ok {
+		return nil, fmt.Errorf("%w: graph %s evicted", ErrNotFound, r.meta.ID)
 	}
+	info := r.infoOf(version)
 	b := graph.NewBuilderHint(info.N, info.M)
-	r.snap.ForEachEdge(func(e graph.Edge) { b.AddEdge(e.U, e.V) })
+	graph.ForEachEdgeView(base, func(e graph.Edge) { b.AddEdge(e.U, e.V) })
+	unpin()
 	for _, e := range r.appended[:off] {
 		b.AddEdge(e.U, e.V)
 	}
 	g := b.Build()
 	// Cache only the newest materialization: streams solve the tip, and
-	// one snapshot bounds the extra memory to O(n+m) per graph.
-	if len(r.batches) > 0 && version == r.batches[len(r.batches)-1].v.Version {
+	// one snapshot bounds the extra memory to O(n+m) per graph. (For a
+	// mapped record even the snapshot version is a build, so it gets
+	// the same tip-only cache.)
+	latest := r.snapVer.Version
+	if len(r.batches) > 0 {
+		latest = r.batches[len(r.batches)-1].v.Version
+	}
+	if version == latest {
 		r.cache, r.cacheVer = g, version
 	}
 	return g, nil
+}
+
+// viewLocked returns a graph.View of a retained version without
+// materializing it: the base view itself for the snapshot version, an
+// Overlay of the appended prefix otherwise. The release func pins a
+// mapped base's pages until called; for resident bases it is a no-op
+// (the old *Graph outlives the view by garbage collection). Callers
+// hold r.mu; the returned view is safe to use after the lock is
+// released — the appended array is append-only between compactions,
+// and compaction replaces rather than mutates it.
+func (r *record) viewLocked(version, retain int) (graph.View, func(), error) {
+	off, err := r.offOf(version, retain)
+	if err != nil {
+		return nil, nil, err
+	}
+	base, release, ok := r.pinBase()
+	if !ok {
+		return nil, nil, fmt.Errorf("%w: graph %s evicted", ErrNotFound, r.meta.ID)
+	}
+	var v graph.View
+	if version == r.snapVer.Version {
+		v = base
+	} else {
+		v = graph.NewOverlay(base, r.infoOf(version).N, r.appended[:off])
+	}
+	return v, release, nil
 }
 
 // appendLocked applies the shared in-memory effect of one batch.

@@ -79,6 +79,15 @@ type Config struct {
 	// Append instead of on the background goroutine — deterministic
 	// for tests; ignored by the memory backend.
 	SyncCompaction bool
+	// MappedThreshold is the edge count at or above which the disk
+	// backend stores a graph's snapshot in the fixed-width mmap-able
+	// WCCM1 format (snapshot.map) instead of the varint WCCB1 one, and
+	// serves Views directly off the mapping — the adjacency never
+	// becomes heap-resident. Zero or negative disables mapped
+	// snapshots. Edge counts only grow, so a graph that crosses the
+	// threshold switches formats at its next compaction and never
+	// switches back. Ignored by the memory backend.
+	MappedThreshold int64
 	// FS is the filesystem seam the disk backend performs every
 	// operation through. Nil selects the real filesystem (fault.OS);
 	// chaos tests and wccserve -fault-spec pass a fault.Inject-wrapped
@@ -126,6 +135,15 @@ type Store interface {
 	// a retained version. The latest version's materialization is
 	// cached and pointer-stable until the next append.
 	Materialize(id string, version int) (*graph.Graph, error)
+	// View returns a read view of a retained version without
+	// materializing it: for a mapped record (disk backend past
+	// Config.MappedThreshold) the view serves straight off the
+	// snapshot's mapped pages, with appended batches layered as an
+	// in-memory overlay; otherwise it wraps the resident snapshot. The
+	// release func pins the underlying mapping for the view's lifetime
+	// — eviction and compaction unmap only after the last release — and
+	// must be called exactly once when the caller is done scanning.
+	View(id string, version int) (graph.View, func(), error)
 	// Evict removes one graph (and, for the durable backend, its
 	// files), reporting whether it was present.
 	Evict(id string) bool
@@ -144,11 +162,18 @@ type Store interface {
 // every edge in the deterministic CSR iteration order. Build sorts
 // adjacencies, so any two graphs with the same edge multiset share a
 // digest — the content address graph IDs derive from.
-func DigestGraph(g *graph.Graph) string {
+func DigestGraph(g *graph.Graph) string { return DigestView(g) }
+
+// DigestView is DigestGraph over any graph.View, streaming the same
+// canonical edge order without materializing — how the disk backend
+// re-verifies a mapped snapshot's content digest on open while keeping
+// the adjacency out of the heap. The two functions agree byte for byte
+// on equal edge multisets.
+func DigestView(v graph.View) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%d %d\n", g.N(), g.M())
+	fmt.Fprintf(h, "%d %d\n", v.NumVertices(), v.NumEdges())
 	var buf [24]byte
-	g.ForEachEdge(func(e graph.Edge) {
+	graph.ForEachEdgeView(v, func(e graph.Edge) {
 		b := strconv.AppendInt(buf[:0], int64(e.U), 10)
 		b = append(b, ' ')
 		b = strconv.AppendInt(b, int64(e.V), 10)

@@ -47,7 +47,7 @@ func Ports(g *graph.Graph) []PortPairing {
 	// pair (u,v) with u < v, find the matching slot in v by counting.
 	pairs := make([]PortPairing, 0, g.M())
 	for u := graph.Vertex(0); int(u) < g.N(); u++ {
-		ns := g.Neighbors(u)
+		ns := g.Neighbors(u, nil)
 		for i, v := range ns {
 			switch {
 			case v > u:
@@ -72,7 +72,7 @@ func Ports(g *graph.Graph) []PortPairing {
 // nthSlot returns the index of the r-th slot of v's adjacency that holds u.
 func nthSlot(g *graph.Graph, v, u graph.Vertex, r int32) int32 {
 	count := int32(0)
-	for j, w := range g.Neighbors(v) {
+	for j, w := range g.Neighbors(v, nil) {
 		if w == u {
 			if count == r {
 				return int32(j)
@@ -215,8 +215,8 @@ func ZigZag(g *graph.Graph, clouds CloudFamily) (*Product, error) {
 		// cross product below covers both traversal directions — including
 		// for self-loop matching edges, where N(PortU)×N(PortV) already
 		// coincides with N(PortV)×N(PortU) as a family of unordered pairs.
-		for _, i := range hu.Neighbors(graph.Vertex(pp.PortU)) {
-			for _, j := range hv.Neighbors(graph.Vertex(pp.PortV)) {
+		for _, i := range hu.Neighbors(graph.Vertex(pp.PortU), nil) {
+			for _, j := range hv.Neighbors(graph.Vertex(pp.PortV), nil) {
 				b.AddEdge(p.ProductVertex(pp.U, int(i)), p.ProductVertex(pp.V, int(j)))
 			}
 		}
