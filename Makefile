@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet lint race fuzz-smoke chaos-smoke bench-smoke bench-json bench
+.PHONY: build test vet lint race fuzz-smoke chaos-smoke repl-chaos-smoke bench-smoke bench-json bench
 
 build:
 	$(GO) build ./...
@@ -49,6 +49,18 @@ chaos-smoke:
 	$(GO) test $(CHAOSFLAGS) -race -run='^TestCrash|^TestAppendRollback' ./internal/store/
 	$(GO) test $(CHAOSFLAGS) -race -run='^TestAdmission|^TestPanic|^TestDegraded|^TestCloseTimeout' ./internal/service/
 	$(GO) test $(CHAOSFLAGS) -race ./internal/fault/ ./internal/retry/
+	$(MAKE) repl-chaos-smoke
+
+# The replication chaos gate: the feed torn at every record boundary,
+# torn receives, connect/snapshot faults, the primary killed mid-batch
+# and restarted, the replica SIGKILLed and restarted from its durable
+# position — every run must end in bit-identical digest convergence or
+# a clean rejection; there is no third outcome. Runs under the race
+# detector because replication is tailer goroutines against a live
+# service. CHAOSFLAGS=-v captures the repl: transition logs and fault
+# event sequences as the repro recipe.
+repl-chaos-smoke:
+	$(GO) test $(CHAOSFLAGS) -race -run='^TestChaos|^TestFeedGone|^TestReplicaRestart|^TestSnapshot' ./internal/repl/
 
 # Race-checked run of the packages with executor-level concurrency.
 race:

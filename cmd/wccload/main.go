@@ -16,6 +16,12 @@
 //	# against a graph something else already loaded
 //	wccload -addr http://localhost:8080 -graph g-1234567890ab -algo hashtomin
 //
+//	# reads fanned across two replicas; writes (generate, solve) stay on
+//	# the primary, and the summary splits errors and latency per target
+//	wccload -addr http://primary:8080 \
+//	    -targets http://replica1:8080,http://replica2:8080 \
+//	    -family gnd -n 20000 -d 8 -c 8
+//
 // Output: requests/sec, queries/sec, error count, and client-observed
 // latency p50/p90/p99/max per request, plus the server's cache hit
 // ratio before and after (from /v1/stats) so a storm that silently
@@ -67,6 +73,7 @@ func run() error {
 		dur     = flag.Duration("duration", 10*time.Second, "storm duration")
 		batch   = flag.Int("batch", 0, "queries per request: 0 = single GETs, k>0 = POST /v1/query/batch with k queries")
 		retries = flag.Int("retries", 3, "retries per request for connection errors and 429/5xx responses (jittered backoff, honors Retry-After)")
+		targets = flag.String("targets", "", "comma-separated read-target base URLs (replicas); the query storm is spread across them while writes (generate, solve) stay on -addr, and the summary splits errors and latency per target")
 	)
 	flag.Parse()
 	if *addr == "" {
@@ -79,6 +86,23 @@ func run() error {
 		base:   strings.TrimRight(*addr, "/"),
 		http:   &http.Client{Timeout: time.Minute},
 		policy: retry.New(*retries+1, 10*time.Millisecond, time.Second, *seed),
+	}
+	// Read targets: the replicas queries fan out to. Writes always aim
+	// at -addr (the primary — a replica would answer them 421); with no
+	// -targets the primary serves the reads too.
+	readBases := []string{c.base}
+	if *targets != "" {
+		readBases = readBases[:0]
+		for _, tgt := range strings.Split(*targets, ",") {
+			tgt = strings.TrimRight(strings.TrimSpace(tgt), "/")
+			if tgt == "" {
+				continue
+			}
+			readBases = append(readBases, tgt)
+		}
+		if len(readBases) == 0 {
+			return fmt.Errorf("-targets lists no usable URLs")
+		}
 	}
 
 	// Prepare: resolve or generate the graph, then solve once so the
@@ -96,9 +120,34 @@ func run() error {
 	if err := c.solve(id, *algo); err != nil {
 		return err
 	}
+	// A labeling is derived state, not replicated state: each replica
+	// computes its own. Solve once per read target so the storm below
+	// measures the query path, not first-query solve cost. Replication
+	// is asynchronous, so a just-created graph may not have reached a
+	// replica yet — wait out the discovery lag briefly, then fail
+	// loudly before the clock starts.
+	for _, rb := range readBases {
+		if rb == c.base {
+			continue
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			err := c.solveTo(rb, id, *algo)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("read target %s: %w", rb, err)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
 	fmt.Printf("target %s: n=%d algo=%s workers=%d duration=%v", id, vertices, *algo, *conc, *dur)
 	if *batch > 0 {
 		fmt.Printf(" batch=%d", *batch)
+	}
+	if len(readBases) > 1 || readBases[0] != c.base {
+		fmt.Printf(" read-targets=%d", len(readBases))
 	}
 	fmt.Println()
 
@@ -116,6 +165,9 @@ func run() error {
 		requests int64
 		queries  int64
 		errors   int64
+		perLat   = make([][]time.Duration, len(readBases))
+		perReqs  = make([]int64, len(readBases))
+		perErrs  = make([]int64, len(readBases))
 	)
 	deadline := time.Now().Add(*dur)
 	start := time.Now()
@@ -123,6 +175,11 @@ func run() error {
 		wg.Add(1)
 		go func(worker int) {
 			defer wg.Done()
+			// Workers are dealt round-robin across the read targets, so
+			// every target sees the same worker count (±1) and the
+			// per-target split compares like with like.
+			ti := worker % len(readBases)
+			rb := readBases[ti]
 			rng := rand.New(rand.NewPCG(uint64(worker)+1, 0x10ad))
 			lat := make([]time.Duration, 0, 1<<16)
 			var reqs, qs, errs int64
@@ -134,11 +191,11 @@ func run() error {
 				if *batch > 0 {
 					body.Reset()
 					buildBatchBody(&body, id, *algo, *batch, rng, vertices)
-					err = c.postBatch(body.Bytes())
+					err = c.postBatchTo(rb, body.Bytes())
 					qs += int64(*batch)
 				} else {
 					urlBuf = urlBuf[:0]
-					urlBuf = append(urlBuf, c.base...)
+					urlBuf = append(urlBuf, rb...)
 					urlBuf = append(urlBuf, "/v1/query/same-component?graph="...)
 					urlBuf = append(urlBuf, id...)
 					urlBuf = append(urlBuf, "&algo="...)
@@ -161,6 +218,9 @@ func run() error {
 			requests += reqs
 			queries += qs
 			errors += errs
+			perLat[ti] = append(perLat[ti], lat...)
+			perReqs[ti] += reqs
+			perErrs[ti] += errs
 			mu.Unlock()
 		}(w)
 	}
@@ -179,6 +239,20 @@ func run() error {
 	if len(all) > 0 {
 		fmt.Printf("latency: p50=%v p90=%v p99=%v max=%v\n",
 			pct(all, 50), pct(all, 90), pct(all, 99), all[len(all)-1])
+	}
+	// Per-target split: with reads fanned across replicas, a lagging or
+	// flaky target shows up as its own error count and latency tail, not
+	// as noise smeared over the aggregate.
+	if len(readBases) > 1 {
+		for ti, rb := range readBases {
+			lat := perLat[ti]
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			line := fmt.Sprintf("  target %s: %d requests, %d errors", rb, perReqs[ti], perErrs[ti])
+			if len(lat) > 0 {
+				line += fmt.Sprintf(", p50=%v p99=%v max=%v", pct(lat, 50), pct(lat, 99), lat[len(lat)-1])
+			}
+			fmt.Println(line)
+		}
 	}
 	dh, dl := after.Hits-before.Hits, after.Hits+after.Misses-before.Hits-before.Misses
 	ratio := 0.0
@@ -296,8 +370,10 @@ func (c *client) getOK(url string) error {
 	return c.do("GET", url, "", nil, nil)
 }
 
-func (c *client) postBatch(body []byte) error {
-	return c.do("POST", c.base+"/v1/query/batch", "application/json", body, nil)
+// postBatchTo aims a batch query at one read target — the primary or
+// any replica; the batch endpoint is pure read path.
+func (c *client) postBatchTo(base string, body []byte) error {
+	return c.do("POST", base+"/v1/query/batch", "application/json", body, nil)
 }
 
 func (c *client) generate(family string, n, d int, seed uint64) (string, int, error) {
@@ -325,8 +401,12 @@ func (c *client) lookup(id string) (int, error) {
 }
 
 func (c *client) solve(id, algo string) error {
+	return c.solveTo(c.base, id, algo)
+}
+
+func (c *client) solveTo(base, id, algo string) error {
 	body, _ := json.Marshal(map[string]any{"graph": id, "algo": algo, "wait": true})
-	return c.do("POST", c.base+"/v1/solve", "application/json", body, nil)
+	return c.do("POST", base+"/v1/solve", "application/json", body, nil)
 }
 
 type statsSnap struct {

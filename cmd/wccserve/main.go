@@ -62,9 +62,24 @@
 // /readyz not-ready) until a background probe sees the disk heal. See
 // internal/service/README.md, "Operating under failure".
 //
+// Replication (-replica-of) turns a second wccserve into a read-only
+// hot standby: it bootstraps every graph from the primary's snapshot
+// transfer, tails the primary's per-graph WAL feed (each shipped record
+// is verified against the chained version digests before it is
+// applied), persists through its own -data-dir, and serves the full
+// read path while refusing writes with 421 pointing at the primary.
+// /readyz on a replica reports 503 until replication is connected,
+// bootstrapped, and within -repl-lag-max versions of the primary on
+// every graph — so a load balancer only routes to a standby whose
+// answers are fresh. Every wccserve (primary or replica) serves the
+// feed under /v1/repl, so standbys can be chained. See
+// internal/service/README.md, "Replication & failover".
+//
 // -fault-spec arms deterministic fault injection inside the durable
-// store's filesystem layer (internal/fault) — a chaos-testing hook for
-// rehearsing crash recovery and degraded mode; never set in production.
+// store's filesystem layer and the replication feed's network layer
+// (internal/fault) — a chaos-testing hook for rehearsing crash
+// recovery, torn replication streams, and degraded mode; never set in
+// production.
 package main
 
 import (
@@ -82,6 +97,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/repl"
 	"repro/internal/service"
 )
 
@@ -114,8 +130,10 @@ func run() error {
 		reqTimeout  = flag.Duration("request-timeout", 0, "per-request deadline (0 = default 30s, negative = disabled)")
 		appendRetry = flag.Int("append-retries", 0, "retries with jittered backoff for transient store failures on the append path (0 = default 2, negative = none)")
 		outOfCore   = flag.Int64("out-of-core", 0, "edge count at/above which graphs are snapshotted in the mmap-able WCCM1 format and solved off the mapping instead of materializing (bit-identical results; 0 = disabled; requires -data-dir)")
-		faultSpec   = flag.String("fault-spec", "", "fault-injection spec for the storage filesystem, e.g. 'sync:wal.log#3=crash,write:snapshot.bin~0.01=eio' (testing only; requires -data-dir)")
+		faultSpec   = flag.String("fault-spec", "", "fault-injection spec for the storage filesystem and the replication network, e.g. 'sync:wal.log#3=crash,send:wal#2=torn,conn:list~0.1=eio' (testing only; filesystem sites require -data-dir)")
 		faultSeed   = flag.Uint64("fault-seed", 1, "seed for probabilistic fault-injection rules")
+		replicaOf   = flag.String("replica-of", "", "run as a read-only hot standby of the primary wccserve at this base URL (e.g. http://primary:8080): tail its replication feed, refuse client writes with 421, gate /readyz on replication lag")
+		replLagMax  = flag.Int("repl-lag-max", 0, "versions a replica may trail the primary on any graph before /readyz reports 503 (0 = default 8, negative = never gate)")
 	)
 	flag.Parse()
 
@@ -123,17 +141,22 @@ func run() error {
 		return fmt.Errorf("-out-of-core requires -data-dir (mapped snapshots live in the durable store)")
 	}
 
+	// One fault registry serves both seams: filesystem sites (write:/
+	// sync:/...) are injected into the durable store when -data-dir is
+	// set, network sites (conn:/recv:/send:) into the replication feed's
+	// transport and frame writers.
 	var fs fault.FS
+	var reg *fault.Registry
 	if *faultSpec != "" {
-		if *dataDir == "" {
-			return fmt.Errorf("-fault-spec requires -data-dir (faults are injected into the durable store)")
-		}
-		reg, err := fault.ParseSpec(*faultSpec, *faultSeed)
+		var err error
+		reg, err = fault.ParseSpec(*faultSpec, *faultSeed)
 		if err != nil {
 			return fmt.Errorf("bad -fault-spec: %w", err)
 		}
 		reg.Logf = log.Printf
-		fs = fault.Inject(fault.OS{}, reg)
+		if *dataDir != "" {
+			fs = fault.Inject(fault.OS{}, reg)
+		}
 		log.Printf("wccserve: FAULT INJECTION ARMED: %s (seed %d) — not for production", *faultSpec, *faultSeed)
 	}
 
@@ -155,6 +178,8 @@ func run() error {
 		AdmissionQueue: *admitQueue,
 		RequestTimeout: *reqTimeout,
 		AppendRetries:  *appendRetry,
+		ReplicaOf:      *replicaOf,
+		ReplLagMax:     *replLagMax,
 	})
 	if err != nil {
 		return fmt.Errorf("open store: %w", err)
@@ -167,6 +192,23 @@ func run() error {
 	}()
 	if *dataDir != "" {
 		log.Printf("wccserve: data dir %s: recovered %d graphs", *dataDir, svc.GraphCount())
+	}
+
+	// Replication. A primary (the default role) mounts the feed endpoints
+	// in front of the service handler — outside admission control, since
+	// feed streams are long-lived. A replica additionally starts the
+	// tailer that pulls the primary's graphs into the local store; its
+	// own feed endpoints stay mounted, so replicas can be chained.
+	replOpts := repl.Options{Registry: reg, Logf: log.Printf}
+	primary := repl.NewPrimary(svc, replOpts)
+	var replica *repl.Replica
+	if *replicaOf != "" {
+		replica, err = repl.Start(svc, *replicaOf, replOpts)
+		if err != nil {
+			return fmt.Errorf("start replica: %w", err)
+		}
+		defer replica.Close()
+		log.Printf("wccserve: replica of %s (lag bound %d versions)", *replicaOf, svc.Config().ReplLagMax)
 	}
 
 	if *pprofAddr != "" {
@@ -198,7 +240,7 @@ func run() error {
 		return err
 	}
 	srv := &http.Server{
-		Handler:           service.NewHandler(svc),
+		Handler:           primary.Handler(service.NewHandler(svc)),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("wccserve: listening on http://%s", ln.Addr())

@@ -27,6 +27,18 @@
 // With -verify, the final incremental labeling is cross-checked against
 // a fresh full solve by a different registry algorithm on the final
 // version — the dynamic path's exactness guarantee, asserted over HTTP.
+//
+// Against a replicated deployment, -targets fans the interleaved
+// queries out across read replicas while the appends stay on -addr
+// (replicas reject writes with 421):
+//
+//	wccstream -addr http://primary:8080 \
+//	    -targets http://replica1:8080,http://replica2:8080 \
+//	    -family gnd -n 20000 -d 8 -batches 200 -queries 4
+//
+// The summary then splits query counts, errors, and latency
+// percentiles per target, so a lagging replica shows up as its own
+// line rather than vanishing into the aggregate.
 package main
 
 import (
@@ -40,6 +52,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"os"
+	"slices"
 	"strconv"
 	"strings"
 	"time"
@@ -82,6 +95,7 @@ func run() error {
 		pace    = flag.Bool("pace", false, "honor trace timestamps instead of replaying full speed")
 		verify  = flag.Bool("verify", false, "cross-check the final labeling against a fresh full solve")
 		retries = flag.Int("retries", 3, "retries per request for connection errors and 429/5xx responses (jittered backoff, honors Retry-After)")
+		targets = flag.String("targets", "", "comma-separated read-target base URLs (replicas); interleaved queries rotate across them while appends stay on -addr, with per-target error/latency splits in the summary")
 	)
 	flag.Parse()
 
@@ -119,6 +133,22 @@ func run() error {
 		http:   &http.Client{Timeout: 5 * time.Minute},
 		policy: retry.New(*retries+1, 10*time.Millisecond, time.Second, *traceSeed),
 	}
+	// Read targets: replicas the interleaved queries rotate across.
+	// Appends always go to -addr — a replica would refuse them with 421.
+	readClients := []*streamClient{client}
+	if *targets != "" {
+		readClients = readClients[:0]
+		for _, tgt := range strings.Split(*targets, ",") {
+			tgt = strings.TrimRight(strings.TrimSpace(tgt), "/")
+			if tgt == "" {
+				continue
+			}
+			readClients = append(readClients, &streamClient{base: tgt, http: client.http, policy: client.policy})
+		}
+		if len(readClients) == 0 {
+			return fmt.Errorf("-targets lists no usable URLs")
+		}
+	}
 
 	// Load the base graph and solve it once; every later answer is
 	// incremental maintenance of this labeling.
@@ -133,9 +163,33 @@ func run() error {
 	}
 	fmt.Printf("solved with %s: components=%d\n", *algo, comps)
 
+	// Each read target computes its own labeling (derived state is not
+	// replicated): solve there before the clock starts. Replication is
+	// asynchronous, so wait out the discovery lag on a just-created
+	// graph briefly, then fail loudly.
+	for _, rc := range readClients {
+		if rc == client {
+			continue
+		}
+		deadline := time.Now().Add(15 * time.Second)
+		for {
+			_, err := rc.solve(id, *algo, -1)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("read target %s: %w", rc.base, err)
+			}
+			time.Sleep(250 * time.Millisecond)
+		}
+	}
+
 	rng := rand.New(rand.NewPCG(*traceSeed, 0xbeef))
 	start := time.Now()
 	edgesSent, queriesSent := 0, 0
+	perQueries := make([]int, len(readClients))
+	perErrs := make([]int, len(readClients))
+	perLat := make([][]time.Duration, len(readClients))
 	for i, batch := range batchList {
 		if *pace && i < len(stamps) {
 			if wait := time.Until(start.Add(stamps[i])); wait > 0 {
@@ -148,10 +202,16 @@ func run() error {
 		edgesSent += len(batch)
 		for q := 0; q < *queries; q++ {
 			u, v := rng.IntN(base.N()), rng.IntN(base.N())
-			if _, err := client.sameComponent(id, *algo, u, v); err != nil {
-				return fmt.Errorf("batch %d query: %w", i, err)
-			}
+			ti := queriesSent % len(readClients)
+			t0 := time.Now()
+			_, err := readClients[ti].sameComponent(id, *algo, u, v)
+			perLat[ti] = append(perLat[ti], time.Since(t0))
+			perQueries[ti]++
 			queriesSent++
+			if err != nil {
+				perErrs[ti]++
+				return fmt.Errorf("batch %d query via %s: %w", i, readClients[ti].base, err)
+			}
 		}
 	}
 	elapsed := time.Since(start)
@@ -161,8 +221,25 @@ func run() error {
 		return err
 	}
 	fmt.Printf("streamed %d batches (%d edges) in %v\n", len(batchList), edgesSent, elapsed.Round(time.Millisecond))
+	totalRetries := client.retries
+	for _, rc := range readClients {
+		if rc != client {
+			totalRetries += rc.retries
+		}
+	}
 	fmt.Printf("sustained: %.1f batches/sec, %.0f edges/sec, %d interleaved queries, %d retries\n",
-		float64(len(batchList))/elapsed.Seconds(), float64(edgesSent)/elapsed.Seconds(), queriesSent, client.retries)
+		float64(len(batchList))/elapsed.Seconds(), float64(edgesSent)/elapsed.Seconds(), queriesSent, totalRetries)
+	if len(readClients) > 1 {
+		for ti, rc := range readClients {
+			lat := perLat[ti]
+			line := fmt.Sprintf("  target %s: %d queries, %d errors", rc.base, perQueries[ti], perErrs[ti])
+			if len(lat) > 0 {
+				slices.Sort(lat)
+				line += fmt.Sprintf(", p50=%v p99=%v", lat[(len(lat)-1)/2], lat[(len(lat)*99+99)/100-1])
+			}
+			fmt.Println(line)
+		}
+	}
 	fmt.Printf("final: version=%d n=%d m=%d components=%d\n", final.Version, final.N, final.M, final.Components)
 
 	if *verify {

@@ -1,19 +1,30 @@
 // Package fault is the seed-deterministic fault-injection seam the
-// durable storage path runs on. It has two halves:
+// durable storage path and the replication transport run on. It has
+// three halves:
 //
 //   - A filesystem abstraction (FS, File; see fs.go): the small set of
 //     operations internal/store.Disk performs — create, write, fsync,
 //     rename, truncate, remove — behind an interface whose production
 //     implementation (OS) is a zero-cost passthrough to package os.
 //
+//   - A network seam (see net.go), symmetric to the filesystem one:
+//     InjectTransport wraps the replication client's http.RoundTripper
+//     with per-connect ("conn:<stream>") and per-read ("recv:<stream>")
+//     failpoints — connection drops, torn streams (a prefix is
+//     delivered, then the stream cuts), stalls, and errors — and
+//     InjectWriter wraps the primary's feed writer with per-frame
+//     ("send:<stream>") failpoints, which is what lets a chaos sweep
+//     tear the stream at every record boundary exactly.
+//
 //   - A failpoint Registry: every operation the injected FS (Inject)
 //     performs first consults the registry under a named site —
 //     "<op>:<file>", e.g. "sync:wal.log" or "rename:snapshot.bin" —
 //     which can answer with an injected error (ENOSPC, EIO), a torn
-//     write (a prefix of the data lands, then the write fails), or a
-//     simulated crash (the operation fails and every subsequent
-//     operation fails too, as if the process died mid-syscall and is
-//     observing its own half-written files).
+//     write (a prefix of the data lands, then the write fails), a
+//     stall (the operation blocks, then proceeds), or a simulated
+//     crash (the operation fails and every subsequent operation fails
+//     too, as if the process died mid-syscall and is observing its own
+//     half-written files).
 //
 // The registry also records every site it sees and how often (Sites,
 // Hits), which is what makes exhaustive crash-point sweeps possible: a
@@ -28,11 +39,16 @@
 // wccserve -fault-spec syntax:
 //
 //	site[#hit][~prob]=action{,site[#hit][~prob]=action}
-//	action := enospc | eio | torn | crash
+//	action := enospc | eio | torn | cut | crash | stall[:duration]
 //
 // e.g. "sync:wal.log#3=enospc" (the third WAL fsync fails with ENOSPC)
 // or "write:wal.log~0.01=torn" (each WAL write has a 1% chance of
-// tearing and crashing the store).
+// tearing and crashing the store). Network sites use the same grammar:
+// "send:wal#3=cut" tears the primary's feed mid-way through the third
+// shipped frame (the stream dies, the process lives to serve the
+// reconnect; "torn" would latch the whole node down), "conn:wal=eio" fails every replica feed connect, and
+// "recv:snapshot~0.05=stall:2s" stalls 5% of snapshot-download reads
+// for two seconds.
 package fault
 
 import (
@@ -43,6 +59,7 @@ import (
 	"strings"
 	"sync"
 	"syscall"
+	"time"
 )
 
 // ErrInjected is the base of every injected failure; errors.Is(err,
@@ -69,6 +86,20 @@ const (
 	// all later operations fail with ErrCrash until the registry is
 	// reset. The model of kill -9 between syscalls.
 	KindCrash
+	// KindStall delays the operation by Rule.Delay (default 500ms) and
+	// then lets it proceed — the model of a slow disk or a congested
+	// network path. Nothing fails and nothing latches; what a stall
+	// exposes is timeout and lag handling (a replica behind a stalled
+	// feed must report lag, not corruption).
+	KindStall
+	// KindCut is a torn delivery WITHOUT the crash latch: a prefix of the
+	// data goes through, then the operation fails, and the next operation
+	// proceeds normally — the model of one TCP connection dying mid-
+	// stream while both processes live on and reconnect. KindTorn on a
+	// network site, by contrast, tears AND latches: the peer died with
+	// the connection and stays dead until the registry is reset. On
+	// non-write sites KindCut behaves like KindErr.
+	KindCut
 )
 
 func (k Kind) String() string {
@@ -79,6 +110,10 @@ func (k Kind) String() string {
 		return "torn"
 	case KindCrash:
 		return "crash"
+	case KindStall:
+		return "stall"
+	case KindCut:
+		return "cut"
 	}
 	return "unknown"
 }
@@ -94,7 +129,13 @@ type Rule struct {
 	// Err is the injected error for KindErr; nil selects ErrInjected.
 	// Wrapped so errors.Is(err, ErrInjected) always holds.
 	Err error
+	// Delay is how long a KindStall rule blocks the operation before
+	// letting it proceed; zero selects 500ms. Ignored by other kinds.
+	Delay time.Duration
 }
+
+// stallDelay is the default KindStall duration.
+const stallDelay = 500 * time.Millisecond
 
 // Registry is the failpoint table one injected FS consults. All methods
 // are safe for concurrent use. The zero value is not usable; call
@@ -213,7 +254,7 @@ func (r *Registry) hit(site string) (Rule, bool, error) {
 
 // Check consults the registry for a non-write operation at site,
 // returning the injected error if a rule fires (torn behaves like
-// crash here — there is no data to tear).
+// crash here — there is no data to tear; stall sleeps and proceeds).
 func (r *Registry) Check(site string) error {
 	rule, fired, err := r.hit(site)
 	if err != nil {
@@ -222,10 +263,24 @@ func (r *Registry) Check(site string) error {
 	if !fired {
 		return nil
 	}
-	if rule.Kind == KindErr {
+	switch rule.Kind {
+	case KindErr, KindCut:
 		return ruleErr(site, rule)
+	case KindStall:
+		rule.stall()
+		return nil
 	}
 	return ErrCrash
+}
+
+// stall sleeps the rule's delay — called after hit released the
+// registry lock, so a stalled operation never blocks other sites.
+func (rule Rule) stall() {
+	d := rule.Delay
+	if d <= 0 {
+		d = stallDelay
+	}
+	time.Sleep(d)
 }
 
 // CheckWrite consults the registry for a write of n bytes at site. It
@@ -246,6 +301,11 @@ func (r *Registry) CheckWrite(site string, n int) (int, error) {
 		return 0, ruleErr(site, rule)
 	case KindTorn:
 		return n / 2, ErrCrash
+	case KindCut:
+		return n / 2, ruleErr(site, rule)
+	case KindStall:
+		rule.stall()
+		return n, nil
 	default:
 		return 0, ErrCrash
 	}
@@ -261,7 +321,7 @@ func ruleErr(site string, rule Rule) error {
 // ParseSpec compiles a comma-separated fault spec into rules on a fresh
 // registry seeded with seed. Grammar per clause:
 //
-//	site[#hit][~prob]=action    action := enospc | eio | torn | crash
+//	site[#hit][~prob]=action    action := enospc | eio | torn | cut | crash | stall[:dur]
 func ParseSpec(spec string, seed uint64) (*Registry, error) {
 	reg := NewRegistry(seed)
 	for _, clause := range strings.Split(spec, ",") {
@@ -299,10 +359,25 @@ func ParseSpec(spec string, seed uint64) (*Registry, error) {
 			rule.Kind, rule.Err = KindErr, syscall.EIO
 		case "torn":
 			rule.Kind = KindTorn
+		case "cut":
+			rule.Kind = KindCut
 		case "crash":
 			rule.Kind = KindCrash
 		default:
-			return nil, fmt.Errorf("fault: clause %q: unknown action %q (want enospc|eio|torn|crash)", clause, action)
+			if d, ok := strings.CutPrefix(strings.TrimSpace(action), "stall"); ok {
+				rule.Kind = KindStall
+				if dur, ok := strings.CutPrefix(d, ":"); ok {
+					delay, err := time.ParseDuration(dur)
+					if err != nil || delay <= 0 {
+						return nil, fmt.Errorf("fault: clause %q: bad stall duration %q", clause, dur)
+					}
+					rule.Delay = delay
+				} else if d != "" {
+					return nil, fmt.Errorf("fault: clause %q: unknown action %q (want enospc|eio|torn|cut|crash|stall[:dur])", clause, action)
+				}
+				break
+			}
+			return nil, fmt.Errorf("fault: clause %q: unknown action %q (want enospc|eio|torn|cut|crash|stall[:dur])", clause, action)
 		}
 		reg.Add(rule)
 	}

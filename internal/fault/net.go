@@ -1,0 +1,125 @@
+package fault
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// This file is the network half of the fault seam: the replication
+// transport's analogue of fs.go. The replication client performs
+// exactly two kinds of network operation — open a stream (one HTTP
+// round trip) and read from its body — and the primary's feed handler
+// performs one: write a frame. Each goes through the registry under a
+// site named "<op>:<stream>":
+//
+//	conn:<stream>   one per request, checked before the dial/round trip
+//	recv:<stream>   one per body read on the replica side
+//	send:<stream>   one per frame write on the primary side
+//
+// The stream name is supplied by the caller (internal/repl uses "list",
+// "snapshot", "wal"), never a URL or graph ID, so sweep enumeration
+// stays deterministic across runs — the same property fs.go's
+// basename-only sites provide.
+//
+// Fault semantics mirror the filesystem seam: KindErr is a clean
+// failure (connection refused / read error), KindCut delivers a prefix
+// of the bytes and then fails WITHOUT latching (one connection cut
+// mid-record — both processes live on, the receiving side must detect
+// and reject the torn tail, never apply it), KindTorn delivers a prefix
+// and latches (the peer died with the connection and stays dead until
+// the registry resets — the kill-the-primary model), KindCrash fails
+// and latches, and KindStall delays the operation and proceeds (a
+// congested path: nothing corrupts, lag grows).
+
+// InjectTransport wraps base so every round trip first consults reg at
+// "conn:<stream>" and every response-body read at "recv:<stream>",
+// where stream is streamOf(req) (empty means the request bypasses
+// injection). A torn read really delivers its prefix to the caller
+// before the error surfaces — the replica sees exactly what a cut TCP
+// stream would have delivered.
+func InjectTransport(base http.RoundTripper, reg *Registry, streamOf func(*http.Request) string) http.RoundTripper {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &injectTransport{base: base, reg: reg, streamOf: streamOf}
+}
+
+type injectTransport struct {
+	base     http.RoundTripper
+	reg      *Registry
+	streamOf func(*http.Request) string
+}
+
+func (t *injectTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	stream := t.streamOf(req)
+	if stream == "" {
+		return t.base.RoundTrip(req)
+	}
+	if err := t.reg.Check("conn:" + stream); err != nil {
+		return nil, fmt.Errorf("fault: conn:%s: %w", stream, err)
+	}
+	resp, err := t.base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	resp.Body = &injectBody{body: resp.Body, reg: t.reg, site: "recv:" + stream}
+	return resp, nil
+}
+
+// injectBody threads response-body reads through the registry. The
+// underlying body is always closed even when the injected state says
+// the connection is gone — descriptors must not leak in chaos runs.
+type injectBody struct {
+	body io.ReadCloser
+	reg  *Registry
+	site string
+}
+
+func (b *injectBody) Read(p []byte) (int, error) {
+	allow, ferr := b.reg.CheckWrite(b.site, len(p))
+	if allow == 0 && ferr != nil {
+		return 0, fmt.Errorf("fault: %s: %w", b.site, ferr)
+	}
+	n, err := b.body.Read(p[:allow])
+	if ferr != nil {
+		// The injected fault wins even when the shortened read happened
+		// to end the body (EOF): the model is a connection that died
+		// after delivering the prefix, and the caller must see that.
+		return n, fmt.Errorf("fault: %s: %w", b.site, ferr)
+	}
+	return n, err
+}
+
+func (b *injectBody) Close() error { return b.body.Close() }
+
+// InjectWriter wraps a stream writer so every Write first consults reg
+// at site. A torn write really hands its prefix to the underlying
+// writer before the error surfaces — the peer receives a cut stream,
+// not a clean close. The feed handler writes exactly one frame per
+// call, so a Hit=k rule on a "send:" site tears the stream at the k-th
+// record boundary (torn: mid-frame; err/crash: cleanly between frames).
+func InjectWriter(w io.Writer, reg *Registry, site string) io.Writer {
+	if reg == nil {
+		return w
+	}
+	return &injectWriter{w: w, reg: reg, site: site}
+}
+
+type injectWriter struct {
+	w    io.Writer
+	reg  *Registry
+	site string
+}
+
+func (iw *injectWriter) Write(p []byte) (int, error) {
+	allow, ferr := iw.reg.CheckWrite(iw.site, len(p))
+	if allow == 0 && ferr != nil {
+		return 0, fmt.Errorf("fault: %s: %w", iw.site, ferr)
+	}
+	n, err := iw.w.Write(p[:allow])
+	if ferr != nil {
+		return n, fmt.Errorf("fault: %s: %w", iw.site, ferr)
+	}
+	return n, err
+}

@@ -1,0 +1,182 @@
+package fault
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func listStream(*http.Request) string { return "feed" }
+
+func netServer(t *testing.T, body string) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestInjectTransportConnDrop(t *testing.T) {
+	srv := netServer(t, "hello")
+	reg := NewRegistry(1)
+	reg.Add(Rule{Site: "conn:feed", Hit: 1, Kind: KindErr})
+	client := &http.Client{Transport: InjectTransport(nil, reg, listStream)}
+
+	// First connect: injected failure, before any bytes move.
+	if _, err := client.Get(srv.URL); err == nil {
+		t.Fatal("first connect must fail")
+	} else if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// Second connect: rule was hit-scoped, passes through.
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || string(data) != "hello" {
+		t.Fatalf("clean read after hit-scoped fault: %q %v", data, err)
+	}
+}
+
+func TestInjectTransportTornReceive(t *testing.T) {
+	const body = "0123456789abcdef"
+	srv := netServer(t, body)
+	reg := NewRegistry(2)
+	reg.Add(Rule{Site: "recv:feed", Hit: 1, Kind: KindCut})
+	client := &http.Client{Transport: InjectTransport(nil, reg, listStream)}
+
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	// A cut allows half the REQUESTED read: size the buffer to the body
+	// so the allowed prefix is a proper prefix of it.
+	buf := make([]byte, len(body))
+	n, err := resp.Body.Read(buf)
+	if err == nil {
+		t.Fatalf("cut read must error (delivered %d bytes)", n)
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("want ErrInjected, got %v", err)
+	}
+	// A cut delivers a strict prefix — half of what the read would have
+	// returned — never nothing-plus-success and never the full read.
+	if n == 0 || n >= len(body) {
+		t.Fatalf("cut delivered %d of %d bytes, want a proper prefix", n, len(body))
+	}
+	if string(buf[:n]) != body[:n] {
+		t.Fatalf("prefix corrupted: %q", buf[:n])
+	}
+	// The registry did not latch: the next request is clean.
+	resp2, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if string(data) != body {
+		t.Fatalf("stream after a cut must be clean, got %q", data)
+	}
+}
+
+func TestInjectTransportBypassesUnnamedStreams(t *testing.T) {
+	srv := netServer(t, "plain")
+	reg := NewRegistry(3)
+	reg.Add(Rule{Site: "conn:feed", Kind: KindErr}) // every hit
+	client := &http.Client{Transport: InjectTransport(nil, reg, func(*http.Request) string { return "" })}
+	resp, err := client.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("unnamed stream must bypass injection: %v", err)
+	}
+	resp.Body.Close()
+	if hits := reg.Hits()["conn:feed"]; hits != 0 {
+		t.Fatalf("bypassed request hit the fault site %d times", hits)
+	}
+}
+
+type sink struct{ strings.Builder }
+
+func TestInjectWriterCutDeliversPrefix(t *testing.T) {
+	reg := NewRegistry(4)
+	reg.Add(Rule{Site: "send:wal", Hit: 2, Kind: KindCut})
+	var out sink
+	w := InjectWriter(&out, reg, "send:wal")
+
+	if _, err := w.Write([]byte("frame-one|")); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	n, err := w.Write([]byte("frame-two|"))
+	if err == nil {
+		t.Fatal("second write must be cut")
+	}
+	if n != 5 { // half of the 10-byte frame
+		t.Fatalf("cut wrote %d bytes, want 5", n)
+	}
+	if out.String() != "frame-one|frame" {
+		t.Fatalf("wire bytes %q", out.String())
+	}
+	// No latch: the third frame goes through whole.
+	if _, err := w.Write([]byte("frame-three|")); err != nil {
+		t.Fatalf("write after cut: %v", err)
+	}
+}
+
+func TestInjectWriterTornLatches(t *testing.T) {
+	reg := NewRegistry(5)
+	reg.Add(Rule{Site: "send:wal", Hit: 1, Kind: KindTorn})
+	var out sink
+	w := InjectWriter(&out, reg, "send:wal")
+	if _, err := w.Write([]byte("12345678")); err == nil {
+		t.Fatal("torn write must fail")
+	}
+	// Torn latches — the process is modeled dead, every op after fails.
+	if _, err := w.Write([]byte("more")); !errors.Is(err, ErrCrash) {
+		t.Fatalf("post-torn write: %v, want ErrCrash", err)
+	}
+	if !reg.Crashed() {
+		t.Fatal("registry did not latch")
+	}
+	// Clear lifts the latch: the restart model.
+	reg.Clear()
+	if _, err := w.Write([]byte("after-restart")); err != nil {
+		t.Fatalf("write after Clear: %v", err)
+	}
+}
+
+func TestInjectWriterNilRegistryPassthrough(t *testing.T) {
+	var out sink
+	if w := InjectWriter(&out, nil, "send:wal"); w != &out {
+		t.Fatal("nil registry must return the writer unwrapped")
+	}
+}
+
+func TestParseSpecCut(t *testing.T) {
+	reg, err := ParseSpec("send:wal#3=cut,recv:snapshot~0.25=cut", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sites []string
+	for site := range reg.rules {
+		sites = append(sites, site)
+	}
+	if len(sites) != 2 {
+		t.Fatalf("parsed %d sites, want 2", len(sites))
+	}
+	for _, rules := range reg.rules {
+		for _, r := range rules {
+			if r.Kind != KindCut {
+				t.Fatalf("rule %+v, want KindCut", r)
+			}
+		}
+	}
+	if _, err := ParseSpec("send:wal=chop", 7); err == nil {
+		t.Fatal("unknown action must fail to parse")
+	}
+}

@@ -33,6 +33,10 @@ func TestFaultSeamGood(t *testing.T) {
 	linttest.Run(t, lint.FaultSeam, "testdata/faultseam/good")
 }
 
+func TestFaultSeamNet(t *testing.T) {
+	linttest.Run(t, lint.FaultSeam, "testdata/faultseam/repl")
+}
+
 func TestFaultSeamSuppressed(t *testing.T) {
 	res := linttest.Run(t, lint.FaultSeam, "testdata/faultseam/suppressed")
 	linttest.MustSuppress(t, res, "faultseam", 2)

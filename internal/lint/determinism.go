@@ -36,6 +36,11 @@ var Determinism = &Analyzer{
 // determinismScope lists the packages whose output must be a pure
 // function of (input, seed). Service/CLI/storage layers are excluded:
 // timestamps, jitter, and wall-clock deadlines are legitimate there.
+// internal/repl is in scope despite being a service layer: replication
+// lag and catch-up decisions must be version arithmetic, never
+// wall-clock reads, or the readiness gate stops being reproducible in
+// the chaos sweep. (Timers and tickers only pace the loops; they are
+// not reads and stay allowed.)
 var determinismScope = map[string]bool{
 	"internal/algo":       true,
 	"internal/baseline":   true,
@@ -52,6 +57,7 @@ var determinismScope = map[string]bool{
 	"internal/randomize":  true,
 	"internal/randwalk":   true,
 	"internal/regularize": true,
+	"internal/repl":       true,
 	"internal/rgraph":     true,
 	"internal/sketch":     true,
 	"internal/spectral":   true,

@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"path"
 	"strings"
 )
 
@@ -13,14 +14,24 @@ import (
 // call is a filesystem mutation the sweep can never see, i.e. a crash
 // window with no recovery coverage.
 //
-// The check applies to _test.go files too: test helpers that bypass the
-// seam on purpose (deliberate corruption of on-disk bytes) must carry a
-// //wcclint:ignore faultseam <reason> so the bypass inventory stays
-// auditable.
+// The replication layer has the symmetric obligation on its network
+// edge: internal/repl may only reach the primary through the injected
+// transport (fault.InjectTransport threading conn:/recv: sites) so the
+// replication chaos sweep can cut every stream at every boundary. A
+// direct http.Get or net.Dial is a connection the sweep can never
+// tear, i.e. a disconnect path with no convergence coverage.
+//
+// The filesystem check applies to _test.go files too: test helpers
+// that bypass the seam on purpose (deliberate corruption of on-disk
+// bytes) must carry a //wcclint:ignore faultseam <reason> so the
+// bypass inventory stays auditable. The network check exempts tests:
+// a test making a plain http.Get against the replica's HTTP surface is
+// playing the external client, which is exactly the role that must NOT
+// go through the seam.
 var FaultSeam = &Analyzer{
 	Name:  "faultseam",
-	Doc:   "internal/store must reach the filesystem only through the fault.FS seam",
-	Scope: func(pkg *Package) bool { return pkg.RelDir == "internal/store" },
+	Doc:   "internal/store must reach the filesystem only through the fault.FS seam; internal/repl must reach the network only through the fault.Net seam",
+	Scope: func(pkg *Package) bool { return pkg.RelDir == "internal/store" || pkg.RelDir == "internal/repl" },
 	Run:   runFaultSeam,
 }
 
@@ -38,8 +49,15 @@ var osFSFuncs = map[string]bool{
 }
 
 func runFaultSeam(pass *Pass) error {
+	// The network rules key on the package's base name, not the full
+	// RelDir, so the linttest fixtures (which live under testdata with
+	// scope bypassed) can exercise them too.
+	netScope := path.Base(pass.Pkg.RelDir) == "repl"
 	info := pass.Pkg.Info
 	for _, f := range pass.Pkg.Files {
+		if netScope && len(f.Decls) > 0 && pass.IsTestFile(f.Pos()) {
+			continue
+		}
 		ast.Inspect(f, func(n ast.Node) bool {
 			call, ok := n.(*ast.CallExpr)
 			if !ok {
@@ -47,6 +65,17 @@ func runFaultSeam(pass *Pass) error {
 			}
 			pkgPath, fn, ok := pkgFuncCall(info, call)
 			if !ok {
+				return true
+			}
+			if netScope {
+				switch {
+				case pkgPath == "net/http" && httpDefaultClientFuncs[fn]:
+					pass.Reportf(call.Pos(),
+						"http.%s uses the default client, bypassing the fault.Net seam; build the request with http.NewRequestWithContext and send it through the replica's injected client", fn)
+				case pkgPath == "net" && (strings.HasPrefix(fn, "Dial") || strings.HasPrefix(fn, "Listen")):
+					pass.Reportf(call.Pos(),
+						"raw net.%s bypasses the fault.Net seam; all primary traffic must flow through the fault.InjectTransport-wrapped client so the chaos sweep can cut it", fn)
+				}
 				return true
 			}
 			switch {
@@ -64,6 +93,13 @@ func runFaultSeam(pass *Pass) error {
 		})
 	}
 	return nil
+}
+
+// httpDefaultClientFuncs are the net/http package-level conveniences
+// that send through http.DefaultClient — a transport the replication
+// fault registry never sees.
+var httpDefaultClientFuncs = map[string]bool{
+	"Get": true, "Post": true, "Head": true, "PostForm": true,
 }
 
 // syscallFSFuncs: the raw-syscall spellings of the same operations.

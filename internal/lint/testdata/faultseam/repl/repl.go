@@ -1,0 +1,49 @@
+// Package repl exercises the network half of the faultseam analyzer:
+// in a replication package, primary traffic must flow through the
+// fault.Net-injected client, never the default client or a raw dial.
+package repl
+
+import (
+	"context"
+	"net"
+	"net/http"
+)
+
+func Fetch(primary string) (*http.Response, error) {
+	return http.Get(primary + "/v1/repl/graphs") // want `http.Get uses the default client, bypassing the fault.Net seam`
+}
+
+func Probe(primary string) error {
+	resp, err := http.Head(primary + "/readyz") // want `http.Head uses the default client, bypassing the fault.Net seam`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func Push(primary, body string) error {
+	resp, err := http.Post(primary, "text/plain", nil) // want `http.Post uses the default client, bypassing the fault.Net seam`
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+func RawDial(addr string) (net.Conn, error) {
+	return net.Dial("tcp", addr) // want `raw net.Dial bypasses the fault.Net seam`
+}
+
+func RawListen(addr string) (net.Listener, error) {
+	return net.Listen("tcp", addr) // want `raw net.Listen bypasses the fault.Net seam`
+}
+
+// Blessed routes stay silent: requests built with a context and sent
+// through an injected client, and os/filesystem access is the store's
+// concern, not this package's.
+func Tail(ctx context.Context, client *http.Client, primary string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, primary+"/v1/repl/g/wal", nil)
+	if err != nil {
+		return nil, err
+	}
+	return client.Do(req)
+}

@@ -1,0 +1,16 @@
+package repl
+
+import (
+	"net/http"
+	"testing"
+)
+
+// Test files ARE exempt from the network seam rule: a test hitting the
+// replica's HTTP surface with a plain http.Get is playing the external
+// client, the one role that must not route through the fault seam.
+func TestSurface(t *testing.T) {
+	resp, err := http.Get("http://127.0.0.1:0/readyz")
+	if err == nil {
+		resp.Body.Close()
+	}
+}

@@ -1,0 +1,452 @@
+package repl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/graph"
+	"repro/internal/service"
+	"repro/internal/store"
+)
+
+// logBuf collects replication log lines so tests can assert the state
+// transitions (satellite: structured logging) without racing t.Logf
+// against goroutines that outlive the test body.
+type logBuf struct {
+	mu    sync.Mutex
+	lines []string
+}
+
+func (b *logBuf) Logf(format string, args ...any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.lines = append(b.lines, fmt.Sprintf(format, args...))
+}
+
+func (b *logBuf) contains(sub string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for _, l := range b.lines {
+		if strings.Contains(l, sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// fastOpts are Options tuned for test wall-clock: tight heartbeats and
+// discovery polls, a watchdog loose enough to never fire spuriously.
+func fastOpts(lb *logBuf) Options {
+	return Options{
+		Heartbeat:        10 * time.Millisecond,
+		Poll:             15 * time.Millisecond,
+		HeartbeatTimeout: 2 * time.Second,
+		Logf:             lb.Logf,
+	}
+}
+
+// newPrimary stands up a primary service with the feed mounted in front
+// of the client API, mirroring the wccserve composition.
+func newPrimary(t *testing.T, cfg service.Config, opt Options) (*service.Service, *Primary, *httptest.Server) {
+	t.Helper()
+	svc := service.New(cfg)
+	p := NewPrimary(svc, opt)
+	srv := httptest.NewServer(p.Handler(service.NewHandler(svc)))
+	t.Cleanup(func() { srv.Close(); svc.Close() })
+	return svc, p, srv
+}
+
+// newReplica stands up a replica of primaryURL. Cleanup order matters:
+// the replica's tailers hold streams open against the primary's test
+// server, so they stop first (t.Cleanup is LIFO against newPrimary's).
+func newReplica(t *testing.T, primaryURL string, cfg service.Config, opt Options) (*service.Service, *Replica) {
+	t.Helper()
+	cfg.ReplicaOf = primaryURL
+	svc := service.New(cfg)
+	r, err := Start(svc, primaryURL, opt)
+	if err != nil {
+		svc.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close(); svc.Close() })
+	return svc, r
+}
+
+func loadGraph(t *testing.T, svc *service.Service, name, edgeList string) *service.StoredGraph {
+	t.Helper()
+	sg, err := svc.Load(name, strings.NewReader(edgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sg
+}
+
+func appendN(t *testing.T, svc *service.Service, id string, batches int) {
+	t.Helper()
+	for i := 0; i < batches; i++ {
+		if _, err := svc.Append(id, []graph.Edge{{U: graph.Vertex(i % 3), V: graph.Vertex((i + 1) % 4)}}, false); err != nil {
+			t.Fatalf("append %d: %v", i, err)
+		}
+	}
+}
+
+// waitFor polls cond until it holds or the deadline passes.
+func waitFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+// converged reports whether the replica's retained version window for id
+// is bit-identical to the primary's: same versions, same chained digests,
+// same counts. This is the paper-grade convergence claim — not "roughly
+// the same graph" but the same lineage byte for byte.
+func converged(pst, rst store.Store, id string) bool {
+	pv, err := pst.Versions(id)
+	if err != nil {
+		return false
+	}
+	rv, err := rst.Versions(id)
+	if err != nil || len(rv) == 0 || len(pv) == 0 {
+		return false
+	}
+	// The replica may retain a shorter window (it bootstrapped from the
+	// oldest retained snapshot, which trims as the primary's does), but
+	// the suffix it holds must match exactly.
+	if rv[len(rv)-1] != pv[len(pv)-1] {
+		return false
+	}
+	byVer := make(map[int]store.Version, len(pv))
+	for _, v := range pv {
+		byVer[v.Version] = v
+	}
+	for _, v := range rv {
+		p, ok := byVer[v.Version]
+		if !ok || p != v {
+			return false
+		}
+	}
+	return true
+}
+
+func waitConverged(t *testing.T, psvc, rsvc *service.Service, ids ...string) {
+	t.Helper()
+	waitFor(t, 10*time.Second, "replica convergence", func() bool {
+		for _, id := range ids {
+			if !converged(psvc.Store(), rsvc.Store(), id) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+const pathEdgeList = "5 3\n0 1\n1 2\n3 4\n"
+
+func TestReplicaCatchUpAndLiveTail(t *testing.T) {
+	plb, rlb := &logBuf{}, &logBuf{}
+	psvc, _, srv := newPrimary(t, service.Config{}, fastOpts(plb))
+	sg := loadGraph(t, psvc, "a", pathEdgeList)
+	sg2 := loadGraph(t, psvc, "b", "4 2\n0 1\n2 3\n")
+	appendN(t, psvc, sg.ID, 4) // history before the replica exists: catch-up path
+
+	rsvc, rep := newReplica(t, srv.URL, service.Config{}, fastOpts(rlb))
+	waitConverged(t, psvc, rsvc, sg.ID, sg2.ID)
+
+	// Live tail: appends landing after catch-up flow through the open
+	// stream, not through rediscovery.
+	appendN(t, psvc, sg.ID, 3)
+	if _, err := psvc.Append(sg2.ID, []graph.Edge{{U: 1, V: 2}}, false); err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, psvc, rsvc, sg.ID, sg2.ID)
+
+	// The replica answers reads with the primary's exact lineage.
+	rg, err := rsvc.Graph(sg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.Latest().Digest != psvc.Graphs()[0].Latest().Digest && rg.Latest().Digest == "" {
+		t.Fatalf("replica graph has no lineage")
+	}
+
+	// Client mutations bounce with ErrNotPrimary (421 over HTTP) and name
+	// the primary to retry against.
+	if _, err := rsvc.Append(sg.ID, []graph.Edge{{U: 0, V: 1}}, false); err == nil {
+		t.Fatal("replica accepted a client append")
+	} else if !strings.Contains(err.Error(), srv.URL) {
+		t.Fatalf("421 error should name the primary: %v", err)
+	}
+	if _, err := rsvc.Load("c", strings.NewReader(pathEdgeList)); err == nil {
+		t.Fatal("replica accepted a client load")
+	}
+
+	// Structured transition logging (greppable repl: prefix).
+	for _, want := range []string{"repl: connected to primary", "repl: caught up", "tailing feed from version"} {
+		if !rlb.contains(want) {
+			t.Errorf("replica log missing %q", want)
+		}
+	}
+	if !plb.contains("repl: shipped snapshot") {
+		t.Errorf("primary log missing snapshot shipment")
+	}
+	_ = rep
+}
+
+func TestReplicaHTTPSurface(t *testing.T) {
+	plb, rlb := &logBuf{}, &logBuf{}
+	psvc, _, srv := newPrimary(t, service.Config{}, fastOpts(plb))
+	sg := loadGraph(t, psvc, "a", pathEdgeList)
+	appendN(t, psvc, sg.ID, 2)
+
+	rsvc, _ := newReplica(t, srv.URL, service.Config{}, fastOpts(rlb))
+	rsrv := httptest.NewServer(service.NewHandler(rsvc))
+	defer rsrv.Close()
+	waitConverged(t, psvc, rsvc, sg.ID)
+
+	// Writes → 421; the read path serves.
+	resp, err := http.Post(rsrv.URL+"/v1/graphs/"+sg.ID+"/edges", "text/plain", strings.NewReader("0 1\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("replica append status = %d, want 421", resp.StatusCode)
+	}
+	resp, err = http.Post(rsrv.URL+"/v1/graphs?name=x", "text/plain", strings.NewReader(pathEdgeList))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMisdirectedRequest {
+		t.Fatalf("replica load status = %d, want 421", resp.StatusCode)
+	}
+	resp, err = http.Get(rsrv.URL + "/v1/graphs/" + sg.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replica read status = %d, want 200", resp.StatusCode)
+	}
+
+	// /readyz 200 once caught up.
+	waitFor(t, 5*time.Second, "replica readyz 200", func() bool {
+		resp, err := http.Get(rsrv.URL + "/readyz")
+		if err != nil {
+			return false
+		}
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// /v1/stats carries the repl block on both roles.
+	var stats struct {
+		Repl *service.ReplStatus `json:"repl"`
+	}
+	httpGetJSON(t, rsrv.URL+"/v1/stats", &stats)
+	if stats.Repl == nil || stats.Repl.Role != "replica" {
+		t.Fatalf("replica stats repl block = %+v", stats.Repl)
+	}
+	if stats.Repl.Primary != srv.URL || !stats.Repl.CaughtUp || stats.Repl.Verified == 0 {
+		t.Fatalf("replica repl block = %+v", stats.Repl)
+	}
+	stats.Repl = nil
+	httpGetJSON(t, srv.URL+"/v1/stats", &stats)
+	if stats.Repl == nil || stats.Repl.Role != "primary" || stats.Repl.Shipped == 0 {
+		t.Fatalf("primary stats repl block = %+v", stats.Repl)
+	}
+}
+
+func jsonDecode(r io.Reader, out any) error { return json.NewDecoder(r).Decode(out) }
+
+func httpGetJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	if err := jsonDecode(resp.Body, out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicaReadyzGatesOnLag(t *testing.T) {
+	// A replica whose repl layer has not attached is "replication
+	// starting": not ready.
+	cold := service.New(service.Config{ReplicaOf: "http://127.0.0.1:1"})
+	defer cold.Close()
+	csrv := httptest.NewServer(service.NewHandler(cold))
+	defer csrv.Close()
+	resp, err := http.Get(csrv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("cold replica readyz = %d, want 503", resp.StatusCode)
+	}
+
+	// A replica that cannot reach its primary is not ready either, and
+	// says why.
+	rlb := &logBuf{}
+	rsvc, _ := newReplica(t, "http://127.0.0.1:1", service.Config{}, fastOpts(rlb))
+	rsrv := httptest.NewServer(service.NewHandler(rsvc))
+	defer rsrv.Close()
+	var body struct {
+		Ready   bool `json:"ready"`
+		Replica bool `json:"replica"`
+	}
+	resp, err = http.Get(rsrv.URL + "/readyz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("unreachable-primary readyz = %d, want 503", resp.StatusCode)
+	}
+	if err := jsonDecode(resp.Body, &body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if body.Ready || !body.Replica {
+		t.Fatalf("readyz body = %+v", body)
+	}
+	waitFor(t, 5*time.Second, "unreachable log line", func() bool {
+		return rlb.contains("unreachable")
+	})
+}
+
+func TestReplicaRestartResumesFromDurablePosition(t *testing.T) {
+	plb := &logBuf{}
+	psvc, _, srv := newPrimary(t, service.Config{}, fastOpts(plb))
+	sg := loadGraph(t, psvc, "a", pathEdgeList)
+	appendN(t, psvc, sg.ID, 3)
+
+	dir := t.TempDir()
+	rlb1 := &logBuf{}
+	rcfg := service.Config{DataDir: dir, ReplicaOf: srv.URL}
+	rsvc1 := service.New(rcfg)
+	rep1, err := Start(rsvc1, srv.URL, fastOpts(rlb1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitConverged(t, psvc, rsvc1, sg.ID)
+	rep1.Close()
+	rsvc1.Close()
+	if !rlb1.contains("bootstrapped from snapshot") {
+		t.Fatal("first replica never bootstrapped")
+	}
+
+	// More history lands while the replica is down.
+	appendN(t, psvc, sg.ID, 2)
+
+	// The restarted replica opens its durable store and resumes tailing
+	// from its local latest version — no snapshot transfer.
+	rlb2 := &logBuf{}
+	rsvc2, err := service.Open(rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep2, err := Start(rsvc2, srv.URL, fastOpts(rlb2))
+	if err != nil {
+		rsvc2.Close()
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { rep2.Close(); rsvc2.Close() })
+	waitConverged(t, psvc, rsvc2, sg.ID)
+	if rlb2.contains("bootstrapped from snapshot") {
+		t.Fatal("restarted replica re-bootstrapped instead of resuming from its durable position")
+	}
+	waitFor(t, 2*time.Second, "resume log", func() bool {
+		return rlb2.contains("tailing feed from version 3")
+	})
+}
+
+func TestReplicaDropsGraphsThePrimaryDropped(t *testing.T) {
+	plb, rlb := &logBuf{}, &logBuf{}
+	// MaxGraphs 1: loading B evicts A on the primary; the replica's
+	// discovery poll mirrors the drop.
+	psvc, _, srv := newPrimary(t, service.Config{MaxGraphs: 1}, fastOpts(plb))
+	a := loadGraph(t, psvc, "a", pathEdgeList)
+
+	rsvc, _ := newReplica(t, srv.URL, service.Config{}, fastOpts(rlb))
+	waitConverged(t, psvc, rsvc, a.ID)
+
+	b := loadGraph(t, psvc, "b", "4 2\n0 1\n2 3\n")
+	waitConverged(t, psvc, rsvc, b.ID)
+	waitFor(t, 5*time.Second, "replica to drop evicted graph", func() bool {
+		_, err := rsvc.Store().Versions(a.ID)
+		return err != nil
+	})
+	if !rlb.contains("dropped (no longer on primary)") {
+		t.Error("drop transition not logged")
+	}
+}
+
+// TestFeedGoneForcesRebootstrap drives a replica out of the catch-up
+// window: the primary's retained window advances past the replica's
+// position while it is disconnected, the feed answers 410 Gone, and the
+// replica re-bootstraps from a snapshot rather than serving a gap.
+func TestFeedGoneForcesRebootstrap(t *testing.T) {
+	plb := &logBuf{}
+	// A tiny version window: 2 retained versions.
+	psvc, _, srv := newPrimary(t, service.Config{MaxVersionGap: 1}, fastOpts(plb))
+	sg := loadGraph(t, psvc, "a", pathEdgeList)
+	appendN(t, psvc, sg.ID, 1)
+
+	rlb := &logBuf{}
+	rsvc, rep := newReplica(t, srv.URL, service.Config{MaxVersionGap: 1}, fastOpts(rlb))
+	waitConverged(t, psvc, rsvc, sg.ID)
+
+	// Disconnect, let the window roll past the replica's position,
+	// reconnect.
+	rep.Close()
+	appendN(t, psvc, sg.ID, 4)
+	rlb2 := &logBuf{}
+	defer func() {
+		if t.Failed() {
+			plb.mu.Lock()
+			for _, l := range plb.lines {
+				t.Log("primary:", l)
+			}
+			plb.mu.Unlock()
+		}
+	}()
+	rep2, err := Start(rsvc, srv.URL, fastOpts(rlb2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(rep2.Close)
+	waitConverged(t, psvc, rsvc, sg.ID)
+	if !rlb2.contains("fell out of the catch-up window") {
+		t.Error("410 re-bootstrap transition not logged")
+	}
+	if !rlb2.contains("bootstrapped from snapshot") {
+		t.Error("replica converged without the snapshot path; window test is vacuous")
+	}
+}
+
+func TestStartRefusesWritableService(t *testing.T) {
+	svc := service.New(service.Config{})
+	defer svc.Close()
+	if _, err := Start(svc, "http://127.0.0.1:1", Options{Logf: func(string, ...any) {}}); err == nil {
+		t.Fatal("Start accepted a service without ReplicaOf: one local append could fork the lineage")
+	}
+}

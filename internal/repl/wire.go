@@ -1,0 +1,136 @@
+// Package repl is WAL-shipping replication for the connectivity
+// service: a primary exposes each stored graph's edge-batch tail as a
+// streaming feed plus a snapshot-transfer endpoint, and a replica tails
+// every feed, verifies each shipped record against the chained version
+// digests BEFORE applying it, and serves the full read path while
+// refusing client writes.
+//
+// The design leans entirely on what the storage layer already
+// guarantees. A shipped record is the WAL record verbatim
+// (store.EncodeRecord): its payload digest catches transfer corruption,
+// and its version metadata chains onto the replica's local lineage via
+// store.ChainDigest — so a flipped bit, a reordered record, or a record
+// from a forked history fails verification on the replica and is
+// re-fetched, never applied. Convergence is therefore bit-exact: a
+// replica that reports version V of a graph holds the same digest, the
+// same edges, and (because union-find over identical inputs is
+// deterministic) the same components as the primary at V.
+//
+// Positions are version numbers, lag is a version difference, and
+// readiness is a lag bound: replication has no wall clock. Timers appear
+// only as wake-ups (heartbeat cadence, reconnect backoff, watchdogs),
+// never in replicated state.
+//
+// Wire protocol, all under /v1/repl on the primary (mounted OUTSIDE the
+// service's admission control and request deadline — feed streams are
+// long-lived and must not pin an admission slot):
+//
+//	GET /v1/repl/graphs             JSON list of {meta, latest, oldest}
+//	GET /v1/repl/{id}/snapshot      the graph at its oldest retained
+//	                                version, in the self-verifying WCCM1
+//	                                mapped-snapshot format, with the
+//	                                store metadata and lineage entry in
+//	                                the embedded meta blob
+//	GET /v1/repl/{id}/wal?from=V    chunked stream of frames: every
+//	                                retained batch record newer than V,
+//	                                then live records as they land; 410
+//	                                Gone when V fell out of the retained
+//	                                window (re-bootstrap from snapshot)
+//
+// A frame is either a record — store.EncodeRecord bytes, which begin
+// with a nonzero uvarint payload length — or a heartbeat: uvarint 0
+// followed by uvarint latest-version. Heartbeats carry the primary's
+// position while the feed idles, which is what lets the replica compute
+// lag without a clock; their absence trips the replica's watchdog and
+// forces a reconnect.
+package repl
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"repro/internal/graph"
+	"repro/internal/store"
+)
+
+// maxFrame bounds a record frame's declared payload length — comfortably
+// above the service's 64 MiB append cap, small enough that a corrupted
+// length prefix cannot demand an absurd allocation.
+const maxFrame = 128 << 20
+
+// errCorruptFrame marks a record frame whose payload failed its digest —
+// a flipped bit or a tear inside the frame body. The replica counts it
+// rejected and reconnects; the record is re-fetched, never applied.
+var errCorruptFrame = errors.New("repl: corrupt record frame (payload digest mismatch)")
+
+// frame is one decoded feed frame: a heartbeat carrying the primary's
+// latest version, or a batch record.
+type frame struct {
+	heartbeat bool
+	latest    int
+	info      store.Version
+	batch     []graph.Edge
+}
+
+// appendHeartbeat encodes a heartbeat frame onto dst.
+func appendHeartbeat(dst []byte, latest int) []byte {
+	dst = binary.AppendUvarint(dst, 0)
+	return binary.AppendUvarint(dst, uint64(latest))
+}
+
+// readFrame decodes the next frame off the feed stream. Transport errors
+// (including tears between frames) surface as the reader's error;
+// payload corruption — including a tear inside a frame that happens to
+// leave the length prefix intact — is errCorruptFrame.
+func readFrame(br *bufio.Reader) (frame, error) {
+	l, err := binary.ReadUvarint(br)
+	if err != nil {
+		return frame{}, err
+	}
+	if l == 0 {
+		latest, err := binary.ReadUvarint(br)
+		if err != nil {
+			return frame{}, err
+		}
+		return frame{heartbeat: true, latest: int(latest)}, nil
+	}
+	if l > maxFrame {
+		return frame{}, fmt.Errorf("repl: record frame declares %d bytes (limit %d)", l, maxFrame)
+	}
+	// Reassemble the full record — length prefix, payload, digest — so
+	// store.DecodeRecord performs exactly the verification WAL replay does.
+	buf := binary.AppendUvarint(make([]byte, 0, binary.MaxVarintLen64+int(l)+sha256.Size), l)
+	start := len(buf)
+	buf = buf[:start+int(l)+sha256.Size]
+	if _, err := io.ReadFull(br, buf[start:]); err != nil {
+		return frame{}, err
+	}
+	info, batch, _, ok := store.DecodeRecord(buf, 0)
+	if !ok {
+		return frame{}, errCorruptFrame
+	}
+	return frame{info: info, batch: batch}, nil
+}
+
+// feedGraph is one entry of GET /v1/repl/graphs: the graph's identity
+// plus the bounds of its retained version window. A replica at or above
+// Oldest can catch up by tailing; below it (or absent) it bootstraps
+// from the snapshot.
+type feedGraph struct {
+	Meta   store.Meta `json:"meta"`
+	Latest int        `json:"latest"`
+	Oldest int        `json:"oldest"`
+}
+
+// snapMeta is the meta blob embedded in a transferred WCCM1 snapshot:
+// the store identity and the lineage entry the snapshot's bytes
+// represent. The WCCM1 trailer digests cover it along with the
+// adjacency, so a tampered or torn transfer fails open on the replica.
+type snapMeta struct {
+	Meta    store.Meta    `json:"meta"`
+	Version store.Version `json:"version"`
+}

@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"net/url"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/algo"
@@ -155,6 +156,15 @@ func statusFor(err error) int {
 	}
 	if errors.Is(err, ErrUnavailable) {
 		return http.StatusServiceUnavailable
+	}
+	if errors.Is(err, ErrNotPrimary) {
+		// 421 Misdirected Request: the request is fine, this node is not —
+		// it is a read-only replica; the error body names the primary the
+		// client should re-aim at.
+		return http.StatusMisdirectedRequest
+	}
+	if errors.Is(err, ErrPrecondition) {
+		return http.StatusPreconditionFailed
 	}
 	return http.StatusBadRequest
 }
@@ -325,13 +335,23 @@ func (s *Service) handleAppend(w http.ResponseWriter, r *http.Request) {
 		writeError(w, status, err)
 		return
 	}
-	info, err := s.Append(sg.ID, batch, grow)
+	// An If-Match header (or ?expect=) carries the digest of the version
+	// the client observed, making the append conditional — and therefore
+	// safely retryable: a retry of a batch that actually landed comes back
+	// 200 with applied=false instead of appending twice; a lost race
+	// against another writer comes back 412 instead of interleaving.
+	expect := r.URL.Query().Get("expect")
+	if m := r.Header.Get("If-Match"); m != "" {
+		expect = strings.Trim(m, `"`)
+	}
+	info, applied, err := s.AppendExpect(sg.ID, batch, grow, expect)
 	if err != nil {
 		writeError(w, statusFor(err), err)
 		return
 	}
 	out := versionJSON(info)
 	out["graph"] = sg.ID
+	out["applied"] = applied
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -745,7 +765,7 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.slots != nil {
 		inflight = len(s.slots)
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	stats := map[string]any{
 		"graphsLoaded":      c.GraphsLoaded,
 		"graphsGenerated":   c.GraphsGenerated,
 		"solves":            c.Solves,
@@ -804,5 +824,12 @@ func (s *Service) handleStats(w http.ResponseWriter, r *http.Request) {
 			"appendRetries":  cfg.AppendRetries,
 		},
 		"durable": cfg.DataDir != "",
-	})
+	}
+	// The replication block, when a repl layer (primary feed or replica
+	// tailer) is attached: role, per-graph lag, and the shipped/verified/
+	// rejected record counters the chaos sweeps assert on.
+	if rs, ok := s.replStatus(); ok {
+		stats["repl"] = rs
+	}
+	writeJSON(w, http.StatusOK, stats)
 }

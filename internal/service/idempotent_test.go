@@ -1,0 +1,193 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/graph"
+)
+
+// These are the conditional-append (If-Match / ?expect=) regression
+// tests: an append that carries the digest of the version the client
+// observed is safely retryable. The scenario that motivates them is a
+// client whose append "failed" — the response was lost, the connection
+// dropped, the proxy timed out — when the batch in fact landed. An
+// unconditional retry would append the batch twice; a conditional one
+// comes back 200 with applied=false and the original version info.
+
+func TestAppendExpectRetryOfLandedAppendIsNoop(t *testing.T) {
+	s := New(Config{})
+	defer s.Close()
+	sg := loadTwoComponents(t, s)
+	v0 := sg.Latest()
+	batch := []graph.Edge{{U: 2, V: 3}}
+
+	// First delivery: applies.
+	v1, applied, err := s.AppendExpect(sg.ID, batch, false, v0.Digest)
+	if err != nil || !applied {
+		t.Fatalf("first conditional append: applied=%v err=%v", applied, err)
+	}
+	if v1.Version != 1 {
+		t.Fatalf("v1 = %+v", v1)
+	}
+
+	// Retry of the same batch with the same precondition — the client
+	// never saw the response. Exactly-once apply: same version back,
+	// applied=false, nothing appended.
+	rv, applied, err := s.AppendExpect(sg.ID, batch, false, v0.Digest)
+	if err != nil {
+		t.Fatalf("retry of landed append must succeed: %v", err)
+	}
+	if applied {
+		t.Fatal("retry applied the batch twice")
+	}
+	if rv != v1 {
+		t.Fatalf("retry returned %+v, want the landed version %+v", rv, v1)
+	}
+	if got := sg.LatestVersion(); got != 1 {
+		t.Fatalf("latest version %d after retry, want 1", got)
+	}
+
+	// A different batch under the same stale precondition is a lost
+	// race, not a retry: 412, nothing applied.
+	if _, _, err := s.AppendExpect(sg.ID, []graph.Edge{{U: 0, V: 4}}, false, v0.Digest); !errors.Is(err, ErrPrecondition) {
+		t.Fatalf("stale expect with a different batch: err=%v, want ErrPrecondition", err)
+	}
+	// A bogus digest is a 412 too.
+	if _, _, err := s.AppendExpect(sg.ID, batch, false, "no-such-digest"); !errors.Is(err, ErrPrecondition) {
+		t.Fatalf("bogus expect: err=%v, want ErrPrecondition", err)
+	}
+	// Empty expect stays unconditional.
+	if _, applied, err := s.AppendExpect(sg.ID, []graph.Edge{{U: 0, V: 4}}, false, ""); err != nil || !applied {
+		t.Fatalf("unconditional append: applied=%v err=%v", applied, err)
+	}
+}
+
+func TestAppendIfMatchOverHTTP(t *testing.T) {
+	svc := New(Config{JobWorkers: 1, CacheEntries: 16})
+	defer svc.Close()
+	srv := httptest.NewServer(NewHandler(svc))
+	defer srv.Close()
+	client := srv.Client()
+	sg := loadTwoComponents(t, svc)
+	v0 := sg.Latest()
+
+	post := func(ifMatch, query, body string) (int, map[string]any) {
+		t.Helper()
+		req, err := http.NewRequest(http.MethodPost, srv.URL+"/v1/graphs/"+sg.ID+"/edges"+query, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ifMatch != "" {
+			req.Header.Set("If-Match", ifMatch)
+		}
+		resp, err := client.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out map[string]any
+		if err := jsonBody(resp, &out); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, out
+	}
+
+	// Conditional append, quoted ETag style.
+	code, out := post(`"`+v0.Digest+`"`, "", "2 3\n")
+	if code != http.StatusOK || out["applied"] != true {
+		t.Fatalf("conditional append: %d %v", code, out)
+	}
+	if out["version"].(float64) != 1 {
+		t.Fatalf("append landed at %v, want version 1", out["version"])
+	}
+
+	// The retry: same batch, same If-Match. 200, applied=false, same
+	// version — the double-append regression this file exists for.
+	code, out = post(`"`+v0.Digest+`"`, "", "2 3\n")
+	if code != http.StatusOK {
+		t.Fatalf("retry status %d: %v", code, out)
+	}
+	if out["applied"] != false || out["version"].(float64) != 1 {
+		t.Fatalf("retry must be a noop at version 1: %v", out)
+	}
+
+	// Lost race: stale precondition, different batch → 412.
+	code, out = post(`"`+v0.Digest+`"`, "", "0 3\n")
+	if code != http.StatusPreconditionFailed {
+		t.Fatalf("stale If-Match with new batch: %d %v", code, out)
+	}
+
+	// ?expect= is the header-less spelling of the same contract.
+	var vers struct {
+		Versions []struct {
+			Digest string `json:"digest"`
+		} `json:"versions"`
+	}
+	resp, err := client.Get(srv.URL + "/v1/graphs/" + sg.ID + "/versions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := jsonBody(resp, &vers); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	latest := vers.Versions[len(vers.Versions)-1].Digest
+	code, out = post("", "?expect="+latest, "0 3\n")
+	if code != http.StatusOK || out["applied"] != true {
+		t.Fatalf("expect= append: %d %v", code, out)
+	}
+	code, out = post("", "?expect="+latest, "0 3\n")
+	if code != http.StatusOK || out["applied"] != false {
+		t.Fatalf("expect= retry: %d %v", code, out)
+	}
+}
+
+func jsonBody(resp *http.Response, out any) error {
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func TestAppendExpectConcurrentWritersOneWinner(t *testing.T) {
+	// Two writers race the same parent digest with different batches:
+	// exactly one applies, the other gets 412 and can rebase. No
+	// interleaving outcome exists.
+	s := New(Config{})
+	defer s.Close()
+	sg := loadTwoComponents(t, s)
+	parent := sg.Latest().Digest
+
+	type res struct {
+		applied bool
+		err     error
+	}
+	results := make(chan res, 2)
+	for i := 0; i < 2; i++ {
+		go func(i int) {
+			_, applied, err := s.AppendExpect(sg.ID, []graph.Edge{{U: graph.Vertex(i), V: 3}}, false, parent)
+			results <- res{applied, err}
+		}(i)
+	}
+	var wins, losses int
+	for i := 0; i < 2; i++ {
+		r := <-results
+		switch {
+		case r.err == nil && r.applied:
+			wins++
+		case errors.Is(r.err, ErrPrecondition):
+			losses++
+		default:
+			t.Fatalf("unexpected outcome: applied=%v err=%v", r.applied, r.err)
+		}
+	}
+	if wins != 1 || losses != 1 {
+		t.Fatalf("wins=%d losses=%d, want exactly one of each", wins, losses)
+	}
+	if got := sg.LatestVersion(); got != 1 {
+		t.Fatalf("latest version %d, want 1", got)
+	}
+}

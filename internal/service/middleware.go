@@ -151,5 +151,27 @@ func (s *Service) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		return
 	default:
 	}
+	// Lag gate: a replica is not ready until it is connected, has every
+	// graph bootstrapped, and trails the primary by at most ReplLagMax
+	// versions on each — a load balancer keeps reads off a node whose
+	// answers would be stale beyond the configured bound. A replica whose
+	// repl layer has not attached yet is still starting: also not ready.
+	if s.cfg.ReplicaOf != "" {
+		rs, ok := s.replStatus()
+		if !ok {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false, "replica": true, "cause": "replication starting",
+			})
+			return
+		}
+		if !rs.CaughtUp {
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"ready": false, "replica": true,
+				"connected": rs.Connected, "bootstrapped": rs.Bootstrapped,
+				"maxLag": rs.MaxLag, "lagMax": rs.LagMax,
+			})
+			return
+		}
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"ready": true})
 }

@@ -22,6 +22,18 @@
 // Open so a restarted wccserve answers the same queries (same digests,
 // same versions) it did before SIGTERM.
 //
+// The same chained-digest version lineage is what internal/repl ships
+// between processes: a primary streams each graph's edge-batch WAL to
+// hot standbys, which verify every record against the chain before
+// applying it through their own store. Config.ReplicaOf flips a service
+// into replica mode — client writes answer 421 naming the primary
+// (ErrNotPrimary via notPrimary gates the mutating paths), reads and
+// solves serve normally, and /readyz reports 503 until replication lag
+// is within Config.ReplLagMax (SetReplReporter wires the gate). The
+// apply path (ApplyReplicated, BootstrapReplicated, DropReplicated in
+// repl.go) is the only writer on a replica; labelings are derived state
+// and are never replicated — each replica solves locally.
+//
 // Algorithms are deterministic for a fixed seed regardless of the worker
 // setting (see internal/algo), which is what makes the cache key sound:
 // two solves of the same graph digest under the same configuration always
@@ -174,6 +186,18 @@ type Config struct {
 	// store for recovery (default 1s; negative disables the loop — tests
 	// drive recovery via TryRecover).
 	ProbeInterval time.Duration
+	// ReplicaOf marks this service a read-only replica of the primary at
+	// the given base URL. Client mutations (load, generate, append) are
+	// refused with ErrNotPrimary (421 over HTTP, so clients re-aim at the
+	// primary); state advances only through the replicated-apply path
+	// (ApplyReplicated, BootstrapReplicated) driven by internal/repl.
+	// Empty (the default) means this node is a primary.
+	ReplicaOf string
+	// ReplLagMax is how many versions a replica may trail the primary on
+	// any graph before /readyz reports 503: a load balancer keeps traffic
+	// off a replica whose answers are stale beyond the bound, while the
+	// replica keeps catching up (default 8; negative = never gate).
+	ReplLagMax int
 	// Logf sinks operational log lines — panics recovered, degraded-mode
 	// transitions, drain-deadline abandonments (default log.Printf).
 	Logf func(format string, args ...any)
@@ -221,6 +245,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.ProbeInterval == 0 {
 		c.ProbeInterval = time.Second
+	}
+	if c.ReplLagMax == 0 {
+		c.ReplLagMax = 8
 	}
 	if c.Logf == nil {
 		c.Logf = log.Printf
@@ -433,6 +460,14 @@ type Service struct {
 	probeDone     chan struct{}
 	probeWG       sync.WaitGroup
 
+	// pulse is closed and replaced on every accepted mutation (append,
+	// replicated apply, new graph); replication feed streams block on
+	// AppendPulse instead of polling the store. replFn is the status
+	// reporter the repl layer installs — /v1/stats and the replica's
+	// /readyz lag gate read through it.
+	pulse  atomic.Pointer[chan struct{}]
+	replFn atomic.Pointer[func() ReplStatus]
+
 	counters struct {
 		graphsLoaded, graphsGenerated    atomic.Int64
 		solves, cacheHits, cacheMisses   atomic.Int64
@@ -479,6 +514,8 @@ func Open(cfg Config) (*Service, error) {
 		appendRetry: retry.New(cfg.AppendRetries+1, 5*time.Millisecond, 250*time.Millisecond, 0x5eed),
 		probeDone:   make(chan struct{}),
 	}
+	ch := make(chan struct{})
+	s.pulse.Store(&ch)
 	if cfg.MaxInflight > 0 {
 		s.slots = make(chan struct{}, cfg.MaxInflight)
 	}
@@ -836,6 +873,12 @@ func (s *Service) syncRecency() {
 }
 
 func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
+	// The replica gate sits before dedupe on purpose: even an idempotent
+	// re-load should steer the client at the primary — a replica's store
+	// only ever advances through the replication feed.
+	if err := s.notPrimary(); err != nil {
+		return nil, err
+	}
 	digest := store.DigestGraph(g)
 	id := "g-" + digest[:12]
 	if sg, ok, err := s.dedupe(id, digest); ok || err != nil {
@@ -884,6 +927,7 @@ func (s *Service) store(name string, g *graph.Graph) (*StoredGraph, error) {
 		sg.eng = eng
 	}
 	sg.mu.Unlock()
+	s.notifyPulse()
 	return sg, nil
 }
 

@@ -188,21 +188,58 @@ func (sg *StoredGraph) ensureEngineLocked(latest VersionInfo) error {
 // place (an incremental merge), so the O(1) query path keeps answering
 // without a re-solve.
 func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo, error) {
+	info, _, err := s.AppendExpect(id, batch, grow, "")
+	return info, err
+}
+
+// AppendExpect is Append with an optional version precondition: a
+// non-empty expect is the digest of the version the caller observed and
+// means "append onto exactly this parent". Three outcomes:
+//
+//   - expect matches the latest digest: the append proceeds (applied
+//     true) — no concurrent writer slipped in between observe and append.
+//   - expect matches the PREVIOUS version's digest and chaining this
+//     batch onto it reproduces the latest digest: this exact batch
+//     already landed — a retry of an append whose response was lost. The
+//     existing latest version is returned with applied false; nothing is
+//     written twice.
+//   - anything else: ErrPrecondition (412) — the lineage moved on, the
+//     caller re-reads and decides.
+//
+// The precondition is what makes retrying appends over a lossy network
+// safe: "at-least-once delivery, exactly-once apply".
+func (s *Service) AppendExpect(id string, batch []graph.Edge, grow bool, expect string) (VersionInfo, bool, error) {
+	if err := s.notPrimary(); err != nil {
+		return VersionInfo{}, false, err
+	}
 	if err := s.writable(); err != nil {
-		return VersionInfo{}, err
+		return VersionInfo{}, false, err
 	}
 	sg, err := s.Graph(id)
 	if err != nil {
-		return VersionInfo{}, err
+		return VersionInfo{}, false, err
 	}
 
 	sg.mu.Lock()
 	vers, err := s.st.Versions(id)
 	if err != nil || len(vers) == 0 {
 		sg.mu.Unlock()
-		return VersionInfo{}, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
+		return VersionInfo{}, false, fmt.Errorf("service: unknown graph %q: %w", id, ErrNotFound)
 	}
 	prev := vers[len(vers)-1]
+	if expect != "" && expect != prev.Digest {
+		// Retry detection: did this exact batch, chained onto the version
+		// the caller observed, produce the current latest? Then the
+		// "failed" attempt actually landed and this is its retry.
+		if len(vers) >= 2 && vers[len(vers)-2].Digest == expect &&
+			store.ChainDigest(expect, prev.N, batch) == prev.Digest {
+			sg.mu.Unlock()
+			return prev, false, nil
+		}
+		sg.mu.Unlock()
+		return VersionInfo{}, false, fmt.Errorf("%w: expected parent digest %.12s, latest is %.12s (version %d)",
+			ErrPrecondition, expect, prev.Digest, prev.Version)
+	}
 
 	// Validate the batch against the current version under the lock:
 	// concurrent appends may have changed N since the caller parsed it.
@@ -210,29 +247,29 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 	for _, e := range batch {
 		if e.U < 0 || e.V < 0 {
 			sg.mu.Unlock()
-			return VersionInfo{}, fmt.Errorf("service: negative batch endpoint (%d,%d)", e.U, e.V)
+			return VersionInfo{}, false, fmt.Errorf("service: negative batch endpoint (%d,%d)", e.U, e.V)
 		}
 		hi := int(max(e.U, e.V))
 		if hi >= newN {
 			if !grow {
 				sg.mu.Unlock()
-				return VersionInfo{}, fmt.Errorf("service: batch endpoint %d out of range [0,%d) (append with grow to extend)", hi, prev.N)
+				return VersionInfo{}, false, fmt.Errorf("service: batch endpoint %d out of range [0,%d) (append with grow to extend)", hi, prev.N)
 			}
 			newN = hi + 1
 		}
 	}
 	if s.cfg.MaxVertices >= 0 && newN > s.cfg.MaxVertices {
 		sg.mu.Unlock()
-		return VersionInfo{}, fmt.Errorf("service: append would grow graph to %d vertices, limit %d", newN, s.cfg.MaxVertices)
+		return VersionInfo{}, false, fmt.Errorf("service: append would grow graph to %d vertices, limit %d", newN, s.cfg.MaxVertices)
 	}
 	if s.cfg.MaxEdges >= 0 && prev.M+len(batch) > s.cfg.MaxEdges {
 		sg.mu.Unlock()
-		return VersionInfo{}, fmt.Errorf("service: append would grow graph to %d edges, limit %d", prev.M+len(batch), s.cfg.MaxEdges)
+		return VersionInfo{}, false, fmt.Errorf("service: append would grow graph to %d edges, limit %d", prev.M+len(batch), s.cfg.MaxEdges)
 	}
 
 	if err := sg.ensureEngineLocked(prev); err != nil {
 		sg.mu.Unlock()
-		return VersionInfo{}, err
+		return VersionInfo{}, false, err
 	}
 	merges := sg.eng.Apply(batch, newN-prev.N)
 	info := VersionInfo{
@@ -244,6 +281,25 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		Merges:     merges,
 		Components: sg.eng.Components(),
 	}
+	if err := s.commitLocked(sg, vers, prev, info, batch); err != nil {
+		sg.mu.Unlock()
+		return VersionInfo{}, false, err
+	}
+	sg.mu.Unlock()
+
+	s.counters.edgeBatches.Add(1)
+	s.counters.edgesAppended.Add(int64(len(batch)))
+	s.notifyPulse()
+	return info, true, nil
+}
+
+// commitLocked persists one batch the engine has already absorbed —
+// info chains onto prev, the last entry of vers — then fast-forwards
+// cached labelings and republishes the version window. It is the shared
+// tail of client appends and replicated applies. The caller holds sg.mu;
+// on error the engine handle is dropped (it ran ahead of the store) so
+// the next mutation reseeds from the store's actual state.
+func (s *Service) commitLocked(sg *StoredGraph, vers []VersionInfo, prev, info VersionInfo, batch []graph.Edge) error {
 	// Transient storage failures (a flaky fsync, a momentary ENOSPC) are
 	// retried with jittered backoff before the append is failed: the
 	// store rolls a failed record back to the last verified WAL length,
@@ -251,7 +307,7 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 	// behind its own torn first attempt. A missing graph is not
 	// transient; retrying it would only stall the 404.
 	retries, err := s.appendRetry.Do(
-		func() error { return s.st.Append(id, batch, info) },
+		func() error { return s.st.Append(sg.ID, batch, info) },
 		func(err error) bool { return !errors.Is(err, store.ErrNotFound) },
 	)
 	if retries > 0 {
@@ -261,17 +317,16 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		// The engine ran ahead of the (not-)stored batch; drop it so the
 		// next append reseeds from the store's actual state.
 		sg.eng = nil
-		sg.mu.Unlock()
 		if !errors.Is(err, store.ErrNotFound) {
 			// Retries exhausted on a write failure: the store cannot
 			// currently persist, so stop accepting mutations instead of
 			// burning every future request through the same retry storm.
 			// The triggering request reports the same 503 every later
 			// write will see, not a misleading client error.
-			s.enterDegraded(fmt.Errorf("store append %s: %w", id, err))
-			return VersionInfo{}, fmt.Errorf("%w: %w", ErrDegraded, err)
+			s.enterDegraded(fmt.Errorf("store append %s: %w", sg.ID, err))
+			return fmt.Errorf("%w: %w", ErrDegraded, err)
 		}
-		return VersionInfo{}, err
+		return err
 	}
 	// Eagerly fast-forward the previous version's cached labelings so
 	// queries stay O(1) across the append — BEFORE the new window is
@@ -297,11 +352,7 @@ func (s *Service) Append(id string, batch []graph.Edge, grow bool) (VersionInfo,
 		vers = vers[len(vers)-keep:]
 	}
 	sg.publishWindow(newVersionWindow(vers))
-	sg.mu.Unlock()
-
-	s.counters.edgeBatches.Add(1)
-	s.counters.edgesAppended.Add(int64(len(batch)))
-	return info, nil
+	return nil
 }
 
 // forwardLabeling fast-forwards one immutable cached labeling across a

@@ -18,6 +18,8 @@ func runConformance(t *testing.T, open func(t *testing.T, cfg Config) Store) {
 	t.Run("VersionWindow", func(t *testing.T) { testVersionWindow(t, open(t, Config{RetainVersions: 3, SyncCompaction: true})) })
 	t.Run("DeltaAndMaterialize", func(t *testing.T) { testDeltaAndMaterialize(t, open(t, Config{})) })
 	t.Run("Evict", func(t *testing.T) { testEvict(t, open(t, Config{})) })
+	t.Run("Tail", func(t *testing.T) { testTail(t, open(t, Config{})) })
+	t.Run("TailWindow", func(t *testing.T) { testTailWindow(t, open(t, Config{RetainVersions: 3, SyncCompaction: true})) })
 }
 
 func TestMemoryConformance(t *testing.T) {
@@ -267,5 +269,91 @@ func testEvict(t *testing.T, s Store) {
 	}
 	if s.Len() != 0 {
 		t.Fatalf("Len = %d after evict", s.Len())
+	}
+}
+
+// testTail pins the replication feed's contract: Tail(id, from) returns
+// every retained batch record newer than from, oldest first, each
+// carrying its full lineage metadata and its edges in append order.
+func testTail(t *testing.T, s Store) {
+	m := putGraph(t, s, 5)
+	b1 := []graph.Edge{{U: 0, V: 4}}
+	b2 := []graph.Edge{{U: 1, V: 3}, {U: 2, V: 2}}
+	v1 := appendBatch(t, s, m.ID, b1)
+	v2 := appendBatch(t, s, m.ID, b2)
+
+	recs, err := s.Tail(m.ID, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("Tail(0) returned %d records, want 2", len(recs))
+	}
+	if recs[0].Info != v1 || recs[1].Info != v2 {
+		t.Errorf("Tail lineage [%+v %+v], want [%+v %+v]", recs[0].Info, recs[1].Info, v1, v2)
+	}
+	if len(recs[0].Edges) != 1 || recs[0].Edges[0] != b1[0] {
+		t.Errorf("record 1 edges %+v", recs[0].Edges)
+	}
+	if len(recs[1].Edges) != 2 || recs[1].Edges[0] != b2[0] || recs[1].Edges[1] != b2[1] {
+		t.Errorf("record 2 edges %+v", recs[1].Edges)
+	}
+
+	// From the middle: only what is newer.
+	recs, err = s.Tail(m.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Info != v2 {
+		t.Fatalf("Tail(1) = %+v, want exactly v2", recs)
+	}
+	// From the latest version: empty, nil error — the live-feed idle case.
+	recs, err = s.Tail(m.ID, 2)
+	if err != nil || len(recs) != 0 {
+		t.Fatalf("Tail(latest) = %+v, %v; want empty, nil", recs, err)
+	}
+	// Beyond the latest: ErrNotFound — the replica is ahead of us, which
+	// only a forked history can produce.
+	if _, err := s.Tail(m.ID, 3); err == nil {
+		t.Error("Tail past the latest version succeeded")
+	}
+	if _, err := s.Tail("g-nope", 0); err == nil {
+		t.Error("Tail of an unknown graph succeeded")
+	}
+}
+
+// testTailWindow pins the compaction interaction: once a version falls
+// out of the retained window, tailing from it is ErrNotFound — the
+// catch-up data is gone and the replica must re-bootstrap — while
+// tailing from inside the window still works.
+func testTailWindow(t *testing.T, s Store) {
+	m := putGraph(t, s, 5)
+	for i := 0; i < 5; i++ {
+		appendBatch(t, s, m.ID, []graph.Edge{{U: graph.Vertex(i % 4), V: 4}})
+	}
+	vers, err := s.Versions(m.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oldest, latest := vers[0].Version, vers[len(vers)-1].Version
+	if oldest == 0 {
+		t.Fatalf("window never trimmed: %+v", vers)
+	}
+	// Inside the window: the tail covers oldest..latest.
+	recs, err := s.Tail(m.ID, oldest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != latest-oldest {
+		t.Fatalf("Tail(%d) returned %d records, want %d", oldest, len(recs), latest-oldest)
+	}
+	for i, rec := range recs {
+		if rec.Info.Version != oldest+1+i {
+			t.Fatalf("record %d at version %d, want %d", i, rec.Info.Version, oldest+1+i)
+		}
+	}
+	// Before the window: gone for good.
+	if _, err := s.Tail(m.ID, oldest-1); err == nil {
+		t.Error("Tail from before the retained window succeeded")
 	}
 }

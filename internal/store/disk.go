@@ -368,7 +368,7 @@ func (s *Disk) replayWAL(gdir string, rec *record) (*walState, error) {
 	}
 	prev := rec.snapVer
 	for good < len(data) {
-		v, batch, next, ok := parseWALRecord(data, good)
+		v, batch, next, ok := DecodeRecord(data, good)
 		if !ok {
 			// Torn or corrupt tail: everything from here on is a write
 			// that never finished (fsync never returned success for it).
@@ -424,56 +424,6 @@ func (s *Disk) writeWALHeader(path string) error {
 	return f.Close()
 }
 
-// parseWALRecord decodes one record at data[off:]. ok=false means the
-// record is torn or corrupt (caller truncates).
-func parseWALRecord(data []byte, off int) (v Version, batch []graph.Edge, next int, ok bool) {
-	r := bytes.NewReader(data[off:])
-	plen, err := binary.ReadUvarint(r)
-	if err != nil || plen > uint64(r.Len()) {
-		return Version{}, nil, 0, false
-	}
-	start := len(data) - r.Len()
-	end := start + int(plen)
-	if end+sha256.Size > len(data) {
-		return Version{}, nil, 0, false
-	}
-	payload := data[start:end]
-	if got := sha256.Sum256(payload); !bytes.Equal(got[:], data[end:end+sha256.Size]) {
-		return Version{}, nil, 0, false
-	}
-	pr := bytes.NewReader(payload)
-	metaRaw, err := readBlock(pr)
-	if err != nil {
-		return Version{}, nil, 0, false
-	}
-	if err := json.Unmarshal(metaRaw, &v); err != nil {
-		return Version{}, nil, 0, false
-	}
-	count, err := binary.ReadUvarint(pr)
-	if err != nil || count > uint64(pr.Len()) { // every edge takes ≥ 2 bytes
-		return Version{}, nil, 0, false
-	}
-	batch = make([]graph.Edge, 0, count)
-	for i := uint64(0); i < count; i++ {
-		u, err := binary.ReadUvarint(pr)
-		if err != nil {
-			return Version{}, nil, 0, false
-		}
-		w, err := binary.ReadUvarint(pr)
-		if err != nil {
-			return Version{}, nil, 0, false
-		}
-		if u >= uint64(v.N) || w >= uint64(v.N) {
-			return Version{}, nil, 0, false
-		}
-		batch = append(batch, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(w)})
-	}
-	if pr.Len() != 0 {
-		return Version{}, nil, 0, false
-	}
-	return v, batch, end + sha256.Size, true
-}
-
 // readBlock reads a uvarint-length-prefixed byte block.
 func readBlock(r *bytes.Reader) ([]byte, error) {
 	n, err := binary.ReadUvarint(r)
@@ -509,24 +459,6 @@ func encodeSnapshot(sm snapMeta, g *graph.Graph) ([]byte, error) {
 	payload = append(payload, gbuf.Bytes()...)
 	sum := sha256.Sum256(payload)
 	return append(payload, sum[:]...), nil
-}
-
-// encodeWALRecord renders one WAL record (length ∥ payload ∥ digest).
-func encodeWALRecord(v Version, batch []graph.Edge) ([]byte, error) {
-	metaRaw, err := json.Marshal(v)
-	if err != nil {
-		return nil, err
-	}
-	payload := appendBlock(nil, metaRaw)
-	payload = binary.AppendUvarint(payload, uint64(len(batch)))
-	for _, e := range batch {
-		payload = binary.AppendUvarint(payload, uint64(e.U))
-		payload = binary.AppendUvarint(payload, uint64(e.V))
-	}
-	rec := binary.AppendUvarint(nil, uint64(len(payload)))
-	rec = append(rec, payload...)
-	sum := sha256.Sum256(payload)
-	return append(rec, sum[:]...), nil
 }
 
 // writeFileAtomic writes data to path via a temp file + fsync + rename.
@@ -677,7 +609,7 @@ func (s *Disk) Append(id string, batch []graph.Edge, v Version) error {
 	if err != nil {
 		return err
 	}
-	data, err := encodeWALRecord(v, batch)
+	data, err := EncodeRecord(v, batch)
 	if err != nil {
 		return err
 	}
@@ -863,7 +795,7 @@ func (s *Disk) compact(id string) error {
 	prevOff := 0
 	for _, b := range r.batches {
 		if b.v.Version > target.Version {
-			recData, err := encodeWALRecord(b.v, r.appended[prevOff:b.off])
+			recData, err := EncodeRecord(b.v, r.appended[prevOff:b.off])
 			if err != nil {
 				return fail(fmt.Errorf("encode wal record %d: %w", b.v.Version, err))
 			}
@@ -932,6 +864,16 @@ func (s *Disk) Delta(id string, from, to int) ([]graph.Edge, error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.deltaLocked(from, to, s.cfg.RetainVersions)
+}
+
+func (s *Disk) Tail(id string, from int) ([]BatchRecord, error) {
+	r, err := s.rec(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tailLocked(from, s.cfg.RetainVersions)
 }
 
 func (s *Disk) Materialize(id string, version int) (*graph.Graph, error) {

@@ -190,7 +190,7 @@ func TestDiskChainBreak(t *testing.T) {
 	// Hand-craft a record whose version metadata claims a digest the
 	// chain cannot produce.
 	bad := Version{Version: 1, Digest: "doesnotchain", N: 5, M: 5, Appended: 1}
-	rec, err := encodeWALRecord(bad, []graph.Edge{{U: 0, V: 2}})
+	rec, err := EncodeRecord(bad, []graph.Edge{{U: 0, V: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}

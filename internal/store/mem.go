@@ -112,6 +112,16 @@ func (s *Memory) Delta(id string, from, to int) ([]graph.Edge, error) {
 	return r.deltaLocked(from, to, s.cfg.RetainVersions)
 }
 
+func (s *Memory) Tail(id string, from int) ([]BatchRecord, error) {
+	r, err := s.rec(id)
+	if err != nil {
+		return nil, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.tailLocked(from, s.cfg.RetainVersions)
+}
+
 func (s *Memory) Materialize(id string, version int) (*graph.Graph, error) {
 	r, err := s.rec(id)
 	if err != nil {

@@ -165,6 +165,42 @@ func (r *record) deltaLocked(from, to, retain int) ([]graph.Edge, error) {
 	return r.appended[a:b], nil
 }
 
+// tailLocked returns the retained batch records with version > from,
+// oldest first — the WAL read-at-version path the replication feed
+// serves. from must itself be inside the retained window (or be the
+// version just below it, the snapshot base): every shipped batch needs
+// its predecessor's end offset, so a from that fell out of the window
+// is ErrNotFound — the caller (a replica that fell behind) must
+// re-bootstrap from a snapshot instead. The returned edge slices alias
+// r.appended, which is append-only between compactions, so they stay
+// valid after the lock is released (the same contract deltaLocked
+// hands out).
+func (r *record) tailLocked(from, retain int) ([]BatchRecord, error) {
+	w := r.window(retain)
+	if len(w) == 0 {
+		return nil, fmt.Errorf("%w: graph %s has no retained versions", ErrNotFound, r.meta.ID)
+	}
+	latest := w[len(w)-1].Version
+	if from > latest {
+		return nil, fmt.Errorf("%w: graph %s version %d is beyond latest %d", ErrNotFound, r.meta.ID, from, latest)
+	}
+	if from < w[0].Version {
+		return nil, fmt.Errorf("%w: graph %s version %d not retained (window %d..%d)", ErrNotFound, r.meta.ID, from, w[0].Version, latest)
+	}
+	out := make([]BatchRecord, 0, latest-from)
+	for _, b := range r.batches {
+		if b.v.Version <= from {
+			continue
+		}
+		start, err := r.offOf(b.v.Version-1, retain)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, BatchRecord{Info: b.v, Edges: r.appended[start:b.off]})
+	}
+	return out, nil
+}
+
 // infoOf returns the Version metadata of a version number known to be
 // in the lineage.
 func (r *record) infoOf(version int) Version {

@@ -131,6 +131,14 @@ type Store interface {
 	// Delta returns the edges appended between two retained versions
 	// from < to, in append order.
 	Delta(id string, from, to int) ([]graph.Edge, error)
+	// Tail returns the retained batch records newer than version from,
+	// oldest first — each appended batch with its full lineage metadata,
+	// the unit the replication feed ships. A from outside the retained
+	// window (older than it, or beyond the latest version) is
+	// ErrNotFound: the batches needed to catch up from there are gone
+	// (compacted) or do not exist yet, and a replica must re-bootstrap
+	// from a snapshot instead.
+	Tail(id string, from int) ([]BatchRecord, error)
 	// Materialize builds (or returns the cached) immutable CSR graph of
 	// a retained version. The latest version's materialization is
 	// cached and pointer-stable until the next append.

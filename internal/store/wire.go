@@ -1,0 +1,99 @@
+package store
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+
+	"repro/internal/graph"
+)
+
+// This file is the edge-batch record wire format — the unit both the
+// on-disk WAL (disk.go) and the replication feed (internal/repl) speak:
+//
+//	record := uvarint(len(payload)) ∥ payload ∥ SHA-256(payload)
+//	payload := uvarint(len(metaJSON)) ∥ metaJSON(Version)
+//	           ∥ uvarint(count) ∥ count × (uvarint u ∥ uvarint v)
+//
+// Sharing one codec is what makes replication verification exact: a
+// replica decodes the very bytes the primary's WAL fsync'd, re-chains
+// ChainDigest over them, and rejects on any mismatch — there is no
+// second serialization that could diverge from durable state.
+
+// BatchRecord is one retained appended batch with its lineage metadata —
+// what Tail returns and the replication feed ships.
+type BatchRecord struct {
+	Info  Version
+	Edges []graph.Edge
+}
+
+// EncodeRecord renders one edge-batch record (length ∥ payload ∥ digest).
+func EncodeRecord(v Version, batch []graph.Edge) ([]byte, error) {
+	metaRaw, err := json.Marshal(v)
+	if err != nil {
+		return nil, err
+	}
+	payload := appendBlock(nil, metaRaw)
+	payload = binary.AppendUvarint(payload, uint64(len(batch)))
+	for _, e := range batch {
+		payload = binary.AppendUvarint(payload, uint64(e.U))
+		payload = binary.AppendUvarint(payload, uint64(e.V))
+	}
+	rec := binary.AppendUvarint(nil, uint64(len(payload)))
+	rec = append(rec, payload...)
+	sum := sha256.Sum256(payload)
+	return append(rec, sum[:]...), nil
+}
+
+// DecodeRecord decodes one record at data[off:], verifying the payload
+// digest and range-checking every edge against the record's own vertex
+// count. ok=false means the record is torn or corrupt — the WAL replayer
+// truncates there, the replication client rejects and re-fetches.
+func DecodeRecord(data []byte, off int) (v Version, batch []graph.Edge, next int, ok bool) {
+	r := bytes.NewReader(data[off:])
+	plen, err := binary.ReadUvarint(r)
+	if err != nil || plen > uint64(r.Len()) {
+		return Version{}, nil, 0, false
+	}
+	start := len(data) - r.Len()
+	end := start + int(plen)
+	if end+sha256.Size > len(data) {
+		return Version{}, nil, 0, false
+	}
+	payload := data[start:end]
+	if got := sha256.Sum256(payload); !bytes.Equal(got[:], data[end:end+sha256.Size]) {
+		return Version{}, nil, 0, false
+	}
+	pr := bytes.NewReader(payload)
+	metaRaw, err := readBlock(pr)
+	if err != nil {
+		return Version{}, nil, 0, false
+	}
+	if err := json.Unmarshal(metaRaw, &v); err != nil {
+		return Version{}, nil, 0, false
+	}
+	count, err := binary.ReadUvarint(pr)
+	if err != nil || count > uint64(pr.Len()) { // every edge takes ≥ 2 bytes
+		return Version{}, nil, 0, false
+	}
+	batch = make([]graph.Edge, 0, count)
+	for i := uint64(0); i < count; i++ {
+		u, err := binary.ReadUvarint(pr)
+		if err != nil {
+			return Version{}, nil, 0, false
+		}
+		w, err := binary.ReadUvarint(pr)
+		if err != nil {
+			return Version{}, nil, 0, false
+		}
+		if u >= uint64(v.N) || w >= uint64(v.N) {
+			return Version{}, nil, 0, false
+		}
+		batch = append(batch, graph.Edge{U: graph.Vertex(u), V: graph.Vertex(w)})
+	}
+	if pr.Len() != 0 {
+		return Version{}, nil, 0, false
+	}
+	return v, batch, end + sha256.Size, true
+}
